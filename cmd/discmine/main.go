@@ -1,0 +1,113 @@
+// Command discmine mines frequent sequences from a database file with any
+// of the implemented algorithms.
+//
+// Usage:
+//
+//	discmine -in db.txt -minsup 0.005 [-algo disc-all] [-top 20] [-stats] [-o patterns.txt]
+//
+// minsup below 1 is a fraction of the database size; at or above 1 it is
+// the absolute minimum support count δ.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/disc-mining/disc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "discmine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("discmine", flag.ContinueOnError)
+	in := fs.String("in", "", "input database (native or SPMF format)")
+	algo := fs.String("algo", string(disc.DISCAll), fmt.Sprintf("algorithm: %v", disc.Algorithms()))
+	minsup := fs.Float64("minsup", 0.01, "minimum support: fraction (<1) or absolute count (>=1)")
+	top := fs.Int("top", 0, "print only the top-N patterns by support (0 = all)")
+	stats := fs.Bool("stats", false, "print DISC run statistics (disc-all variants only)")
+	verify := fs.String("verify", "", "re-mine with this second algorithm and require identical results")
+	out := fs.String("o", "", "write patterns to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	db, err := disc.ReadDatabase(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loaded %s\n", disc.DescribeDatabase(db))
+
+	delta := int(*minsup)
+	if *minsup < 1 {
+		delta = disc.AbsSupport(*minsup, len(db))
+	}
+	m, err := disc.NewMiner(disc.Algorithm(*algo))
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	res, err := m.Mine(db, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: %s in %.3fs (δ=%d)\n", m.Name(), res, time.Since(start).Seconds(), delta)
+
+	if *verify != "" {
+		v, err := disc.NewMiner(disc.Algorithm(*verify))
+		if err != nil {
+			return err
+		}
+		vStart := time.Now()
+		vRes, err := v.Mine(db, delta)
+		if err != nil {
+			return err
+		}
+		if diff := res.Diff(vRes); diff != "" {
+			return fmt.Errorf("verification against %s FAILED:\n%s", v.Name(), diff)
+		}
+		fmt.Fprintf(stdout, "verified against %s in %.3fs: identical results\n", v.Name(), time.Since(vStart).Seconds())
+	}
+
+	if *stats {
+		if sm, ok := m.(interface{ LastStats() disc.Stats }); ok {
+			fmt.Fprintf(stdout, "stats: %+v\n", sm.LastStats())
+		} else {
+			fmt.Fprintf(stdout, "stats: not available for %s\n", m.Name())
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	printed := 0
+	for _, pc := range res.Sorted() {
+		if *top > 0 && printed >= *top {
+			fmt.Fprintf(w, "... (%d more)\n", res.Len()-printed)
+			break
+		}
+		fmt.Fprintf(w, "%s support=%d\n", pc.Pattern, pc.Support)
+		printed++
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "db.txt")
+	content := "1:(1 5 7)(2)(8)(6)(3)(2 6)\n2:(2)(4 6)(5)\n3:(2 6 7)\n4:(6)(1 7)(2 6 8)(2 6)\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMineFile(t *testing.T) {
+	path := writeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "2", "-algo", "disc-all", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "4 customers") {
+		t.Errorf("missing database summary:\n%s", s)
+	}
+	if !strings.Contains(s, "56 frequent sequences") {
+		t.Errorf("expected 56 frequent sequences (Table 1, δ=2):\n%s", s)
+	}
+	if !strings.Contains(s, "Rounds:") && !strings.Contains(s, "Rounds") {
+		t.Errorf("missing stats:\n%s", s)
+	}
+}
+
+func TestFractionalThresholdAndTop(t *testing.T) {
+	path := writeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "0.5", "-top", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "δ=2") {
+		t.Errorf("0.5 of 4 customers should give δ=2:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "more)") {
+		t.Errorf("-top 3 should elide patterns:\n%s", out.String())
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := writeDB(t)
+	outPath := filepath.Join(t.TempDir(), "patterns.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "2", "-o", outPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "support=") {
+		t.Errorf("pattern file content:\n%s", data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -in must error")
+	}
+	if err := run([]string{"-in", "nope.txt"}, &out); err == nil {
+		t.Error("missing file must error")
+	}
+	path := writeDB(t)
+	if err := run([]string{"-in", path, "-algo", "bogus"}, &out); err == nil {
+		t.Error("unknown algorithm must error")
+	}
+}
+
+func TestAllAlgorithmsRunViaCLI(t *testing.T) {
+	path := writeDB(t)
+	for _, algo := range []string{"prefixspan", "pseudo", "gsp", "spade", "spam", "levelwise", "dynamic-disc-all"} {
+		var out bytes.Buffer
+		if err := run([]string{"-in", path, "-minsup", "2", "-algo", algo}, &out); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "56 frequent sequences") {
+			t.Errorf("%s disagrees:\n%s", algo, out.String())
+		}
+	}
+}
+
+func TestVerifyFlag(t *testing.T) {
+	path := writeDB(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-minsup", "2", "-verify", "spade"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verified against spade") {
+		t.Errorf("missing verification line:\n%s", out.String())
+	}
+	if err := run([]string{"-in", path, "-minsup", "2", "-verify", "bogus"}, &out); err == nil {
+		t.Error("unknown verify algorithm must error")
+	}
+}

@@ -1,0 +1,132 @@
+// Command experiments regenerates the tables and figures of the evaluation
+// section (§4) of Chiu, Wu & Chen (ICDE 2004).
+//
+// Usage:
+//
+//	experiments -exp all -scale 0.1 [-seed 1] [-v]
+//	experiments -exp fig8,table13 -scale 1      # paper-sized run
+//
+// Scale multiplies the paper's customer counts; relative thresholds and all
+// other parameters are preserved, so curve shapes and ratios remain
+// comparable at reduced scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/disc-mining/disc/internal/bench"
+)
+
+// parseInts parses a comma-separated integer list ("" -> nil).
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list ("" -> nil).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "comma-separated experiment ids, or 'all' (available: table5, fig8, fig9, table12, table13, table14, fig10, ablation)")
+	scale := fs.Float64("scale", 0.1, "fraction of the paper's database sizes (1 = paper scale)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	verbose := fs.Bool("v", false, "print one line per measurement")
+	csvPath := fs.String("csv", "", "append raw measurements of all experiments to this CSV file")
+	sizes := fs.String("sizes", "", "comma-separated customer counts overriding the fig8 sweep")
+	fracs := fs.String("fracs", "", "comma-separated minimum supports overriding the fig9/table12/table13/ablation sweep")
+	thetas := fs.String("thetas", "", "comma-separated theta values overriding the table14/fig10 sweep")
+	chart := fs.Bool("chart", false, "render ASCII bar charts after each timing experiment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	var err error
+	if cfg.Sizes, err = parseInts(*sizes); err != nil {
+		return fmt.Errorf("-sizes: %w", err)
+	}
+	if cfg.Fracs, err = parseFloats(*fracs); err != nil {
+		return fmt.Errorf("-fracs: %w", err)
+	}
+	if cfg.Thetas, err = parseFloats(*thetas); err != nil {
+		return fmt.Errorf("-thetas: %w", err)
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvFile = f
+	}
+	for _, e := range todo {
+		r, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		r.Render(stdout)
+		if *chart {
+			r.RenderChart(stdout)
+		}
+		if csvFile != nil {
+			if err := r.WriteCSV(csvFile); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTable5ViaCLI(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GSP", "SPADE", "SPAM", "PrefixSpan", "DISC-all"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %s in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCommaSeparatedList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table5, table5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "== table5") != 2 {
+		t.Errorf("expected two table5 renders:\n%s", out.String())
+	}
+}
+
+func TestCSVFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table5", "-csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "experiment,algo,x,seconds,patterns") {
+		t.Errorf("csv = %q", data)
+	}
+}
+
+func TestSweepOverrideParsing(t *testing.T) {
+	if got, err := parseInts(" 300, 600 "); err != nil || len(got) != 2 || got[1] != 600 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if got, err := parseFloats("0.05,0.02"); err != nil || len(got) != 2 || got[0] != 0.05 {
+		t.Errorf("parseFloats = %v, %v", got, err)
+	}
+	if _, err := parseInts("x"); err == nil {
+		t.Error("bad ints must error")
+	}
+	if _, err := parseFloats("y"); err == nil {
+		t.Error("bad floats must error")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table5", "-sizes", "zz"}, &out); err == nil {
+		t.Error("bad -sizes must error")
+	}
+}

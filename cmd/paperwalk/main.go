@@ -1,0 +1,20 @@
+// Command paperwalk prints the worked examples of §1–§3 of Chiu, Wu & Chen
+// (ICDE 2004) — Tables 1-4 and 8-10, the ordering examples, the SPADE
+// ID-list merge and the bi-level counting of Example 3.5 — with every value
+// computed by this repository's implementations, for side-by-side
+// comparison with the paper.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/disc-mining/disc/internal/walkthrough"
+)
+
+func main() {
+	if err := walkthrough.Run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "paperwalk:", err)
+		os.Exit(1)
+	}
+}

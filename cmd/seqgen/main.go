@@ -1,0 +1,64 @@
+// Command seqgen synthesizes customer-sequence databases with the
+// IBM-Quest-style generator, using the option names of Table 11 of Chiu,
+// Wu & Chen (ICDE 2004).
+//
+// Usage:
+//
+//	seqgen -ncust 50000 -slen 10 -tlen 2.5 -nitems 1000 -seq.patlen 4 \
+//	       -seed 1 -o db.txt [-format native|spmf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "seqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("seqgen", flag.ContinueOnError)
+	var cfg gen.Config
+	fs.IntVar(&cfg.NCust, "ncust", 10000, "number of customers")
+	fs.Float64Var(&cfg.SLen, "slen", 10, "average number of transactions per customer")
+	fs.Float64Var(&cfg.TLen, "tlen", 2.5, "average number of items per transaction")
+	fs.IntVar(&cfg.NItems, "nitems", 1000, "number of different items")
+	fs.Float64Var(&cfg.SeqPatLen, "seq.patlen", 4, "average length of maximal potentially-large sequences")
+	fs.Float64Var(&cfg.LitPatLen, "lit.patlen", 1.25, "average size of potentially-large itemsets")
+	fs.IntVar(&cfg.NSeqPatterns, "nseqpats", 5000, "size of the potentially-large sequence pool")
+	fs.IntVar(&cfg.NLitPatterns, "nlitpats", 25000, "size of the potentially-large itemset pool")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	format := fs.String("format", "native", "output format: native or spmf")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var f data.Format
+	switch *format {
+	case "native":
+		f = data.Native
+	case "spmf":
+		f = data.SPMF
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	db, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, data.Describe(db))
+	if *out == "" {
+		return data.Write(os.Stdout, db, f)
+	}
+	return data.WriteFile(*out, db, f)
+}

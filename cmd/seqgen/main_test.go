@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.txt")
+	err := run([]string{"-ncust", "50", "-nitems", "40", "-slen", "4", "-tlen", "2",
+		"-nseqpats", "30", "-nlitpats", "100", "-seed", "3", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 50 {
+		t.Errorf("wrote %d lines, want 50", lines)
+	}
+	if !strings.Contains(string(data), "(") {
+		t.Errorf("native format expected:\n%s", string(data)[:100])
+	}
+}
+
+func TestGenerateSPMF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.spmf")
+	err := run([]string{"-ncust", "10", "-nitems", "20", "-nseqpats", "20", "-nlitpats", "50",
+		"-format", "spmf", "-o", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "-2") {
+		t.Errorf("SPMF format expected:\n%s", data)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-format", "bogus"}); err == nil {
+		t.Error("unknown format must error")
+	}
+	if err := run([]string{"-ncust", "-5"}); err == nil {
+		t.Error("negative ncust must error")
+	}
+}

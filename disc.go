@@ -1,0 +1,199 @@
+// Package disc is a Go implementation of the DISC (DIrect Sequence
+// Comparison) strategy and the DISC-all / Dynamic DISC-all sequential
+// pattern mining algorithms of Chiu, Wu & Chen, "An Efficient Algorithm
+// for Mining Frequent Sequences by a New Strategy without Support
+// Counting" (ICDE 2004), together with full implementations of the
+// baselines the paper discusses (GSP, SPADE, SPAM, PrefixSpan with
+// physical and pseudo projection), an IBM-Quest-style synthetic data
+// generator, dataset I/O, and the weighted-mining extension the paper
+// sketches as future work.
+//
+// # Quick start
+//
+//	db := disc.Database{
+//	    disc.MustParseCustomer(1, "(a, e, g)(b)(h)(f)(c)(b, f)"),
+//	    disc.MustParseCustomer(2, "(b)(d, f)(e)"),
+//	    disc.MustParseCustomer(3, "(b, f, g)"),
+//	    disc.MustParseCustomer(4, "(f)(a, g)(b, f, h)(b, f)"),
+//	}
+//	res, err := disc.Mine(db, 2) // minimum support count δ = 2
+//	for _, pc := range res.Sorted() {
+//	    fmt.Printf("%s support=%d\n", pc.Pattern.Letters(), pc.Support)
+//	}
+//
+// Algorithms other than the default DISC-all are available through
+// NewMiner; synthetic databases through Generate.
+package disc
+
+import (
+	"fmt"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/gen"
+	"github.com/disc-mining/disc/internal/gsp"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/prefixspan"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/spade"
+	"github.com/disc-mining/disc/internal/spam"
+	"github.com/disc-mining/disc/internal/weighted"
+)
+
+// Core data-model types, re-exported from the internal packages.
+type (
+	// Item is a single item identifier (>= 1).
+	Item = seq.Item
+	// Itemset is a canonical transaction: sorted, duplicate-free items.
+	Itemset = seq.Itemset
+	// Pattern is a sequence in the paper's (item, transaction-number) pair
+	// representation.
+	Pattern = seq.Pattern
+	// Customer is one customer sequence: an ordered list of transactions.
+	Customer = seq.CustomerSeq
+	// Database is a set of customer sequences.
+	Database = mining.Database
+	// Result is a set of frequent sequences with exact support counts.
+	Result = mining.Result
+	// PatternCount is one frequent sequence and its support.
+	PatternCount = mining.PatternCount
+	// Miner is the interface implemented by all algorithms.
+	Miner = mining.Miner
+	// GeneratorConfig configures the synthetic data generator (the paper's
+	// Table 11 options).
+	GeneratorConfig = gen.Config
+	// Options tunes the DISC-all family (bi-level, partitioning levels,
+	// the dynamic NRR threshold γ).
+	Options = core.Options
+	// Stats reports what a DISC-all run did (rounds, skips, partitions,
+	// observed NRR per level).
+	Stats = core.Stats
+	// Weights are per-item weights for the weighted-mining extension.
+	Weights = weighted.Weights
+	// WeightedPattern is one weighted-frequent sequence.
+	WeightedPattern = weighted.Pattern
+)
+
+// Sequence construction helpers.
+var (
+	// NewItemset builds a canonical itemset.
+	NewItemset = seq.NewItemset
+	// NewPattern builds a canonical pattern from itemsets.
+	NewPattern = seq.NewPattern
+	// NewCustomer builds a customer sequence from transactions.
+	NewCustomer = seq.NewCustomerSeq
+	// ParsePattern parses "(a, b)(c)" or "(1 2)(3)" notation.
+	ParsePattern = seq.ParsePattern
+	// MustParsePattern is ParsePattern panicking on error.
+	MustParsePattern = seq.MustParsePattern
+	// ParseCustomer parses a customer sequence body.
+	ParseCustomer = seq.ParseCustomerSeq
+	// MustParseCustomer is ParseCustomer panicking on error.
+	MustParseCustomer = seq.MustParseCustomerSeq
+	// Compare is the paper's comparative order (Definition 2.2).
+	Compare = seq.Compare
+	// AbsSupport converts a relative threshold into the absolute δ.
+	AbsSupport = mining.AbsSupport
+	// NRRByLevel computes the §4.2 non-reduction rates from a result set.
+	NRRByLevel = mining.NRRByLevel
+	// Generate synthesizes a database (IBM-Quest-style process).
+	Generate = gen.Generate
+	// ReadDatabase loads a database file (native or SPMF format).
+	ReadDatabase = data.ReadFile
+)
+
+// WriteDatabase saves a database file in the native text format.
+func WriteDatabase(path string, db Database) error {
+	return data.WriteFile(path, db, data.Native)
+}
+
+// WriteDatabaseSPMF saves a database file in the SPMF format.
+func WriteDatabaseSPMF(path string, db Database) error {
+	return data.WriteFile(path, db, data.SPMF)
+}
+
+// Algorithm names an available mining algorithm.
+type Algorithm string
+
+// The available algorithms.
+const (
+	DISCAll        Algorithm = "disc-all"         // the paper's contribution (Figure 2, bi-level)
+	DynamicDISCAll Algorithm = "dynamic-disc-all" // the Appendix variant with the NRR-driven divide
+	PrefixSpan     Algorithm = "prefixspan"       // Pei et al., physical projection
+	Pseudo         Algorithm = "pseudo"           // PrefixSpan with pseudo-projection
+	GSP            Algorithm = "gsp"              // Srikant & Agrawal
+	SPADE          Algorithm = "spade"            // Zaki, vertical ID-lists
+	SPAM           Algorithm = "spam"             // Ayres et al., vertical bitmaps
+	LevelWise      Algorithm = "levelwise"        // naive generate-and-count reference
+)
+
+// Algorithms lists every available algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{DISCAll, DynamicDISCAll, PrefixSpan, Pseudo, GSP, SPADE, SPAM, LevelWise}
+}
+
+// NewMiner constructs a miner by algorithm name.
+func NewMiner(a Algorithm) (Miner, error) {
+	switch a {
+	case DISCAll:
+		return core.New(), nil
+	case DynamicDISCAll:
+		return core.NewDynamic(), nil
+	case PrefixSpan:
+		return prefixspan.Basic{}, nil
+	case Pseudo:
+		return prefixspan.Pseudo{}, nil
+	case GSP:
+		return gsp.Miner{}, nil
+	case SPADE:
+		return spade.Miner{}, nil
+	case SPAM:
+		return spam.Miner{}, nil
+	case LevelWise:
+		return bruteforce.LevelWise{}, nil
+	}
+	return nil, fmt.Errorf("disc: unknown algorithm %q (available: %v)", a, Algorithms())
+}
+
+// NewDISCAll constructs a DISC-all miner with explicit options; its
+// LastStats method exposes run statistics.
+func NewDISCAll(opts Options) *core.Miner { return &core.Miner{Opts: opts} }
+
+// NewDynamicDISCAll constructs a Dynamic DISC-all miner with explicit
+// options (γ in Options.Gamma).
+func NewDynamicDISCAll(opts Options) *core.Dynamic { return &core.Dynamic{Opts: opts} }
+
+// DefaultOptions is the paper's experimental configuration: bi-level on,
+// two partitioning levels, γ = 0.5.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Mine runs DISC-all with default options: it returns every sequence
+// supported by at least minSup customers, with exact support counts.
+func Mine(db Database, minSup int) (*Result, error) {
+	return core.New().Mine(db, minSup)
+}
+
+// MineRelative is Mine with a relative threshold: δ = ⌈frac·len(db)⌉.
+func MineRelative(db Database, frac float64) (*Result, error) {
+	return Mine(db, mining.AbsSupport(frac, len(db)))
+}
+
+// MineWeighted runs the §5 weighted-mining extension: patterns whose
+// weighted support (support × mean item weight) reaches tau.
+func MineWeighted(db Database, w Weights, tau float64) ([]WeightedPattern, error) {
+	return weighted.Miner{Weights: w}.Mine(db, tau)
+}
+
+// Closed filters a result set down to its closed patterns (no frequent
+// supersequence with equal support).
+func Closed(r *Result) *Result { return r.Closed() }
+
+// Maximal filters a result set down to its maximal patterns (no frequent
+// supersequence at all).
+func Maximal(r *Result) *Result { return r.Maximal() }
+
+// DescribeDatabase returns a one-line summary of the database shape.
+func DescribeDatabase(db Database) string {
+	return data.Describe(db).String()
+}

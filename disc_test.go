@@ -1,0 +1,160 @@
+package disc
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func table1() Database {
+	return Database{
+		MustParseCustomer(1, "(a, e, g)(b)(h)(f)(c)(b, f)"),
+		MustParseCustomer(2, "(b)(d, f)(e)"),
+		MustParseCustomer(3, "(b, f, g)"),
+		MustParseCustomer(4, "(f)(a, g)(b, f, h)(b, f)"),
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	res, err := Mine(table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(MustParsePattern("(a)(b)(b)")); !ok || sup != 2 {
+		t.Errorf("<(a)(b)(b)> = %d,%v", sup, ok)
+	}
+	rel, err := MineRelative(table1(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.Diff(rel); diff != "" {
+		t.Errorf("MineRelative(0.5) over 4 customers must equal Mine(2):\n%s", diff)
+	}
+}
+
+func TestAllAlgorithmsAgreeViaFacade(t *testing.T) {
+	ref, err := Mine(table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Algorithms() {
+		m, err := NewMiner(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != string(a) {
+			t.Errorf("Name() = %q, want %q", m.Name(), a)
+		}
+		got, err := m.Mine(table1(), 2)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if diff := ref.Diff(got); diff != "" {
+			t.Errorf("%s:\n%s", a, diff)
+		}
+	}
+	if _, err := NewMiner("nope"); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("unknown algorithm error = %v", err)
+	}
+}
+
+func TestStatsExposedThroughFacade(t *testing.T) {
+	m := NewDISCAll(DefaultOptions())
+	if _, err := m.Mine(table1(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.LastStats().Rounds == 0 {
+		t.Error("no DISC rounds recorded")
+	}
+	d := NewDynamicDISCAll(Options{BiLevel: true, Gamma: 0.4})
+	if _, err := d.Mine(table1(), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAndRoundTripThroughFacade(t *testing.T) {
+	db, err := Generate(GeneratorConfig{NCust: 50, NItems: 30, SLen: 5, TLen: 2,
+		SeqPatLen: 3, NSeqPatterns: 20, NLitPatterns: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	native := filepath.Join(dir, "db.txt")
+	spmf := filepath.Join(dir, "db.spmf")
+	if err := WriteDatabase(native, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatabaseSPMF(spmf, db); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{native, spmf} {
+		got, err := ReadDatabase(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(db) {
+			t.Errorf("%s: %d customers, want %d", p, len(got), len(db))
+		}
+		for i := range db {
+			if Compare(got[i].Pattern(), db[i].Pattern()) != 0 {
+				t.Fatalf("%s: customer %d differs", p, i)
+			}
+		}
+	}
+	if !strings.Contains(DescribeDatabase(db), "50 customers") {
+		t.Errorf("DescribeDatabase = %q", DescribeDatabase(db))
+	}
+}
+
+func TestWeightedThroughFacade(t *testing.T) {
+	w := make(Weights, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out, err := MineWeighted(table1(), w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no weighted patterns")
+	}
+	// With unit weights, weighted support equals plain support.
+	ref, _ := Mine(table1(), 2)
+	if len(out) != ref.Len() {
+		t.Errorf("unit-weight mining found %d patterns, plain found %d", len(out), ref.Len())
+	}
+}
+
+func TestNRRByLevelThroughFacade(t *testing.T) {
+	res, err := Mine(table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrr := NRRByLevel(res, len(table1()))
+	if len(nrr) < 2 || nrr[0] <= 0 || nrr[0] > 1 {
+		t.Errorf("NRRByLevel = %v", nrr)
+	}
+}
+
+func TestClosedMaximalThroughFacade(t *testing.T) {
+	res, err := Mine(table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, maximal := Closed(res), Maximal(res)
+	if !(maximal.Len() <= closed.Len() && closed.Len() <= res.Len()) {
+		t.Fatalf("sizes: %d maximal, %d closed, %d all", maximal.Len(), closed.Len(), res.Len())
+	}
+	if maximal.Len() == 0 {
+		t.Fatal("no maximal patterns")
+	}
+	// With δ=2 on Table 1 the longest frequent sequences have length 5;
+	// each of them must be maximal.
+	for _, pc := range res.Sorted() {
+		if pc.Pattern.Len() == res.MaxLen() {
+			if _, ok := maximal.Support(pc.Pattern); !ok {
+				t.Errorf("longest pattern %s not maximal", pc.Pattern.Letters())
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package disc_test
+
+import (
+	"fmt"
+
+	"github.com/disc-mining/disc"
+)
+
+// The paper's Table 1 database, used by all examples.
+func paperDB() disc.Database {
+	return disc.Database{
+		disc.MustParseCustomer(1, "(a, e, g)(b)(h)(f)(c)(b, f)"),
+		disc.MustParseCustomer(2, "(b)(d, f)(e)"),
+		disc.MustParseCustomer(3, "(b, f, g)"),
+		disc.MustParseCustomer(4, "(f)(a, g)(b, f, h)(b, f)"),
+	}
+}
+
+func ExampleMine() {
+	res, _ := disc.Mine(paperDB(), 2)
+	sup, _ := res.Support(disc.MustParsePattern("(a)(b)(b)"))
+	fmt.Printf("%d frequent sequences; <(a)(b)(b)> support=%d\n", res.Len(), sup)
+	// Output: 56 frequent sequences; <(a)(b)(b)> support=2
+}
+
+func ExampleNewMiner() {
+	m, _ := disc.NewMiner(disc.SPADE)
+	res, _ := m.Mine(paperDB(), 2)
+	fmt.Println(m.Name(), res.Len())
+	// Output: spade 56
+}
+
+func ExampleCompare() {
+	a := disc.MustParsePattern("(a, b)(c)")
+	b := disc.MustParsePattern("(a)(b, c)")
+	fmt.Println(disc.Compare(a, b) < 0)
+	// Output: true
+}
+
+func ExampleMineRelative() {
+	// δ = ⌈0.5 · 4⌉ = 2.
+	res, _ := disc.MineRelative(paperDB(), 0.5)
+	fmt.Println(res.MaxLen())
+	// Output: 5
+}
+
+func ExampleMineWeighted() {
+	w := make(disc.Weights, 9)
+	for i := range w {
+		w[i] = 1.0
+	}
+	w[8] = 3.0 // item h is three times as important
+	patterns, _ := disc.MineWeighted(paperDB(), w, 6.0)
+	fmt.Printf("%s wsup=%.0f\n", patterns[0].Pattern.Letters(), patterns[0].WeightedSupport)
+	// Output: <(h)> wsup=6
+}
+
+func ExampleResult_Sorted() {
+	res, _ := disc.Mine(paperDB(), 3)
+	for _, pc := range res.Sorted() {
+		fmt.Printf("%s %d\n", pc.Pattern.Letters(), pc.Support)
+	}
+	// Output:
+	// <(b)> 4
+	// <(b, f)> 3
+	// <(b)(f)> 3
+	// <(f)> 4
+	// <(g)> 3
+}

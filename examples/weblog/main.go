@@ -1,0 +1,126 @@
+// Web traversal mining: the first weighting application named in §5 of the
+// paper — "when finding the traversal patterns in the WWW, different pages
+// may have a variety of importance, e.g. page weights."
+//
+// Sessions are synthesized as page-visit sequences (one page per
+// transaction) over a small site map with a few habitual paths. Plain
+// frequent-sequence mining surfaces the high-traffic navigation paths;
+// weighted mining re-ranks them with page weights that value the checkout
+// funnel, exactly the scenario the paper sketches.
+//
+//	go run ./examples/weblog
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/disc-mining/disc"
+)
+
+// The site map: page ids and names.
+var pages = []string{
+	"", // item 0 unused
+	"home", "search", "category", "product", "reviews",
+	"cart", "checkout", "payment", "confirm", "help",
+}
+
+// Habitual navigation paths with relative popularity.
+var paths = []struct {
+	weight int
+	visits []disc.Item
+}{
+	{5, []disc.Item{1, 2, 4, 5}},          // home -> search -> product -> reviews
+	{4, []disc.Item{1, 3, 4, 6}},          // home -> category -> product -> cart
+	{3, []disc.Item{1, 3, 4}},             // window shopping
+	{2, []disc.Item{1, 2, 4, 6, 7, 8, 9}}, // the full purchase funnel
+	{1, []disc.Item{1, 10}},               // help lookups
+}
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	db := make(disc.Database, 0, 2000)
+	for s := 0; s < 2000; s++ {
+		db = append(db, session(r, s+1))
+	}
+	fmt.Println("sessions:", disc.DescribeDatabase(db))
+
+	// Plain mining: the most common navigation paths.
+	res, err := disc.MineRelative(db, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s at 5%% support; longest paths:\n", res)
+	for _, pc := range res.Sorted() {
+		if pc.Pattern.Len() >= res.MaxLen()-1 {
+			fmt.Printf("  %-40s %4d sessions\n", renderPath(pc.Pattern), pc.Support)
+		}
+	}
+
+	// Weighted mining: pages later in the purchase funnel matter more, so
+	// rarer checkout paths outrank ubiquitous browsing hops.
+	w := make(disc.Weights, len(pages))
+	for i := range w {
+		w[i] = 1
+	}
+	w[6], w[7], w[8], w[9] = 3, 5, 5, 8 // cart, checkout, payment, confirm
+	weighted, err := disc.MineWeighted(db, w, 250)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop weighted paths (τ=250, funnel pages upweighted):\n")
+	for i, wp := range weighted {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-40s wsup=%7.1f (support %d, weight %.2f)\n",
+			renderPath(wp.Pattern), wp.WeightedSupport, wp.Support, wp.Weight)
+	}
+}
+
+// session synthesizes one visit: a habitual path with noise hops, possibly
+// truncated.
+func session(r *rand.Rand, id int) *disc.Customer {
+	p := pick(r)
+	var visits []disc.Itemset
+	for _, page := range p {
+		if r.Float64() < 0.15 {
+			continue // abandoned step
+		}
+		visits = append(visits, disc.NewItemset(page))
+		if r.Float64() < 0.25 { // a random detour
+			visits = append(visits, disc.NewItemset(disc.Item(1+r.Intn(len(pages)-1))))
+		}
+	}
+	if len(visits) == 0 {
+		visits = append(visits, disc.NewItemset(1))
+	}
+	return disc.NewCustomer(id, visits...)
+}
+
+func pick(r *rand.Rand) []disc.Item {
+	total := 0
+	for _, p := range paths {
+		total += p.weight
+	}
+	x := r.Intn(total)
+	for _, p := range paths {
+		if x < p.weight {
+			return p.visits
+		}
+		x -= p.weight
+	}
+	return paths[0].visits
+}
+
+func renderPath(p disc.Pattern) string {
+	out := ""
+	for i := 0; i < p.Len(); i++ {
+		if i > 0 {
+			out += " > "
+		}
+		out += pages[p.ItemAt(i)]
+	}
+	return out
+}

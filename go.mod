@@ -1,0 +1,3 @@
+module github.com/disc-mining/disc
+
+go 1.22

@@ -1,0 +1,180 @@
+package disc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/gen"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// TestAllMinersAgreeOnGeneratedWorkloads is the repository's heaviest
+// integration test: all eight production miners (the level-wise reference
+// included) must produce identical pattern sets with identical supports on
+// IBM-Quest-style generated data across parameter settings that mirror the
+// paper's workloads in miniature.
+func TestAllMinersAgreeOnGeneratedWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		name string
+		cfg  gen.Config
+		frac float64
+	}{
+		// Thresholds sit above the expected planted-pattern supports so the
+		// frequent tails stay small enough for the quadratic reference
+		// miners (GSP, LevelWise) to finish in seconds.
+		{"sparse-table11", gen.Config{NCust: 400, SLen: 10, TLen: 2.5, NItems: 100,
+			SeqPatLen: 4, NSeqPatterns: 60, NLitPatterns: 300, Seed: 2}, 0.08},
+		{"dense-lesh", gen.Config{NCust: 150, SLen: 8, TLen: 4, NItems: 80,
+			SeqPatLen: 6, NSeqPatterns: 40, NLitPatterns: 200, Seed: 3}, 0.15},
+		{"long-theta", gen.Config{NCust: 200, SLen: 20, TLen: 2, NItems: 120,
+			SeqPatLen: 4, NSeqPatterns: 50, NLitPatterns: 250, Seed: 4}, 0.12},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			db, err := gen.Generate(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minSup := AbsSupport(c.frac, len(db))
+			var ref *Result
+			for _, a := range Algorithms() {
+				if a == GSP && c.name == "dense-lesh" {
+					continue // GSP's candidate counting is quadratic; covered by the other cases
+				}
+				m, err := NewMiner(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Mine(db, minSup)
+				if err != nil {
+					t.Fatalf("%s: %v", a, err)
+				}
+				if ref == nil {
+					ref = res
+					if res.Len() == 0 {
+						t.Fatalf("workload %s produced no patterns at δ=%d", c.name, minSup)
+					}
+					continue
+				}
+				if diff := ref.Diff(res); diff != "" {
+					t.Errorf("%s disagrees on %s (δ=%d):\n%s", a, c.name, minSup, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestSupportsAreExactOnGeneratedData verifies, for a sample of mined
+// patterns, that the reported support equals a direct containment count.
+func TestSupportsAreExactOnGeneratedData(t *testing.T) {
+	db, err := gen.Generate(gen.Config{NCust: 300, SLen: 8, TLen: 3, NItems: 60,
+		SeqPatLen: 4, NSeqPatterns: 40, NLitPatterns: 200, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(db, AbsSupport(0.03, len(db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := res.Sorted()
+	if len(sorted) == 0 {
+		t.Fatal("no patterns")
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 40 && i < len(sorted); i++ {
+		pc := sorted[r.Intn(len(sorted))]
+		count := 0
+		for _, cs := range db {
+			if cs.Contains(pc.Pattern) {
+				count++
+			}
+		}
+		if count != pc.Support {
+			t.Fatalf("support of %s = %d, direct count %d", pc.Pattern, pc.Support, count)
+		}
+	}
+}
+
+// TestAntiMonotonePropertyOfResults: every prefix of a frequent sequence
+// is frequent with at least the same support (a structural invariant every
+// correct result set satisfies).
+func TestAntiMonotonePropertyOfResults(t *testing.T) {
+	db, err := gen.Generate(gen.Config{NCust: 250, SLen: 8, TLen: 3, NItems: 50,
+		SeqPatLen: 4, NSeqPatterns: 30, NLitPatterns: 150, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(db, AbsSupport(0.04, len(db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range res.Sorted() {
+		if pc.Pattern.Len() == 1 {
+			continue
+		}
+		prefix := pc.Pattern.Prefix(pc.Pattern.Len() - 1)
+		psup, ok := res.Support(prefix)
+		if !ok {
+			t.Fatalf("prefix %s of frequent %s missing", prefix, pc.Pattern)
+		}
+		if psup < pc.Support {
+			t.Fatalf("prefix %s support %d < %s support %d", prefix, psup, pc.Pattern, pc.Support)
+		}
+	}
+}
+
+// TestDeterministicResults: mining twice yields identical results, and the
+// result set is independent of customer order.
+func TestDeterministicResults(t *testing.T) {
+	db, err := gen.Generate(gen.Config{NCust: 200, SLen: 6, TLen: 2.5, NItems: 40,
+		SeqPatLen: 3, NSeqPatterns: 30, NLitPatterns: 120, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := AbsSupport(0.05, len(db))
+	a, err := Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.Diff(b); diff != "" {
+		t.Fatalf("non-deterministic:\n%s", diff)
+	}
+	shuffled := append(mining.Database(nil), db...)
+	rand.New(rand.NewSource(5)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	c, err := Mine(shuffled, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.Diff(c); diff != "" {
+		t.Fatalf("order-dependent:\n%s", diff)
+	}
+}
+
+// TestLargeAlphabetSmallData guards against index bugs when the item space
+// is much larger than the data.
+func TestLargeAlphabetSmallData(t *testing.T) {
+	db := Database{
+		NewCustomer(1, seq.NewItemset(9999), seq.NewItemset(12345)),
+		NewCustomer(2, seq.NewItemset(9999), seq.NewItemset(12345)),
+	}
+	for _, a := range Algorithms() {
+		m, _ := NewMiner(a)
+		res, err := m.Mine(db, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if sup, ok := res.Support(MustParsePattern("(9999)(12345)")); !ok || sup != 2 {
+			t.Errorf("%s: <(9999)(12345)> = %d,%v", a, sup, ok)
+		}
+	}
+}

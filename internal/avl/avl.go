@@ -1,0 +1,258 @@
+// Package avl implements the locative AVL tree of §3.2 of Chiu, Wu & Chen
+// (ICDE 2004): a height-balanced search tree whose nodes carry subtree
+// value counts, so that the k-sorted database can retrieve both its minimum
+// key (the candidate k-sequence α₁) and the key at any rank (the condition
+// k-sequence α_δ at rank δ) in O(log n).
+//
+// Each distinct key holds a bucket of values (the customer sequences whose
+// current k-minimum subsequence equals that key); ranks count values with
+// multiplicity, exactly like positions in the paper's k-sorted database
+// tables.
+package avl
+
+// Tree is a locative AVL tree mapping keys to buckets of values. The zero
+// value is not usable; construct with New.
+type Tree[K, V any] struct {
+	cmp  func(a, b K) int
+	root *node[K, V]
+}
+
+type node[K, V any] struct {
+	key         K
+	vals        []V
+	left, right *node[K, V]
+	height      int
+	size        int // total number of values in this subtree
+}
+
+// New returns an empty tree ordered by cmp (negative: a<b, zero: equal,
+// positive: a>b).
+func New[K, V any](cmp func(a, b K) int) *Tree[K, V] {
+	return &Tree[K, V]{cmp: cmp}
+}
+
+// Size returns the total number of values stored (with multiplicity).
+func (t *Tree[K, V]) Size() int { return t.root.sizeOf() }
+
+// NumKeys returns the number of distinct keys.
+func (t *Tree[K, V]) NumKeys() int {
+	n := 0
+	t.Ascend(func(K, []V) bool { n++; return true })
+	return n
+}
+
+// Insert adds the value v under the key k, creating the key's bucket if
+// needed.
+func (t *Tree[K, V]) Insert(k K, v V) {
+	t.root = t.insert(t.root, k, v)
+}
+
+func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) *node[K, V] {
+	if n == nil {
+		return &node[K, V]{key: k, vals: []V{v}, height: 1, size: 1}
+	}
+	switch c := t.cmp(k, n.key); {
+	case c < 0:
+		n.left = t.insert(n.left, k, v)
+	case c > 0:
+		n.right = t.insert(n.right, k, v)
+	default:
+		n.vals = append(n.vals, v)
+		n.size++
+		return n
+	}
+	return rebalance(n)
+}
+
+// Min returns the smallest key and its bucket. ok is false on an empty
+// tree. The returned bucket slice is owned by the tree; do not mutate.
+func (t *Tree[K, V]) Min() (k K, vals []V, ok bool) {
+	n := t.root
+	if n == nil {
+		return k, nil, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.vals, true
+}
+
+// PopMin removes the smallest key's entire bucket and returns it.
+func (t *Tree[K, V]) PopMin() (k K, vals []V, ok bool) {
+	if t.root == nil {
+		return k, nil, false
+	}
+	var out *node[K, V]
+	t.root, out = popMin(t.root)
+	return out.key, out.vals, true
+}
+
+func popMin[K, V any](n *node[K, V]) (root, removed *node[K, V]) {
+	if n.left == nil {
+		return n.right, n
+	}
+	var out *node[K, V]
+	n.left, out = popMin(n.left)
+	return rebalance(n), out
+}
+
+// Select returns the key at 1-based rank r, counting values with
+// multiplicity: rank 1 is the first value of the minimum key. ok is false
+// when r is out of range. This locates the paper's condition k-sequence
+// α_δ with r = δ.
+func (t *Tree[K, V]) Select(r int) (k K, ok bool) {
+	n := t.root
+	if n == nil || r < 1 || r > n.size {
+		return k, false
+	}
+	for {
+		ls := n.left.sizeOf()
+		switch {
+		case r <= ls:
+			n = n.left
+		case r <= ls+len(n.vals):
+			return n.key, true
+		default:
+			r -= ls + len(n.vals)
+			n = n.right
+		}
+	}
+}
+
+// Rank returns the number of values with keys strictly smaller than k.
+func (t *Tree[K, V]) Rank(k K) int {
+	r := 0
+	n := t.root
+	for n != nil {
+		switch c := t.cmp(k, n.key); {
+		case c <= 0:
+			n = n.left
+		default:
+			r += n.left.sizeOf() + len(n.vals)
+			n = n.right
+		}
+	}
+	return r
+}
+
+// Get returns the bucket stored under k, or ok=false.
+func (t *Tree[K, V]) Get(k K) (vals []V, ok bool) {
+	n := t.root
+	for n != nil {
+		switch c := t.cmp(k, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.vals, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes the entire bucket stored under k; it reports whether the
+// key was present.
+func (t *Tree[K, V]) Delete(k K) bool {
+	var deleted bool
+	t.root, deleted = t.delete(t.root, k)
+	return deleted
+}
+
+func (t *Tree[K, V]) delete(n *node[K, V], k K) (*node[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch c := t.cmp(k, n.key); {
+	case c < 0:
+		n.left, deleted = t.delete(n.left, k)
+	case c > 0:
+		n.right, deleted = t.delete(n.right, k)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		var succ *node[K, V]
+		n.right, succ = popMin(n.right)
+		succ.left, succ.right = n.left, n.right
+		n = succ
+	}
+	if !deleted {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// Ascend visits buckets in ascending key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(k K, vals []V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[K, V any](n *node[K, V], fn func(K, []V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return ascend(n.left, fn) && fn(n.key, n.vals) && ascend(n.right, fn)
+}
+
+// Height returns the tree height (0 for empty); exposed for balance tests.
+func (t *Tree[K, V]) Height() int { return t.root.heightOf() }
+
+func (n *node[K, V]) sizeOf() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node[K, V]) heightOf() int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *node[K, V]) update() {
+	n.height = 1 + max(n.left.heightOf(), n.right.heightOf())
+	n.size = len(n.vals) + n.left.sizeOf() + n.right.sizeOf()
+}
+
+func rebalance[K, V any](n *node[K, V]) *node[K, V] {
+	n.update()
+	switch bf := n.left.heightOf() - n.right.heightOf(); {
+	case bf > 1:
+		if n.left.right.heightOf() > n.left.left.heightOf() {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if n.right.left.heightOf() > n.right.right.heightOf() {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateLeft[K, V any](n *node[K, V]) *node[K, V] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+func rotateRight[K, V any](n *node[K, V]) *node[K, V] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}

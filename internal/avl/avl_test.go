@@ -1,0 +1,275 @@
+package avl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int, int] {
+	return New[int, int](func(a, b int) int { return a - b })
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Size() != 0 || tr.NumKeys() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree has nonzero size/keys/height")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree")
+	}
+	if _, _, ok := tr.PopMin(); ok {
+		t.Error("PopMin on empty tree")
+	}
+	if _, ok := tr.Select(1); ok {
+		t.Error("Select on empty tree")
+	}
+	if tr.Delete(3) {
+		t.Error("Delete on empty tree")
+	}
+}
+
+func TestInsertBucketsAndMin(t *testing.T) {
+	tr := intTree()
+	tr.Insert(5, 50)
+	tr.Insert(3, 30)
+	tr.Insert(5, 51)
+	tr.Insert(8, 80)
+	if tr.Size() != 4 || tr.NumKeys() != 3 {
+		t.Fatalf("Size=%d NumKeys=%d, want 4,3", tr.Size(), tr.NumKeys())
+	}
+	k, vals, ok := tr.Min()
+	if !ok || k != 3 || len(vals) != 1 || vals[0] != 30 {
+		t.Fatalf("Min = %d %v %v", k, vals, ok)
+	}
+	vals, ok = tr.Get(5)
+	if !ok || len(vals) != 2 {
+		t.Fatalf("Get(5) = %v %v", vals, ok)
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Error("Get(4) should miss")
+	}
+}
+
+func TestSelectCountsMultiplicity(t *testing.T) {
+	tr := intTree()
+	// Keys: 1 (x2), 2 (x3), 3 (x1). Ranks: 1,2 -> 1; 3,4,5 -> 2; 6 -> 3.
+	for i, k := range []int{1, 1, 2, 2, 2, 3} {
+		tr.Insert(k, i)
+	}
+	want := []int{1, 1, 2, 2, 2, 3}
+	for r := 1; r <= 6; r++ {
+		k, ok := tr.Select(r)
+		if !ok || k != want[r-1] {
+			t.Errorf("Select(%d) = %d %v, want %d", r, k, ok, want[r-1])
+		}
+	}
+	if _, ok := tr.Select(0); ok {
+		t.Error("Select(0) should fail")
+	}
+	if _, ok := tr.Select(7); ok {
+		t.Error("Select(7) should fail")
+	}
+}
+
+func TestRank(t *testing.T) {
+	tr := intTree()
+	for i, k := range []int{1, 1, 2, 2, 2, 5} {
+		tr.Insert(k, i)
+	}
+	for _, c := range []struct{ k, want int }{{0, 0}, {1, 0}, {2, 2}, {3, 5}, {5, 5}, {9, 6}} {
+		if got := tr.Rank(c.k); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestPopMinDrains(t *testing.T) {
+	tr := intTree()
+	keys := []int{7, 3, 9, 3, 1, 7, 5}
+	for i, k := range keys {
+		tr.Insert(k, i)
+	}
+	var got []int
+	for {
+		k, vals, ok := tr.PopMin()
+		if !ok {
+			break
+		}
+		for range vals {
+			got = append(got, k)
+		}
+	}
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Error("tree not empty after drain")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 64; i++ {
+		tr.Insert(i, i)
+	}
+	// Delete interior keys with both children, leaves, and the root path.
+	for _, k := range []int{31, 0, 63, 16, 48, 32} {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("double Delete(%d) = true", k)
+		}
+		checkInvariants(t, tr)
+	}
+	if tr.Size() != 58 {
+		t.Fatalf("Size = %d, want 58", tr.Size())
+	}
+}
+
+func TestAscendOrderAndEarlyStop(t *testing.T) {
+	tr := intTree()
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		tr.Insert(k, k)
+	}
+	var got []int
+	tr.Ascend(func(k int, _ []int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend order %v, want %v", got, want)
+		}
+	}
+	n := 0
+	tr.Ascend(func(int, []int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d, want 3", n)
+	}
+}
+
+// checkInvariants verifies the AVL balance factor, the subtree sizes, and
+// the key ordering.
+func checkInvariants(t *testing.T, tr *Tree[int, int]) {
+	t.Helper()
+	var rec func(n *node[int, int]) (h, sz int)
+	rec = func(n *node[int, int]) (int, int) {
+		if n == nil {
+			return 0, 0
+		}
+		lh, ls := rec(n.left)
+		rh, rs := rec(n.right)
+		if d := lh - rh; d < -1 || d > 1 {
+			t.Fatalf("unbalanced node key=%d: %d vs %d", n.key, lh, rh)
+		}
+		if n.height != 1+max(lh, rh) {
+			t.Fatalf("bad height at key=%d", n.key)
+		}
+		if n.size != len(n.vals)+ls+rs {
+			t.Fatalf("bad size at key=%d: %d != %d+%d+%d", n.key, n.size, len(n.vals), ls, rs)
+		}
+		if n.left != nil && n.left.key >= n.key {
+			t.Fatalf("order violation at key=%d", n.key)
+		}
+		if n.right != nil && n.right.key <= n.key {
+			t.Fatalf("order violation at key=%d", n.key)
+		}
+		return n.height, n.size
+	}
+	rec(tr.root)
+}
+
+// TestInvariantsUnderRandomOps is a property test: after any random mix of
+// inserts, pop-mins and deletes, the AVL invariants hold and Select agrees
+// with a sorted-slice model.
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := intTree()
+		var model []int // sorted multiset of keys
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0, 1: // insert
+				k := r.Intn(40)
+				tr.Insert(k, op)
+				i := sort.SearchInts(model, k)
+				model = append(model, 0)
+				copy(model[i+1:], model[i:])
+				model[i] = k
+			case 2: // pop min bucket
+				k, vals, ok := tr.PopMin()
+				if !ok {
+					if len(model) != 0 {
+						return false
+					}
+					continue
+				}
+				if k != model[0] {
+					return false
+				}
+				cnt := 0
+				for cnt < len(model) && model[cnt] == k {
+					cnt++
+				}
+				if len(vals) != cnt {
+					return false
+				}
+				model = model[cnt:]
+			case 3: // delete random key
+				if len(model) == 0 {
+					continue
+				}
+				k := model[r.Intn(len(model))]
+				if !tr.Delete(k) {
+					return false
+				}
+				lo := sort.SearchInts(model, k)
+				hi := lo
+				for hi < len(model) && model[hi] == k {
+					hi++
+				}
+				model = append(model[:lo], model[hi:]...)
+			}
+		}
+		checkInvariants(t, tr)
+		if tr.Size() != len(model) {
+			return false
+		}
+		for r2 := 1; r2 <= len(model); r2++ {
+			k, ok := tr.Select(r2)
+			if !ok || k != model[r2-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogarithmicHeight checks that n sequential inserts produce height
+// O(log n) (AVL bound: 1.44 log2(n+2)).
+func TestLogarithmicHeight(t *testing.T) {
+	tr := intTree()
+	n := 1 << 12
+	for i := 0; i < n; i++ {
+		tr.Insert(i, i)
+	}
+	bound := int(1.45*math.Log2(float64(n+2))) + 2
+	if tr.Height() > bound {
+		t.Fatalf("height %d exceeds AVL bound %d for %d sequential inserts", tr.Height(), bound, n)
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// Ablation is not a paper artifact: it quantifies the design choices that
+// DESIGN.md calls out, on one Figure-9-style workload:
+//
+//   - the bi-level technique (§3.2) on vs off,
+//   - the number of static partitioning levels (1, 2 as in the paper, 3),
+//   - the Dynamic DISC-all NRR threshold γ.
+func Ablation(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	db, err := denseDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fracs := cfg.Fracs
+	if fracs == nil {
+		fracs = []float64{0.01, 0.005}
+	}
+	r := &Report{
+		ID:         "ablation",
+		Title:      "DISC-all design-choice ablation (dense workload)",
+		PaperShape: "not in the paper; isolates bi-level, partitioning depth and γ",
+	}
+	variants := []struct {
+		name  string
+		miner mining.Miner
+	}{
+		{"bilevel-on-2lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 2}}},
+		{"bilevel-off-2lv", &core.Miner{Opts: core.Options{BiLevel: false, Levels: 2}}},
+		{"bilevel-on-1lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 1}}},
+		{"bilevel-on-3lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 3}}},
+		{"pure-disc", &core.Miner{Opts: core.Options{BiLevel: true, Levels: -1}}},
+		{"dynamic-g0.25", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.25}}},
+		{"dynamic-g0.50", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.5}}},
+		{"dynamic-g0.75", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.75}}},
+	}
+	t := Table{Title: "seconds by variant", Header: []string{"minsup"}}
+	for _, v := range variants {
+		t.Header = append(t.Header, v.name)
+	}
+	for _, frac := range fracs {
+		minSup := scaledMinSup(frac, len(db))
+		row := []string{trimFloat(frac)}
+		miners := make([]mining.Miner, len(variants))
+		for i, v := range variants {
+			miners[i] = v.miner
+		}
+		ms, err := measure(cfg, "ablation", frac, db, minSup, miners)
+		if err != nil {
+			return nil, err
+		}
+		r.Measurements = append(r.Measurements, ms...)
+		for _, m := range ms {
+			row = append(row, fmt.Sprintf("%.3f", m.Seconds))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	r.Tables = []Table{t}
+	return r, nil
+}

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/gen"
+)
+
+// tiny returns a configuration small and moderate enough for unit tests:
+// short sweeps at thresholds that keep pattern counts bounded.
+func tiny() Config {
+	return Config{
+		Scale:  0.02,
+		Seed:   1,
+		Sizes:  []int{300, 600},
+		Fracs:  []float64{0.05, 0.02},
+		Thetas: []float64{10, 15},
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := []string{"table5", "fig8", "fig9", "table12", "table13", "table14", "fig10", "ablation"}
+	all := All()
+	if len(all) != len(ids) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(ids))
+	}
+	for i, id := range ids {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%s) missed", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) should miss")
+	}
+}
+
+func TestTable5Static(t *testing.T) {
+	r, err := Table5(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"GSP", "SPADE", "SPAM", "PrefixSpan", "DISC-all"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 missing %s:\n%s", want, out)
+		}
+	}
+	// Only DISC-all has the DISC strategy.
+	if rows := r.Tables[0].Rows; rows[4][4] != "x" || rows[3][4] != "-" {
+		t.Errorf("DISC column wrong: %v", rows)
+	}
+}
+
+func TestScaledMinSupFloor(t *testing.T) {
+	if got := scaledMinSup(0.0025, 200); got != 2 {
+		t.Errorf("floor: %d", got)
+	}
+	if got := scaledMinSup(0.0025, 10000); got != 25 {
+		t.Errorf("paper δ: %d", got)
+	}
+}
+
+// TestPoolsStayAtPaperDefaults guards the scaling invariant documented in
+// the package: the generator pools are never shrunk, so the
+// δ-to-planted-support ratio is preserved across scales.
+func TestPoolsStayAtPaperDefaults(t *testing.T) {
+	c := gen.PaperDefaults(500)
+	if c.NSeqPatterns != 0 || c.NLitPatterns != 0 {
+		t.Errorf("workload configs must leave pool sizes at generator defaults, got %d/%d",
+			c.NSeqPatterns, c.NLitPatterns)
+	}
+}
+
+func TestFig8Tiny(t *testing.T) {
+	cfg := tiny()
+	r, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Measurements) != len(cfg.Sizes)*3 {
+		t.Fatalf("fig8 measurements = %d, want %d", len(r.Measurements), len(cfg.Sizes)*3)
+	}
+	for _, m := range r.Measurements {
+		if m.Seconds < 0 || m.Patterns <= 0 {
+			t.Errorf("bad measurement %+v", m)
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "disc-all") || !strings.Contains(buf.String(), "pseudo") {
+		t.Errorf("render missing algorithms:\n%s", buf.String())
+	}
+}
+
+func TestFig9AndTable13Tiny(t *testing.T) {
+	cfg := tiny()
+	r9, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r9.Measurements) != len(cfg.Fracs)*3 {
+		t.Fatalf("fig9 measurements = %d", len(r9.Measurements))
+	}
+	r13, err := Table13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r13.Tables[0].Rows) != len(cfg.Fracs) {
+		t.Fatalf("table13 rows = %d", len(r13.Tables[0].Rows))
+	}
+	// Each row ends with a positive ratio.
+	for _, row := range r13.Tables[0].Rows {
+		if !strings.ContainsAny(row[3], "0123456789") {
+			t.Errorf("ratio cell %q", row[3])
+		}
+	}
+}
+
+func TestTable12Tiny(t *testing.T) {
+	cfg := tiny()
+	r, err := Table12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Tables[0].Rows
+	if len(rows) != len(cfg.Fracs) {
+		t.Fatalf("table12 rows = %d", len(rows))
+	}
+	// The Original column must hold a small positive NRR for every row.
+	for _, row := range rows {
+		if row[1] == "-" {
+			t.Errorf("missing Original NRR in row %v", row)
+		}
+	}
+}
+
+func TestTable14AndFig10Tiny(t *testing.T) {
+	cfg := tiny()
+	r14, err := Table14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r14.Tables[0].Rows) != len(cfg.Thetas) {
+		t.Fatalf("table14 rows = %d", len(r14.Tables[0].Rows))
+	}
+	r10, err := Fig10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10.Measurements) != len(cfg.Thetas)*4 {
+		t.Fatalf("fig10 measurements = %d", len(r10.Measurements))
+	}
+	algos := map[string]bool{}
+	for _, m := range r10.Measurements {
+		algos[m.Algo] = true
+	}
+	if !algos["dynamic-disc-all"] {
+		t.Error("fig10 must include the dynamic variant")
+	}
+}
+
+func TestAblationTiny(t *testing.T) {
+	cfg := tiny()
+	r, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables[0].Rows) != len(cfg.Fracs) {
+		t.Fatalf("ablation rows = %d", len(r.Tables[0].Rows))
+	}
+	// All eight variants measured per threshold, all agreeing on the
+	// pattern count (enforced inside measure).
+	if len(r.Measurements) != len(cfg.Fracs)*8 {
+		t.Fatalf("ablation measurements = %d", len(r.Measurements))
+	}
+}
+
+func TestCSVAndChartRendering(t *testing.T) {
+	r := &Report{
+		ID:    "x",
+		Title: "demo",
+		Measurements: []Measurement{
+			{Experiment: "x", Algo: "a", X: 1, Seconds: 0.5, Patterns: 10},
+			{Experiment: "x", Algo: "b", X: 1, Seconds: 1.0, Patterns: 10},
+			{Experiment: "x", Algo: "a", X: 2, Seconds: 2.0, Patterns: 20},
+		},
+	}
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "experiment,algo,x,seconds,patterns") ||
+		!strings.Contains(csv.String(), "x,b,1,1.000000,10") {
+		t.Errorf("CSV:\n%s", csv.String())
+	}
+	var chart bytes.Buffer
+	r.RenderChart(&chart)
+	out := chart.String()
+	if !strings.Contains(out, "x=1") || !strings.Contains(out, "x=2") || !strings.Contains(out, "#") {
+		t.Errorf("chart:\n%s", out)
+	}
+	// Empty reports render nothing and error nowhere.
+	empty := &Report{ID: "e", Title: "e"}
+	var b2 bytes.Buffer
+	empty.RenderChart(&b2)
+	if b2.Len() != 0 {
+		t.Errorf("empty chart output %q", b2.String())
+	}
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCSV emits the report's raw measurements as CSV
+// (experiment,algo,x,seconds,patterns), suitable for external plotting.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "experiment,algo,x,seconds,patterns"); err != nil {
+		return err
+	}
+	for _, m := range r.Measurements {
+		if _, err := fmt.Fprintf(w, "%s,%s,%v,%.6f,%d\n",
+			m.Experiment, m.Algo, m.X, m.Seconds, m.Patterns); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderChart draws the measurements as a horizontal ASCII bar chart,
+// grouped by sweep point — the terminal stand-in for the paper's figures.
+func (r *Report) RenderChart(w io.Writer) {
+	if len(r.Measurements) == 0 {
+		return
+	}
+	const width = 48
+	maxSec := 0.0
+	algoW := 0
+	for _, m := range r.Measurements {
+		if m.Seconds > maxSec {
+			maxSec = m.Seconds
+		}
+		if len(m.Algo) > algoW {
+			algoW = len(m.Algo)
+		}
+	}
+	if maxSec <= 0 {
+		maxSec = 1
+	}
+	// Group by X, ascending.
+	xs := []float64{}
+	seen := map[float64]bool{}
+	for _, m := range r.Measurements {
+		if !seen[m.X] {
+			seen[m.X] = true
+			xs = append(xs, m.X)
+		}
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(w, "%s (bar = seconds, full width = %.3fs)\n", r.Title, maxSec)
+	for _, x := range xs {
+		fmt.Fprintf(w, "x=%v\n", x)
+		for _, m := range r.Measurements {
+			if m.X != x {
+				continue
+			}
+			n := int(m.Seconds / maxSec * width)
+			if n < 1 && m.Seconds > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %-*s %s %.3fs\n", algoW, m.Algo, strings.Repeat("#", n), m.Seconds)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package bruteforce provides two deliberately simple, obviously correct
+// sequence miners used as ground truth by the cross-algorithm integration
+// tests:
+//
+//   - Exhaustive enumerates every distinct subsequence of every customer
+//     sequence and tallies supports in a map. Exponential; tiny inputs only.
+//   - LevelWise grows frequent k-sequences by single-item i-/s-extensions
+//     and counts every candidate with a full containment scan. Polynomial
+//     per level and usable on small benchmark databases.
+package bruteforce
+
+import (
+	"github.com/disc-mining/disc/internal/kmin"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Exhaustive is the enumeration oracle. MaxLen bounds the pattern length
+// (0 means unbounded).
+type Exhaustive struct {
+	MaxLen int
+}
+
+// Name implements mining.Miner.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Mine implements mining.Miner by brute-force enumeration.
+func (e Exhaustive) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	type entry struct {
+		pattern seq.Pattern
+		count   int
+	}
+	counts := map[string]*entry{}
+	for _, cs := range db {
+		limit := cs.Len()
+		if e.MaxLen > 0 && e.MaxLen < limit {
+			limit = e.MaxLen
+		}
+		for k := 1; k <= limit; k++ {
+			// AllKSubsequences returns each distinct k-subsequence once per
+			// customer, so incrementing here counts customers, not
+			// occurrences.
+			for _, p := range kmin.AllKSubsequences(cs, k) {
+				key := p.Key()
+				if en, ok := counts[key]; ok {
+					en.count++
+				} else {
+					counts[key] = &entry{pattern: p, count: 1}
+				}
+			}
+		}
+	}
+	res := mining.NewResult()
+	for _, en := range counts {
+		if en.count >= minSup {
+			res.Add(en.pattern, en.count)
+		}
+	}
+	return res, nil
+}
+
+// LevelWise is the naive generate-and-count miner.
+type LevelWise struct{}
+
+// Name implements mining.Miner.
+func (LevelWise) Name() string { return "levelwise" }
+
+// Mine implements mining.Miner by candidate extension and containment
+// counting.
+func (LevelWise) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	res := mining.NewResult()
+	maxItem := db.MaxItem()
+
+	// Frequent 1-sequences.
+	sup := make([]int, maxItem+1)
+	seen := make([]bool, maxItem+1)
+	var scratch []seq.Item
+	for _, cs := range db {
+		scratch = cs.DistinctItems(scratch[:0], seen)
+		for _, it := range scratch {
+			sup[it]++
+		}
+	}
+	var freqItems []seq.Item
+	var cur []seq.Pattern
+	for it := seq.Item(1); it <= maxItem; it++ {
+		if sup[it] >= minSup {
+			freqItems = append(freqItems, it)
+			p := seq.NewPattern(seq.Itemset{it})
+			res.Add(p, sup[it])
+			cur = append(cur, p)
+		}
+	}
+
+	for len(cur) > 0 {
+		var next []seq.Pattern
+		for _, p := range cur {
+			for _, x := range freqItems {
+				if s, n := countSupport(db, p.ExtendS(x), minSup); n {
+					res.Add(p.ExtendS(x), s)
+					next = append(next, p.ExtendS(x))
+				}
+				if x > p.LastItem() {
+					if s, n := countSupport(db, p.ExtendI(x), minSup); n {
+						res.Add(p.ExtendI(x), s)
+						next = append(next, p.ExtendI(x))
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	return res, nil
+}
+
+func countSupport(db mining.Database, p seq.Pattern, minSup int) (int, bool) {
+	sup := 0
+	for i, cs := range db {
+		if sup+(len(db)-i) < minSup {
+			return 0, false // cannot reach the threshold anymore
+		}
+		if cs.Contains(p) {
+			sup++
+		}
+	}
+	return sup, sup >= minSup
+}

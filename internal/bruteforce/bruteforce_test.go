@@ -1,0 +1,185 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// TestFrequent1SequencesTable1 reproduces the §1.1 PrefixSpan walkthrough:
+// with minimum support count 2, the frequent 1-sequences of Table 1 are
+// <(a)>, <(b)>, <(e)>, <(f)>, <(g)> and <(h)>.
+func TestFrequent1SequencesTable1(t *testing.T) {
+	res, err := Exhaustive{}.Mine(testutil.Table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"<(a)>": 2, "<(b)>": 4, "<(e)>": 2, "<(f)>": 4, "<(g)>": 3, "<(h)>": 2,
+	}
+	for _, pc := range res.Sorted() {
+		if pc.Pattern.Len() != 1 {
+			continue
+		}
+		w, ok := want[pc.Pattern.Letters()]
+		if !ok {
+			t.Errorf("unexpected frequent 1-sequence %s", pc.Pattern.Letters())
+			continue
+		}
+		if pc.Support != w {
+			t.Errorf("%s support = %d, want %d", pc.Pattern.Letters(), pc.Support, w)
+		}
+		delete(want, pc.Pattern.Letters())
+	}
+	for p := range want {
+		t.Errorf("missing frequent 1-sequence %s", p)
+	}
+}
+
+// TestSPADEExampleSupport verifies the §1.1 SPADE example: <(a, g)(h)(f)>
+// has support 2 in Table 1.
+func TestSPADEExampleSupport(t *testing.T) {
+	res, err := Exhaustive{}.Mine(testutil.Table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(seq.MustParsePattern("(a, g)(h)(f)")); !ok || sup != 2 {
+		t.Errorf("support of <(a, g)(h)(f)> = %d,%v want 2,true", sup, ok)
+	}
+}
+
+// TestTable3Minimum verifies Example 1.1: <(a)(b)(b)> is frequent in
+// Table 1 with support exactly 2.
+func TestTable3Minimum(t *testing.T) {
+	res, err := Exhaustive{}.Mine(testutil.Table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(seq.MustParsePattern("(a)(b)(b)")); !ok || sup != 2 {
+		t.Errorf("support of <(a)(b)(b)> = %d,%v want 2,true", sup, ok)
+	}
+}
+
+// TestExample31Patterns verifies the §3.1 Example 3.1 claims on Table 6
+// with δ=3: every 1-sequence except <(d)> is frequent, and <(a, e)> and
+// <(a)(g, h)> are frequent sequences containing a as the first item.
+func TestExample31Patterns(t *testing.T) {
+	res, err := Exhaustive{}.Mine(testutil.Table6(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := seq.Item(1); it <= 8; it++ {
+		p := seq.NewPattern(seq.Itemset{it})
+		_, ok := res.Support(p)
+		if it == 4 { // d
+			if ok {
+				t.Errorf("<(d)> should not be frequent")
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("%s should be frequent", p.Letters())
+		}
+	}
+	for _, s := range []string{"(a, e)", "(a)(g, h)"} {
+		if _, ok := res.Support(seq.MustParsePattern(s)); !ok {
+			t.Errorf("%s should be frequent", s)
+		}
+	}
+}
+
+// TestFigure3CountingArray verifies the support counts in Figure 3: the
+// 2-sequences with prefix a in Table 6 under δ=3. Two cells of the printed
+// figure are arithmetic slips: (_g) is 7, not 6 ({a,g} occurs in a
+// transaction of every one of CIDs 1-7), and (_h) is 4, not 5 ({a,h}
+// co-occurs only in CIDs 1, 3, 4 and 6). Both slips are on the same side
+// of δ=3, so the paper's frequent/non-frequent classification — "only
+// <(a)(b)>, <(a)(d)>, <(a)(f)>, <(ab)>, <(ac)>, <(ad)> are not frequent" —
+// is reproduced exactly.
+func TestFigure3CountingArray(t *testing.T) {
+	res, err := Exhaustive{}.Mine(testutil.Table6(), 1) // keep all counts
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"<(a)(a)>": 6, "<(a)(c)>": 4, "<(a)(d)>": 1, "<(a)(e)>": 5,
+		"<(a)(f)>": 1, "<(a)(g)>": 6, "<(a)(h)>": 5,
+		"<(a, c)>": 2, "<(a, d)>": 1, "<(a, e)>": 5, "<(a, f)>": 3,
+		"<(a, g)>": 7, "<(a, h)>": 4,
+	}
+	for s, w := range want {
+		sup, ok := res.Support(seq.MustParsePattern(s))
+		if !ok && w > 0 {
+			t.Errorf("%s missing (want support %d)", s, w)
+			continue
+		}
+		if sup != w {
+			t.Errorf("%s support = %d, want %d", s, sup, w)
+		}
+	}
+	// Figure 3 zero/empty cells: <(a)(b)> support 0 and <(a, b)> support 1.
+	if _, ok := res.Support(seq.MustParsePattern("(a)(b)")); ok {
+		t.Errorf("<(a)(b)> should have support 0")
+	}
+	if sup, _ := res.Support(seq.MustParsePattern("(a, b)")); sup != 1 {
+		t.Errorf("<(a, b)> support = %d, want 1", sup)
+	}
+}
+
+// TestLevelWiseMatchesExhaustive is the first differential pairing: the
+// two independent baselines must produce identical result sets.
+func TestLevelWiseMatchesExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		db := testutil.RandomDB(r, 6+r.Intn(6), 5, 4, 3)
+		minSup := 1 + r.Intn(4)
+		ref, err := Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{LevelWise{}}, db, minSup)
+	}
+}
+
+func TestExhaustiveMaxLen(t *testing.T) {
+	db := testutil.Table1()
+	res, err := Exhaustive{MaxLen: 2}.Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen() > 2 {
+		t.Errorf("MaxLen bound violated: %d", res.MaxLen())
+	}
+	full, _ := Exhaustive{}.Mine(db, 2)
+	for _, pc := range full.Sorted() {
+		if pc.Pattern.Len() > 2 {
+			continue
+		}
+		if sup, ok := res.Support(pc.Pattern); !ok || sup != pc.Support {
+			t.Errorf("bounded result disagrees on %s", pc.Pattern.Letters())
+		}
+	}
+}
+
+func TestEmptyAndDegenerateDatabases(t *testing.T) {
+	for _, m := range []mining.Miner{Exhaustive{}, LevelWise{}} {
+		res, err := m.Mine(nil, 1)
+		if err != nil {
+			t.Fatalf("%s on empty db: %v", m.Name(), err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%s on empty db found %d patterns", m.Name(), res.Len())
+		}
+		// minSup above the database size yields nothing.
+		res, err = m.Mine(testutil.Table1(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%s with minSup 5 found %d patterns", m.Name(), res.Len())
+		}
+	}
+}

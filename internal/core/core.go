@@ -1,0 +1,465 @@
+// Package core implements the contribution of Chiu, Wu & Chen (ICDE 2004):
+// the DISC (DIrect Sequence Comparison) strategy and the DISC-all and
+// Dynamic DISC-all algorithms.
+//
+// The DISC strategy (§1.2, §2) finds all frequent k-sequences of a
+// partition without computing support counts of non-frequent sequences: a
+// k-sorted database keeps every customer ordered by its current k-minimum
+// subsequence; the candidate α₁ (minimum) is frequent iff it equals the
+// condition α_δ (the key at rank δ), in which case its support is the size
+// of its bucket (Lemma 2.1); otherwise every k-sequence in [α₁, α_δ) is
+// skipped wholesale (Lemma 2.2) and the affected customers move to their
+// conditional k-minimum subsequences (Definition 2.5).
+//
+// DISC-all (§3, Figure 2) combines four strategies: multi-level database
+// partitioning (by minimum 1-sequences, then 2-minimum sequences), customer
+// sequence reducing (§3.1 removal of non-frequent 1-/2-sequence
+// occurrences), candidate sequence pruning (Apriori-KMS/CKMS only extend
+// frequent (k-1)-prefixes), and DISC itself for lengths ≥ 4, with the
+// bi-level technique (§3.2) discovering frequent k- and (k+1)-sequences in
+// one pass over each k-sorted database.
+//
+// Dynamic DISC-all (Appendix) replaces the fixed two-level split with a
+// per-partition decision: keep partitioning while the partition's
+// non-reduction rate (NRR, Eq. 2) is below a threshold γ, switch to DISC
+// once it is not.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/disc-mining/disc/internal/avl"
+	"github.com/disc-mining/disc/internal/counting"
+	"github.com/disc-mining/disc/internal/kmin"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Options configures the DISC-all family.
+type Options struct {
+	// BiLevel enables the §3.2 bi-level technique (one k-sorted database
+	// yields both frequent k- and (k+1)-sequences). The paper's
+	// experimental version has it on; it defaults to on here (the zero
+	// Options disables nothing — see DefaultOptions).
+	BiLevel bool
+
+	// Levels is the number of partitioning levels of the static DISC-all
+	// (the paper presents and evaluates the two-level scheme; 0 selects
+	// it). A negative value disables partitioning entirely — the pure DISC
+	// strategy runs on the whole database from length 2 upward, which is
+	// the ablation baseline for the multi-level partitioning strategy.
+	// Ignored by Dynamic.
+	Levels int
+
+	// Gamma is the Dynamic DISC-all NRR threshold γ: a partition whose NRR
+	// is at least γ switches from partitioning to DISC. Ignored by the
+	// static algorithm.
+	Gamma float64
+}
+
+// DefaultOptions returns the configuration used in the paper's experiments:
+// bi-level on, two partitioning levels, γ = 0.5 for the dynamic variant.
+func DefaultOptions() Options {
+	return Options{BiLevel: true, Levels: 2, Gamma: 0.5}
+}
+
+// Stats reports what a run did; retrieved with Miner.LastStats.
+type Stats struct {
+	// Rounds is the number of DISC iterations (α₁ vs α_δ comparisons).
+	Rounds int
+	// FrequentHits counts rounds with α₁ = α_δ (a frequent sequence found).
+	FrequentHits int
+	// Skips counts rounds with α₁ ≠ α_δ (a whole key range skipped without
+	// support counting).
+	Skips int
+	// KMSCalls and CKMSCalls count minimum-subsequence generations.
+	KMSCalls, CKMSCalls int
+	// Dropped counts customers removed from k-sorted databases for lack of
+	// a conditional k-minimum subsequence.
+	Dropped int
+	// PartitionsByLevel counts processed (frequent) partitions per level.
+	PartitionsByLevel []int
+	// NRRByLevel aggregates the observed NRR of partitions per level
+	// (sample mean over partitions where the decision was taken).
+	NRRByLevel []float64
+	nrrCount   []int
+}
+
+func (s *Stats) observeNRR(level int, nrr float64) {
+	for len(s.NRRByLevel) <= level {
+		s.NRRByLevel = append(s.NRRByLevel, 0)
+		s.nrrCount = append(s.nrrCount, 0)
+	}
+	n := float64(s.nrrCount[level])
+	s.NRRByLevel[level] = (s.NRRByLevel[level]*n + nrr) / (n + 1)
+	s.nrrCount[level]++
+}
+
+func (s *Stats) partitionProcessed(level int) {
+	for len(s.PartitionsByLevel) <= level {
+		s.PartitionsByLevel = append(s.PartitionsByLevel, 0)
+	}
+	s.PartitionsByLevel[level]++
+}
+
+// Miner is the static DISC-all algorithm (Figure 2).
+type Miner struct {
+	Opts  Options
+	stats Stats
+}
+
+// New returns a DISC-all miner with the paper's default options.
+func New() *Miner { return &Miner{Opts: DefaultOptions()} }
+
+// Name implements mining.Miner.
+func (m *Miner) Name() string { return "disc-all" }
+
+// LastStats returns statistics from the most recent Mine call.
+func (m *Miner) LastStats() Stats { return m.stats }
+
+// Mine implements mining.Miner.
+func (m *Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	opts := m.Opts
+	if opts.Levels == 0 {
+		opts.Levels = 2
+	}
+	levels := opts.Levels
+	e := &engine{
+		opts:   opts,
+		policy: func(level int, nrr float64) bool { return levels > 0 && level < levels },
+	}
+	res, err := e.run(db, minSup)
+	m.stats = e.stats
+	return res, err
+}
+
+// Dynamic is the Dynamic DISC-all algorithm (Appendix): it partitions while
+// the NRR is below γ and switches to DISC afterwards.
+type Dynamic struct {
+	Opts  Options
+	stats Stats
+}
+
+// NewDynamic returns a Dynamic DISC-all miner with default options.
+func NewDynamic() *Dynamic { return &Dynamic{Opts: DefaultOptions()} }
+
+// Name implements mining.Miner.
+func (d *Dynamic) Name() string { return "dynamic-disc-all" }
+
+// LastStats returns statistics from the most recent Mine call.
+func (d *Dynamic) LastStats() Stats { return d.stats }
+
+// Mine implements mining.Miner.
+func (d *Dynamic) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	opts := d.Opts
+	gamma := opts.Gamma
+	if gamma <= 0 {
+		gamma = 0.5
+	}
+	e := &engine{
+		opts:   opts,
+		policy: func(level int, nrr float64) bool { return nrr < gamma },
+	}
+	res, err := e.run(db, minSup)
+	d.stats = e.stats
+	return res, err
+}
+
+// member is one customer sequence inside a partition.
+type member struct {
+	cs *seq.CustomerSeq
+}
+
+// engine runs the shared partition-or-DISC recursion.
+type engine struct {
+	opts    Options
+	policy  func(level int, nrr float64) bool
+	minSup  int
+	res     *mining.Result
+	maxItem seq.Item
+	arrays  []*counting.Array
+	stats   Stats
+}
+
+func (e *engine) run(db mining.Database, minSup int) (*mining.Result, error) {
+	if minSup < 1 {
+		minSup = 1
+	}
+	e.minSup = minSup
+	e.res = mining.NewResult()
+	e.maxItem = db.MaxItem()
+	if len(db) == 0 {
+		return e.res, nil
+	}
+	members := make([]*member, len(db))
+	for i, cs := range db {
+		members[i] = &member{cs: cs}
+	}
+	e.processPartition(seq.Pattern{}, members, 0)
+	return e.res, nil
+}
+
+// array returns the counting array for one recursion depth.
+func (e *engine) array(depth int) *counting.Array {
+	for len(e.arrays) <= depth {
+		e.arrays = append(e.arrays, counting.New(e.maxItem))
+	}
+	a := e.arrays[depth]
+	a.Reset()
+	return a
+}
+
+// processPartition handles one <key>-partition whose members are exactly
+// the customers containing key (len(key) == level). It discovers the
+// frequent (level+1)-sequences with prefix key, then either splits into
+// child partitions or runs DISC, per the policy.
+func (e *engine) processPartition(key seq.Pattern, members []*member, level int) {
+	e.stats.partitionProcessed(level)
+
+	// Step 1: one scan with the counting array finds the frequent
+	// extensions of key.
+	listNext, supports := e.frequentExtensions(key, members, level)
+	for i, p := range listNext {
+		e.res.Add(p, supports[i])
+	}
+	if len(listNext) == 0 {
+		return
+	}
+
+	// The non-reduction rate of this partition (Eq. 2, with child sizes
+	// taken as the children's support counts).
+	sum := 0
+	for _, s := range supports {
+		sum += s
+	}
+	nrr := float64(sum) / float64(len(supports)) / float64(len(members))
+	e.stats.observeNRR(level, nrr)
+
+	// Customer sequence reducing (§3.1): inside a first-level partition,
+	// occurrences that can only form non-frequent 1- or 2-sequences are
+	// removed before going deeper.
+	if level == 1 {
+		members = e.reduceMembers(key.LastItem(), members, listNext)
+	}
+
+	if e.policy(level, nrr) {
+		e.split(key, members, listNext, level)
+		return
+	}
+	e.discLoop(members, listNext, level+2)
+}
+
+// split partitions members by their minimal contained frequent extension
+// of key, processes the partitions in ascending order, and reassigns
+// customers to their next minimal contained extension after each partition
+// finishes (Steps 2.2 and 2.1.3.3 of Figure 2).
+func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, level int) {
+	freqI := make([]bool, e.maxItem+1)
+	freqS := make([]bool, e.maxItem+1)
+	for _, p := range list {
+		if p.LastTNo() == key.LastTNoOrZero() {
+			freqI[p.LastItem()] = true
+		} else {
+			freqS[p.LastItem()] = true
+		}
+	}
+	tree := avl.New[seq.Pattern, *member](seq.Compare)
+	for _, mb := range members {
+		if x, no, ok := minFreqExtension(mb.cs, key, freqI, freqS, 0, 0, false); ok {
+			tree.Insert(key.Extend(x, no), mb)
+		}
+	}
+	for tree.Size() > 0 {
+		pkey, bucket, _ := tree.PopMin()
+		// The bucket holds every remaining customer containing pkey, so
+		// its size is pkey's exact support; pkey comes from the frequent
+		// list.
+		if len(bucket) >= e.minSup {
+			e.processPartition(pkey, bucket, level+1)
+		}
+		bx, bno := pkey.LastItem(), pkey.LastTNo()
+		for _, mb := range bucket {
+			if x, no, ok := minFreqExtension(mb.cs, key, freqI, freqS, bx, bno, true); ok {
+				tree.Insert(key.Extend(x, no), mb)
+			}
+		}
+	}
+}
+
+// minFreqExtension returns the minimal frequent extension pair (x, no) of
+// key contained in cs, restricted to pairs greater than (boundX, boundNo)
+// when strict (or at least it otherwise); boundX == 0 accepts everything.
+// Frequency of a pair is read from freqI/freqS (indexed by item, selected
+// by whether the pair grows key's last itemset).
+func minFreqExtension(cs *seq.CustomerSeq, key seq.Pattern, freqI, freqS []bool, boundX seq.Item, boundNo int32, strict bool) (seq.Item, int32, bool) {
+	var bestX seq.Item
+	var bestNo int32
+	have := false
+	consider := func(x seq.Item, no int32) {
+		if boundX != 0 {
+			c := seq.ComparePair(x, no, boundX, boundNo)
+			if c < 0 || (strict && c == 0) {
+				return
+			}
+		}
+		if !have || seq.ComparePair(x, no, bestX, bestNo) < 0 {
+			bestX, bestNo, have = x, no, true
+		}
+	}
+	if key.IsEmpty() {
+		for _, x := range cs.Items() {
+			if freqS[x] {
+				consider(x, 1)
+			}
+		}
+		return bestX, bestNo, have
+	}
+	n := key.LastTNo()
+	kmin.EnumExtensions(cs, key,
+		func(x seq.Item) {
+			if freqI[x] {
+				consider(x, n)
+			}
+		},
+		func(x seq.Item) {
+			if freqS[x] {
+				consider(x, n+1)
+			}
+		})
+	return bestX, bestNo, have
+}
+
+// frequentExtensions finds the frequent (len(key)+1)-sequences with prefix
+// key among members, in ascending order, together with their supports.
+func (e *engine) frequentExtensions(key seq.Pattern, members []*member, depth int) ([]seq.Pattern, []int) {
+	arr := e.array(depth)
+	if key.IsEmpty() {
+		// Level 0: frequent 1-sequences.
+		seen := make([]bool, e.maxItem+1)
+		var scratch []seq.Item
+		for ci, mb := range members {
+			scratch = mb.cs.DistinctItems(scratch[:0], seen)
+			for _, it := range scratch {
+				arr.TouchS(it, int32(ci))
+			}
+		}
+	} else {
+		for ci, mb := range members {
+			cid := int32(ci)
+			kmin.EnumExtensions(mb.cs, key,
+				func(x seq.Item) { arr.TouchI(x, cid) },
+				func(x seq.Item) { arr.TouchS(x, cid) })
+		}
+	}
+	fi := arr.FrequentI(e.minSup, nil)
+	fs := arr.FrequentS(e.minSup, nil)
+	return mergeExtensions(key, arr, fi, fs)
+}
+
+// mergeExtensions interleaves the frequent i- and s-extensions of key into
+// one ascending pattern list. For equal items the i-form <.. x> precedes
+// the s-form <..>(x) under the comparative order (smaller transaction
+// number).
+func mergeExtensions(key seq.Pattern, arr *counting.Array, fi, fs []seq.Item) ([]seq.Pattern, []int) {
+	out := make([]seq.Pattern, 0, len(fi)+len(fs))
+	sups := make([]int, 0, len(fi)+len(fs))
+	i, j := 0, 0
+	for i < len(fi) || j < len(fs) {
+		if j >= len(fs) || (i < len(fi) && fi[i] <= fs[j]) {
+			out = append(out, key.ExtendI(fi[i]))
+			sups = append(sups, arr.SupI(fi[i]))
+			i++
+		} else {
+			out = append(out, key.ExtendS(fs[j]))
+			sups = append(sups, arr.SupS(fs[j]))
+			j++
+		}
+	}
+	return out, sups
+}
+
+// reduceMembers applies the §3.1 reduction inside the <(λ)>-partition:
+// every item occurrence right of the minimum point survives only if it can
+// still participate in a frequent sequence with first item λ, judged by the
+// frequent 2-sequences <(λ)(x)> and <(λ x)>. Occurrences of λ itself are
+// always kept. Customers reduced below length 3 are dropped (they were
+// already counted for lengths 1 and 2).
+func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.Pattern) []*member {
+	freqS := make([]bool, e.maxItem+1)
+	freqI := make([]bool, e.maxItem+1)
+	for _, p := range list2 {
+		x := p.LastItem()
+		if p.NumItemsets() == 1 {
+			freqI[x] = true
+		} else {
+			freqS[x] = true
+		}
+	}
+	// The caller's slice is left untouched: the parent split still walks it
+	// (with the original, unreduced sequences) for reassignment.
+	out := make([]*member, 0, len(members))
+	var sets []seq.Itemset
+	for _, mb := range members {
+		cs := mb.cs
+		minTrans := -1
+		for t := 0; t < cs.NTrans(); t++ {
+			if cs.Transaction(t).Has(lambda) {
+				minTrans = t
+				break
+			}
+		}
+		if minTrans < 0 {
+			panic(fmt.Sprintf("core: partition member cid=%d lacks item %d", cs.CID, lambda))
+		}
+		sets = sets[:0]
+		// The removal rules of §3.1 apply to items right of the minimum
+		// point only; earlier transactions are carried over unchanged (they
+		// cannot match any pattern starting with λ, but the paper's Table 7
+		// keeps them and they are harmless).
+		for t := 0; t < minTrans; t++ {
+			sets = append(sets, cs.Transaction(t))
+		}
+		for t := minTrans; t < cs.NTrans(); t++ {
+			tr := cs.Transaction(t)
+			hasLambda := tr.Has(lambda)
+			var ns seq.Itemset
+			for _, x := range tr {
+				keep := false
+				switch {
+				case x == lambda:
+					keep = true
+				case t == minTrans:
+					// Condition 1 holds (the minimum point's transaction
+					// contains λ), condition 2 does not: x survives only
+					// through the itemset form, which also requires x > λ.
+					keep = x > lambda && freqI[x]
+				case hasLambda:
+					// Both conditions hold: either form keeps x alive.
+					keep = freqS[x] || (x > lambda && freqI[x])
+				default:
+					// Condition 1 fails: only the sequence form applies.
+					keep = freqS[x]
+				}
+				if keep {
+					ns = append(ns, x)
+				}
+			}
+			if len(ns) > 0 {
+				sets = append(sets, ns)
+			}
+		}
+		red := seq.NewCustomerSeq(cs.CID, sets...)
+		if red.Len() < 3 {
+			continue
+		}
+		out = append(out, &member{cs: red})
+	}
+	return out
+}
+
+// sortPatternList sorts patterns ascending in place (defensive helper for
+// the bi-level list construction).
+func sortPatternList(ps []seq.Pattern) {
+	sort.Slice(ps, func(i, j int) bool { return seq.Compare(ps[i], ps[j]) < 0 })
+}

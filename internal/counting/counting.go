@@ -1,0 +1,120 @@
+// Package counting implements the counting-array mechanism of §3.1 of
+// Chiu, Wu & Chen (ICDE 2004): per-item support accumulators for the two
+// extension forms <(λ)(x)> (s-extension) and <(λx)> (i-extension), each
+// cell paired with the last customer id that touched it so that repeated
+// occurrences inside one customer sequence count once (Figure 3).
+//
+// Arrays are reset in O(1) by epoch stamping, since DISC-all resets one per
+// partition and per virtual partition.
+package counting
+
+import (
+	"sort"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Array accumulates support counts for s-form and i-form single-item
+// extensions of a fixed prefix.
+type Array struct {
+	epoch      uint32
+	supS, supI []int32
+	cidS, cidI []int32
+	epS, epI   []uint32 // epoch stamp per cell
+	touchedS   []seq.Item
+	touchedI   []seq.Item
+	maxItem    seq.Item
+}
+
+// New returns an array for items in [1, maxItem].
+func New(maxItem seq.Item) *Array {
+	n := int(maxItem) + 1
+	return &Array{
+		epoch: 1,
+		supS:  make([]int32, n), supI: make([]int32, n),
+		cidS: make([]int32, n), cidI: make([]int32, n),
+		epS: make([]uint32, n), epI: make([]uint32, n),
+		maxItem: maxItem,
+	}
+}
+
+// Reset clears all counts in O(1).
+func (a *Array) Reset() {
+	a.epoch++
+	a.touchedS = a.touchedS[:0]
+	a.touchedI = a.touchedI[:0]
+}
+
+// TouchS records that customer cid supports the s-form extension with item
+// x; repeated calls with the same cid are counted once.
+func (a *Array) TouchS(x seq.Item, cid int32) {
+	if a.epS[x] != a.epoch {
+		a.epS[x] = a.epoch
+		a.supS[x] = 1
+		a.cidS[x] = cid
+		a.touchedS = append(a.touchedS, x)
+		return
+	}
+	if a.cidS[x] != cid {
+		a.cidS[x] = cid
+		a.supS[x]++
+	}
+}
+
+// TouchI records that customer cid supports the i-form extension with item
+// x; repeated calls with the same cid are counted once.
+func (a *Array) TouchI(x seq.Item, cid int32) {
+	if a.epI[x] != a.epoch {
+		a.epI[x] = a.epoch
+		a.supI[x] = 1
+		a.cidI[x] = cid
+		a.touchedI = append(a.touchedI, x)
+		return
+	}
+	if a.cidI[x] != cid {
+		a.cidI[x] = cid
+		a.supI[x]++
+	}
+}
+
+// SupS returns the s-form support of item x.
+func (a *Array) SupS(x seq.Item) int {
+	if a.epS[x] != a.epoch {
+		return 0
+	}
+	return int(a.supS[x])
+}
+
+// SupI returns the i-form support of item x.
+func (a *Array) SupI(x seq.Item) int {
+	if a.epI[x] != a.epoch {
+		return 0
+	}
+	return int(a.supI[x])
+}
+
+// FrequentS appends to buf the items whose s-form support is at least
+// minSup, in ascending item order, and returns the extended buffer.
+func (a *Array) FrequentS(minSup int, buf []seq.Item) []seq.Item {
+	return a.frequent(a.touchedS, a.supS, a.epS, minSup, buf)
+}
+
+// FrequentI appends to buf the items whose i-form support is at least
+// minSup, in ascending item order, and returns the extended buffer.
+func (a *Array) FrequentI(minSup int, buf []seq.Item) []seq.Item {
+	return a.frequent(a.touchedI, a.supI, a.epI, minSup, buf)
+}
+
+func (a *Array) frequent(touched []seq.Item, sup []int32, ep []uint32, minSup int, buf []seq.Item) []seq.Item {
+	// touched is unsorted; results must come out in item order. The
+	// touched set is small relative to maxItem in deep partitions, so sort
+	// a copy of the touched list rather than scanning the whole array.
+	tmp := append([]seq.Item(nil), touched...)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	for _, x := range tmp {
+		if ep[x] == a.epoch && int(sup[x]) >= minSup {
+			buf = append(buf, x)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,135 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+func TestNativeRoundTrip(t *testing.T) {
+	db := testutil.Table1()
+	var buf bytes.Buffer
+	if err := Write(&buf, db, Native); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(db) {
+		t.Fatalf("round trip %d customers, want %d", len(got), len(db))
+	}
+	for i := range db {
+		if got[i].CID != db[i].CID || seq.Compare(got[i].Pattern(), db[i].Pattern()) != 0 {
+			t.Errorf("customer %d differs: %s vs %s", i, got[i], db[i])
+		}
+	}
+}
+
+func TestSPMFRoundTrip(t *testing.T) {
+	db := testutil.Table1()
+	var buf bytes.Buffer
+	if err := Write(&buf, db, SPMF); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-1") || !strings.Contains(buf.String(), "-2") {
+		t.Fatalf("SPMF output missing delimiters: %q", buf.String())
+	}
+	got, err := Read(&buf, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db {
+		if seq.Compare(got[i].Pattern(), db[i].Pattern()) != 0 {
+			t.Errorf("customer %d differs", i)
+		}
+	}
+	// SPMF assigns sequential CIDs.
+	if got[0].CID != 1 || got[3].CID != 4 {
+		t.Errorf("SPMF CIDs = %d..%d", got[0].CID, got[3].CID)
+	}
+}
+
+func TestReadSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "# header\n\n1: (1 2)(3)\n# trailing\n2: (4)\n"
+	db, err := Read(strings.NewReader(in), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 2 || db[0].CID != 1 || db[1].CID != 2 {
+		t.Fatalf("parsed %d customers", len(db))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"x: (1)",  // bad cid
+		"1: (0)",  // invalid item
+		"1 -1",    // SPMF missing -2
+		"-1 -2",   // SPMF empty itemset
+		"1 -3 -2", // SPMF invalid token value
+		"1 zz -2", // SPMF non-numeric
+		"1: (1",   // unbalanced paren
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c), Auto); err == nil {
+			t.Errorf("input %q should fail", c)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.txt")
+	r := rand.New(rand.NewSource(3))
+	db := testutil.RandomDB(r, 20, 8, 5, 3)
+	if err := WriteFile(path, db, Native); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range db {
+		if seq.Compare(got[i].Pattern(), db[i].Pattern()) != 0 {
+			t.Fatalf("customer %d differs after file round trip", i)
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	db := testutil.Table1()
+	s := Describe(db)
+	if s.Customers != 4 || s.Transactions != 14 {
+		t.Errorf("Stats = %+v", s)
+	}
+	// Table 1 items: total occurrences = 9 + 4 + 3 + 8 = 24.
+	if s.Items != 24 {
+		t.Errorf("Items = %d, want 24", s.Items)
+	}
+	if s.DistinctItems != 8 || s.MaxItem != 8 {
+		t.Errorf("DistinctItems = %d MaxItem = %d", s.DistinctItems, s.MaxItem)
+	}
+	if math.Abs(s.AvgTrans-3.5) > 1e-9 {
+		t.Errorf("AvgTrans = %v", s.AvgTrans)
+	}
+	if s.MaxLen != 9 {
+		t.Errorf("MaxLen = %d", s.MaxLen)
+	}
+	if !strings.Contains(s.String(), "4 customers") {
+		t.Errorf("String = %q", s.String())
+	}
+	var empty Stats = Describe(nil)
+	if empty.AvgTrans != 0 || empty.AvgItems != 0 {
+		t.Error("empty stats must be zero")
+	}
+}

@@ -1,0 +1,44 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// FuzzRead throws arbitrary text at the auto-detecting reader: it must
+// never panic, and anything it accepts must survive a write/read round
+// trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("1: (1 5)(2)")
+	f.Add("1 5 -1 2 -1 -2")
+	f.Add("# comment\n\n2: (3)(4 5)")
+	f.Add("1 -1 -2")
+	f.Add(": ()")
+	f.Add("(((")
+	f.Add("-2")
+	f.Add("999999999999999999999 -2")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := Read(strings.NewReader(input), Auto)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf strings.Builder
+		if err := Write(&buf, db, Native); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		back, err := Read(strings.NewReader(buf.String()), Auto)
+		if err != nil {
+			t.Fatalf("round trip Read failed: %v\noriginal: %q\nwritten: %q", err, input, buf.String())
+		}
+		if len(back) != len(db) {
+			t.Fatalf("round trip customer count %d != %d", len(back), len(db))
+		}
+		for i := range db {
+			if seq.Compare(back[i].Pattern(), db[i].Pattern()) != 0 {
+				t.Fatalf("round trip changed customer %d", i)
+			}
+		}
+	})
+}

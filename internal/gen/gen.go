@@ -1,0 +1,326 @@
+// Package gen is a from-scratch reimplementation of the IBM Quest
+// synthetic sequence generator of Agrawal & Srikant (ICDE 1995), which the
+// paper's evaluation (§4, Table 11) drives through the options ncust, slen,
+// tlen, nitems and seq.patlen. The original July-1997 binary is not
+// available; this generator reproduces the documented statistical process:
+//
+//  1. A pool of NI potentially-large itemsets: sizes Poisson-distributed
+//     around lit.patlen, successive itemsets sharing a correlated fraction
+//     of items, with exponentially distributed selection weights.
+//  2. A pool of NS potentially-large sequences: lengths (in itemsets)
+//     Poisson-distributed around seq.patlen, itemsets drawn from pool 1
+//     (again with correlation between successive sequences), exponential
+//     weights, and a per-sequence corruption level (normal around the
+//     configured mean) controlling how completely instances are embedded.
+//  3. Customer sequences: transaction counts Poisson(slen), transaction
+//     sizes Poisson(tlen); weighted potentially-large sequences are
+//     corrupted (items dropped per the corruption level) and embedded onto
+//     random increasing transaction positions until the item budget is
+//     met; leftover capacity is filled from the itemset pool.
+//
+// The generator is deterministic for a fixed Config (including Seed).
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Config mirrors the paper's Table 11 command options plus the Quest
+// defaults the paper says it kept.
+type Config struct {
+	NCust     int     // ncust: number of customers
+	SLen      float64 // slen: average transactions per customer (the paper's θ in §4.3)
+	TLen      float64 // tlen: average items per transaction
+	NItems    int     // nitems: number of distinct items
+	SeqPatLen float64 // seq.patlen: average itemsets per maximal potentially-large sequence
+
+	LitPatLen    float64 // lit.patlen: average items per potentially-large itemset (Quest default 1.25)
+	NSeqPatterns int     // NS: size of the potentially-large sequence pool (Quest default 5000)
+	NLitPatterns int     // NI: size of the potentially-large itemset pool (Quest default 25000)
+	Correlation  float64 // correlation between successive pool entries (Quest default 0.25)
+	Corruption   float64 // mean per-item drop probability when embedding (Quest corruption mean)
+
+	Seed int64
+}
+
+// PaperDefaults returns the Table 11 parameter setting of §4.1:
+// slen=10, tlen=2.5, nitems=1000, seq.patlen=4 (ncust varies per figure).
+func PaperDefaults(ncust int) Config {
+	return Config{
+		NCust:     ncust,
+		SLen:      10,
+		TLen:      2.5,
+		NItems:    1000,
+		SeqPatLen: 4,
+	}
+}
+
+// DenseDefaults returns the §4.1 second-experiment setting taken from Lesh
+// et al.: slen, tlen and seq.patlen all 8.
+func DenseDefaults(ncust int) Config {
+	return Config{
+		NCust:     ncust,
+		SLen:      8,
+		TLen:      8,
+		NItems:    1000,
+		SeqPatLen: 8,
+	}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NCust < 0 || c.NItems <= 0 {
+		return c, fmt.Errorf("gen: invalid config: ncust=%d nitems=%d", c.NCust, c.NItems)
+	}
+	if c.SLen <= 0 {
+		c.SLen = 10
+	}
+	if c.TLen <= 0 {
+		c.TLen = 2.5
+	}
+	if c.SeqPatLen <= 0 {
+		c.SeqPatLen = 4
+	}
+	if c.LitPatLen <= 0 {
+		c.LitPatLen = 1.25
+	}
+	if c.NSeqPatterns <= 0 {
+		c.NSeqPatterns = 5000
+	}
+	if c.NLitPatterns <= 0 {
+		c.NLitPatterns = 25000
+	}
+	if c.Correlation <= 0 {
+		c.Correlation = 0.25
+	}
+	if c.Corruption <= 0 {
+		c.Corruption = 0.25
+	}
+	return c, nil
+}
+
+// Generate synthesizes a database per the config.
+func Generate(cfg Config) (mining.Database, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, r: r}
+	g.buildItemsetPool()
+	g.buildSequencePool()
+	db := make(mining.Database, cfg.NCust)
+	for c := range db {
+		db[c] = g.customer(c + 1)
+	}
+	return db, nil
+}
+
+type generator struct {
+	cfg cfg
+	r   *rand.Rand
+
+	itemsets   [][]seq.Item // potentially-large itemset pool
+	itemsetCum []float64    // cumulative weights
+
+	seqs       [][][]seq.Item // potentially-large sequence pool
+	seqCum     []float64
+	corruption []float64 // per-sequence corruption level
+}
+
+type cfg = Config
+
+// poisson samples a Poisson variate with the given mean (Knuth's method;
+// the means here are tiny).
+func (g *generator) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func (g *generator) buildItemsetPool() {
+	n := g.cfg.NLitPatterns
+	g.itemsets = make([][]seq.Item, n)
+	weights := make([]float64, n)
+	var prev []seq.Item
+	for i := 0; i < n; i++ {
+		size := g.poisson(g.cfg.LitPatLen-1) + 1
+		set := map[seq.Item]bool{}
+		// A correlated fraction of items comes from the previous itemset.
+		if len(prev) > 0 {
+			frac := math.Min(1, g.r.ExpFloat64()*g.cfg.Correlation)
+			take := int(frac * float64(len(prev)))
+			for _, j := range g.r.Perm(len(prev))[:take] {
+				if len(set) < size {
+					set[prev[j]] = true
+				}
+			}
+		}
+		for len(set) < size {
+			set[seq.Item(1+g.r.Intn(g.cfg.NItems))] = true
+		}
+		items := make([]seq.Item, 0, len(set))
+		for it := range set {
+			items = append(items, it)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		g.itemsets[i] = items
+		weights[i] = g.r.ExpFloat64()
+		prev = items
+	}
+	g.itemsetCum = cumulative(weights)
+}
+
+func (g *generator) buildSequencePool() {
+	n := g.cfg.NSeqPatterns
+	g.seqs = make([][][]seq.Item, n)
+	weights := make([]float64, n)
+	g.corruption = make([]float64, n)
+	var prev [][]seq.Item
+	for i := 0; i < n; i++ {
+		length := g.poisson(g.cfg.SeqPatLen-1) + 1
+		s := make([][]seq.Item, 0, length)
+		// Correlated fraction of itemsets carried over from the previous
+		// pool entry, preserving order.
+		if len(prev) > 0 {
+			frac := math.Min(1, g.r.ExpFloat64()*g.cfg.Correlation)
+			take := int(frac * float64(len(prev)))
+			if take > length {
+				take = length
+			}
+			idx := g.r.Perm(len(prev))[:take]
+			sort.Ints(idx)
+			for _, j := range idx {
+				s = append(s, prev[j])
+			}
+		}
+		for len(s) < length {
+			s = append(s, g.pickItemset())
+		}
+		g.seqs[i] = s
+		weights[i] = g.r.ExpFloat64()
+		// Corruption level: normal around the configured mean, clipped.
+		c := g.cfg.Corruption + 0.1*g.r.NormFloat64()
+		if c < 0 {
+			c = 0
+		}
+		if c > 0.9 {
+			c = 0.9
+		}
+		g.corruption[i] = c
+		prev = s
+	}
+	g.seqCum = cumulative(weights)
+}
+
+func cumulative(w []float64) []float64 {
+	out := make([]float64, len(w))
+	sum := 0.0
+	for i, x := range w {
+		sum += x
+		out[i] = sum
+	}
+	return out
+}
+
+func pickWeighted(r *rand.Rand, cum []float64) int {
+	x := r.Float64() * cum[len(cum)-1]
+	return sort.SearchFloat64s(cum, x)
+}
+
+func (g *generator) pickItemset() []seq.Item {
+	return g.itemsets[pickWeighted(g.r, g.itemsetCum)]
+}
+
+// customer synthesizes one customer sequence.
+func (g *generator) customer(cid int) *seq.CustomerSeq {
+	nt := g.poisson(g.cfg.SLen-1) + 1
+	sizes := make([]int, nt)
+	budget := 0
+	for i := range sizes {
+		sizes[i] = g.poisson(g.cfg.TLen-1) + 1
+		budget += sizes[i]
+	}
+	trans := make([]map[seq.Item]bool, nt)
+	for i := range trans {
+		trans[i] = map[seq.Item]bool{}
+	}
+	used := 0
+	// Embed corrupted potentially-large sequences onto random increasing
+	// transaction positions until the budget is spent (with an attempt cap
+	// so heavily corrupted picks cannot loop forever).
+	for attempts := 0; used < budget && attempts < 4+2*nt; attempts++ {
+		pi := pickWeighted(g.r, g.seqCum)
+		inst := g.corrupt(g.seqs[pi], g.corruption[pi])
+		if len(inst) == 0 || len(inst) > nt {
+			continue
+		}
+		pos := g.r.Perm(nt)[:len(inst)]
+		sort.Ints(pos)
+		for j, is := range inst {
+			for _, it := range is {
+				if !trans[pos[j]][it] {
+					trans[pos[j]][it] = true
+					used++
+				}
+			}
+		}
+	}
+	// Top up under-filled transactions from the itemset pool so that the
+	// average transaction size tracks tlen.
+	for i := range trans {
+		for guard := 0; len(trans[i]) < sizes[i] && guard < 8; guard++ {
+			for _, it := range g.pickItemset() {
+				if len(trans[i]) >= sizes[i] {
+					break
+				}
+				trans[i][it] = true
+			}
+		}
+	}
+	sets := make([]seq.Itemset, nt)
+	for i, m := range trans {
+		is := make(seq.Itemset, 0, len(m))
+		for it := range m {
+			is = append(is, it)
+		}
+		sets[i] = is // NewCustomerSeq canonicalizes
+	}
+	return seq.NewCustomerSeq(cid, sets...)
+}
+
+// corrupt drops each item of the pattern with the pattern's corruption
+// probability and removes emptied itemsets.
+func (g *generator) corrupt(pat [][]seq.Item, level float64) [][]seq.Item {
+	out := make([][]seq.Item, 0, len(pat))
+	for _, is := range pat {
+		var kept []seq.Item
+		for _, it := range is {
+			if g.r.Float64() >= level {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) > 0 {
+			out = append(out, kept)
+		}
+	}
+	return out
+}
+
+// newRand builds the generator's seeded source (exposed for tests).
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

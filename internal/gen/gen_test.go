@@ -1,0 +1,172 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/prefixspan"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		NCust: 300, SLen: 6, TLen: 2.5, NItems: 60, SeqPatLen: 4,
+		NSeqPatterns: 50, NLitPatterns: 200, Seed: seed,
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(smallConfig(7))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if seq.Compare(a[i].Pattern(), b[i].Pattern()) != 0 {
+			t.Fatalf("customer %d differs between runs with the same seed", i)
+		}
+	}
+	c, _ := Generate(smallConfig(8))
+	same := 0
+	for i := range a {
+		if seq.Compare(a[i].Pattern(), c[i].Pattern()) == 0 {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+func TestShapeMatchesParameters(t *testing.T) {
+	cfg := Config{
+		NCust: 2000, SLen: 10, TLen: 2.5, NItems: 200, SeqPatLen: 4,
+		NSeqPatterns: 500, NLitPatterns: 2000, Seed: 1,
+	}
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != cfg.NCust {
+		t.Fatalf("len = %d, want %d", len(db), cfg.NCust)
+	}
+	theta := db.AvgTransPerCustomer()
+	if math.Abs(theta-cfg.SLen) > 1.0 {
+		t.Errorf("avg transactions per customer = %.2f, want ~%.1f", theta, cfg.SLen)
+	}
+	totalTrans := 0
+	for _, cs := range db {
+		totalTrans += cs.NTrans()
+		for _, it := range cs.Items() {
+			if it < 1 || int(it) > cfg.NItems {
+				t.Fatalf("item %d out of range", it)
+			}
+		}
+	}
+	avgT := float64(db.TotalItems()) / float64(totalTrans)
+	if avgT < 1.2 || avgT > cfg.TLen+1.5 {
+		t.Errorf("avg items per transaction = %.2f, want near %.1f", avgT, cfg.TLen)
+	}
+	// CIDs are 1-based and sequential.
+	if db[0].CID != 1 || db[len(db)-1].CID != cfg.NCust {
+		t.Errorf("CIDs = %d..%d", db[0].CID, db[len(db)-1].CID)
+	}
+}
+
+// TestEmbeddedPatternsAreMineable: the point of the generator is that it
+// plants sequential patterns. Mining at a moderate threshold must surface
+// multi-itemset patterns, not just single items.
+func TestEmbeddedPatternsAreMineable(t *testing.T) {
+	db, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := mining.AbsSupport(0.02, len(db))
+	res, err := core.New().Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLen() < 3 {
+		t.Errorf("generated data yields max pattern length %d; embedded patterns not discoverable", res.MaxLen())
+	}
+	multi := 0
+	for _, pc := range res.Sorted() {
+		if pc.Pattern.NumItemsets() > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-transaction frequent sequences found in generated data")
+	}
+}
+
+// TestMinersAgreeOnGeneratedData is an end-to-end integration check on
+// realistic data: DISC-all, Dynamic, PrefixSpan, Pseudo and the level-wise
+// reference all agree.
+func TestMinersAgreeOnGeneratedData(t *testing.T) {
+	db, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := mining.AbsSupport(0.03, len(db))
+	ref, err := bruteforce.LevelWise{}.Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []mining.Miner{core.New(), core.NewDynamic(), prefixspan.Basic{}, prefixspan.Pseudo{}} {
+		got, err := m.Mine(db, minSup)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if diff := ref.Diff(got); diff != "" {
+			t.Fatalf("%s disagrees on generated data:\n%s", m.Name(), diff)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{NCust: -1, NItems: 10}); err == nil {
+		t.Error("negative ncust must error")
+	}
+	if _, err := Generate(Config{NCust: 10, NItems: 0}); err == nil {
+		t.Error("zero nitems must error")
+	}
+	// Zero-value optional fields fall back to Quest defaults.
+	db, err := Generate(Config{NCust: 5, NItems: 50})
+	if err != nil || len(db) != 5 {
+		t.Errorf("defaults: %v, %d customers", err, len(db))
+	}
+}
+
+func TestPaperDefaultConfigs(t *testing.T) {
+	p := PaperDefaults(50000)
+	if p.SLen != 10 || p.TLen != 2.5 || p.NItems != 1000 || p.SeqPatLen != 4 {
+		t.Errorf("PaperDefaults = %+v", p)
+	}
+	d := DenseDefaults(10000)
+	if d.SLen != 8 || d.TLen != 8 || d.SeqPatLen != 8 {
+		t.Errorf("DenseDefaults = %+v", d)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := &generator{cfg: Config{}, r: newRand(9)}
+	n := 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += g.poisson(3.0)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Errorf("poisson(3) sample mean = %.3f", mean)
+	}
+	if g.poisson(0) != 0 || g.poisson(-1) != 0 {
+		t.Error("poisson of non-positive mean must be 0")
+	}
+}

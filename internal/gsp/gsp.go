@@ -1,0 +1,203 @@
+// Package gsp implements the GSP algorithm of Srikant & Agrawal (EDBT
+// 1996) in its plain form (no time constraints, sliding windows or
+// taxonomies): level-wise candidate generation by self-joining the frequent
+// (k-1)-sequences, anti-monotone pruning, and support counting by database
+// scan. It is the oldest baseline summarized in §1.1 of Chiu, Wu & Chen
+// (ICDE 2004), and the one whose support-counting cost motivates all the
+// later algorithms.
+package gsp
+
+import (
+	"sort"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Miner is the GSP miner. Support counting uses the Srikant-Agrawal
+// candidate hash tree unless NoHashTree selects the simpler
+// first-item-bucketed scan (kept for differential testing).
+type Miner struct {
+	NoHashTree bool
+}
+
+// Name implements mining.Miner.
+func (Miner) Name() string { return "gsp" }
+
+// Mine implements mining.Miner.
+func (m Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	if minSup < 1 {
+		minSup = 1
+	}
+	res := mining.NewResult()
+	maxItem := db.MaxItem()
+
+	// Frequent 1-sequences.
+	sup := make([]int, maxItem+1)
+	seen := make([]bool, maxItem+1)
+	var scratch []seq.Item
+	for _, cs := range db {
+		scratch = cs.DistinctItems(scratch[:0], seen)
+		for _, it := range scratch {
+			sup[it]++
+		}
+	}
+	var f1 []seq.Item
+	var freq []seq.Pattern // frequent (k-1)-sequences for the next round
+	for x := seq.Item(1); x <= maxItem; x++ {
+		if sup[x] >= minSup {
+			f1 = append(f1, x)
+			p := seq.NewPattern(seq.Itemset{x})
+			res.Add(p, sup[x])
+			freq = append(freq, p)
+		}
+	}
+
+	for k := 2; len(freq) > 0; k++ {
+		var cands []seq.Pattern
+		if k == 2 {
+			cands = candidates2(f1)
+		} else {
+			cands = join(freq)
+			cands = prune(cands, freq)
+		}
+		var counts []int
+		if m.NoHashTree {
+			counts = countSupports(db, cands)
+		} else {
+			counts = countSupportsHashTree(db, cands)
+		}
+		freq = freq[:0]
+		for i, c := range cands {
+			if counts[i] >= minSup {
+				res.Add(c, counts[i])
+				freq = append(freq, c)
+			}
+		}
+	}
+	return res, nil
+}
+
+// candidates2 builds the length-2 candidates from the frequent items:
+// <(x)(y)> for every ordered pair and <(x, y)> for every x < y.
+func candidates2(f1 []seq.Item) []seq.Pattern {
+	var out []seq.Pattern
+	for _, x := range f1 {
+		px := seq.NewPattern(seq.Itemset{x})
+		for _, y := range f1 {
+			out = append(out, px.ExtendS(y))
+			if y > x {
+				out = append(out, px.ExtendI(y))
+			}
+		}
+	}
+	return out
+}
+
+// join implements the GSP join step: s1 joins s2 when s1 minus its first
+// item equals s2 minus its last item; the candidate is s1 extended with
+// s2's last item, as a new itemset iff that item formed its own itemset in
+// s2.
+func join(freq []seq.Pattern) []seq.Pattern {
+	byDropLast := map[string][]seq.Pattern{}
+	for _, s := range freq {
+		byDropLast[dropLast(s).Key()] = append(byDropLast[dropLast(s).Key()], s)
+	}
+	var out []seq.Pattern
+	for _, s1 := range freq {
+		key := dropFirst(s1).Key()
+		for _, s2 := range byDropLast[key] {
+			last := s2.LastItem()
+			if lastIsAlone(s2) {
+				out = append(out, s1.ExtendS(last))
+			} else if last > s1.LastItem() {
+				// The joined suffixes agree, so s1's last itemset ends with
+				// s2's second-to-last item, which is smaller than last.
+				out = append(out, s1.ExtendI(last))
+			}
+		}
+	}
+	return out
+}
+
+// prune drops candidates that have a non-frequent (k-1)-subsequence
+// (anti-monotone property). Only item-drop subsequences need checking.
+func prune(cands []seq.Pattern, freq []seq.Pattern) []seq.Pattern {
+	freqSet := make(map[string]bool, len(freq))
+	for _, f := range freq {
+		freqSet[f.Key()] = true
+	}
+	out := cands[:0]
+cand:
+	for _, c := range cands {
+		for i := 0; i < c.Len(); i++ {
+			if !freqSet[DropItem(c, i).Key()] {
+				continue cand
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// DropItem returns the pattern with the item at flattened position i
+// removed; see seq.Pattern.DropItem. Kept as the name the prune tests use.
+func DropItem(p seq.Pattern, i int) seq.Pattern { return p.DropItem(i) }
+
+func dropFirst(p seq.Pattern) seq.Pattern { return p.DropItem(0) }
+
+func dropLast(p seq.Pattern) seq.Pattern { return p.DropItem(p.Len() - 1) }
+
+// lastIsAlone reports whether the last item of p forms its own itemset.
+func lastIsAlone(p seq.Pattern) bool {
+	n := p.Len()
+	return n == 1 || p.TNoAt(n-1) != p.TNoAt(n-2)
+}
+
+// countSupports scans the database once per level and counts each
+// candidate's support by containment. Candidates are bucketed by their
+// first item so that a customer only pays for candidates it could possibly
+// contain.
+func countSupports(db mining.Database, cands []seq.Pattern) []int {
+	counts := make([]int, len(cands))
+	if len(cands) == 0 {
+		return counts
+	}
+	// Bucket candidate indices by first item.
+	buckets := map[seq.Item][]int{}
+	for i, c := range cands {
+		buckets[c.ItemAt(0)] = append(buckets[c.ItemAt(0)], i)
+	}
+	var maxItem seq.Item
+	for _, c := range cands {
+		if c.ItemAt(0) > maxItem {
+			maxItem = c.ItemAt(0)
+		}
+	}
+	seen := make([]bool, maxItem+1)
+	var scratch []seq.Item
+	for _, cs := range db {
+		scratch = scratch[:0]
+		for _, it := range cs.Items() {
+			if it <= maxItem && !seen[it] {
+				seen[it] = true
+				scratch = append(scratch, it)
+			}
+		}
+		for _, it := range scratch {
+			seen[it] = false
+			for _, ci := range buckets[it] {
+				if cs.Contains(cands[ci]) {
+					counts[ci]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// sortPatterns orders patterns ascending; used by tests for deterministic
+// candidate inspection.
+func sortPatterns(ps []seq.Pattern) {
+	sort.Slice(ps, func(i, j int) bool { return seq.Compare(ps[i], ps[j]) < 0 })
+}

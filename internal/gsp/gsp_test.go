@@ -1,0 +1,113 @@
+package gsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+func pat(s string) seq.Pattern { return seq.MustParsePattern(s) }
+
+func TestDropItem(t *testing.T) {
+	cases := []struct {
+		in   string
+		pos  int
+		want string
+	}{
+		{"(a, b)(c)", 0, "<(b)(c)>"},
+		{"(a, b)(c)", 1, "<(a)(c)>"},
+		{"(a, b)(c)", 2, "<(a, b)>"},
+		{"(a)(b)(c)", 1, "<(a)(c)>"},
+		{"(a)", 0, "<>"},
+	}
+	for _, c := range cases {
+		if got := DropItem(pat(c.in), c.pos).Letters(); got != c.want {
+			t.Errorf("DropItem(%s, %d) = %s, want %s", c.in, c.pos, got, c.want)
+		}
+	}
+}
+
+func TestJoinProducesClassicCandidates(t *testing.T) {
+	// The canonical GSP example: F3 = {<(1,2)(3)>, <(1,2)(4)>, <(1)(3,4)>,
+	// <(1,3)(5)>, <(2)(3,4)>, <(2)(3)(5)>} joins into <(1,2)(3,4)> and
+	// <(1,2)(3)(5)>; pruning then removes <(1,2)(3)(5)> because <(1)(3)(5)>
+	// is not frequent.
+	f3 := []seq.Pattern{
+		pat("(1 2)(3)"), pat("(1 2)(4)"), pat("(1)(3 4)"),
+		pat("(1 3)(5)"), pat("(2)(3 4)"), pat("(2)(3)(5)"),
+	}
+	cands := join(f3)
+	sortPatterns(cands)
+	if len(cands) != 2 || cands[0].String() != "<(1, 2)(3, 4)>" || cands[1].String() != "<(1, 2)(3)(5)>" {
+		var got []string
+		for _, c := range cands {
+			got = append(got, c.String())
+		}
+		t.Fatalf("join candidates = %v, want [<(1, 2)(3, 4)> <(1, 2)(3)(5)>]", got)
+	}
+	pruned := prune(cands, f3)
+	if len(pruned) != 1 || pruned[0].String() != "<(1, 2)(3, 4)>" {
+		t.Fatalf("pruned = %v, want only <(1, 2)(3, 4)>", pruned)
+	}
+}
+
+func TestCandidates2(t *testing.T) {
+	cands := candidates2([]seq.Item{1, 2})
+	// <(1)(1)>, <(1)(2)>, <(1,2)>, <(2)(1)>, <(2)(2)>.
+	if len(cands) != 5 {
+		t.Fatalf("len(candidates2) = %d, want 5", len(cands))
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	db := testutil.Table1()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, 2)
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		db := testutil.RandomDB(r, 6+r.Intn(8), 5, 4, 3)
+		minSup := 1 + r.Intn(4)
+		ref, err := bruteforce.Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, minSup)
+	}
+}
+
+func TestSkewedAgainstLevelWise(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 6; i++ {
+		db := testutil.SkewedRandomDB(r, 50, 12, 6, 4)
+		minSup := 3 + r.Intn(6)
+		ref, err := bruteforce.LevelWise{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, minSup)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	res, err := Miner{}.Mine(nil, 1)
+	if err != nil || res.Len() != 0 {
+		t.Errorf("empty db: %v, %d", err, res.Len())
+	}
+	res, err = Miner{}.Mine(mining.Database{seq.MustParseCustomerSeq(1, "(a)(a)(a)")}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(pat("(a)(a)(a)")); !ok || sup != 1 {
+		t.Errorf("<(a)(a)(a)> = %d,%v", sup, ok)
+	}
+}

@@ -1,0 +1,114 @@
+package gsp
+
+import (
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// hashTree is the candidate hash tree of Srikant & Agrawal (EDBT 1996).
+// Interior nodes at depth d dispatch on a candidate's d-th item; leaves
+// hold candidate indices until they overflow and split. Probing with a
+// customer sequence walks every item path whose items appear in order in
+// the customer, visiting a superset of the contained candidates — the
+// caller then verifies containment only for the visited ones.
+type hashTree struct {
+	depth    int
+	leaf     bool
+	cands    []int
+	children map[seq.Item]*hashTree
+}
+
+// leafCapacity is the split threshold; small enough to exercise interior
+// nodes in tests, large enough to avoid deep degenerate trees.
+const leafCapacity = 16
+
+func newHashTree() *hashTree {
+	return &hashTree{leaf: true}
+}
+
+// insert adds candidate index ci with pattern p.
+func (h *hashTree) insert(ci int, p seq.Pattern, all []seq.Pattern) {
+	if h.leaf {
+		h.cands = append(h.cands, ci)
+		// Split when over capacity, unless the dispatch item is exhausted
+		// for some resident (then the leaf must stay a leaf).
+		if len(h.cands) <= leafCapacity {
+			return
+		}
+		for _, c := range h.cands {
+			if all[c].Len() <= h.depth {
+				return
+			}
+		}
+		h.leaf = false
+		h.children = map[seq.Item]*hashTree{}
+		old := h.cands
+		h.cands = nil
+		for _, c := range old {
+			h.insertInterior(c, all)
+		}
+		return
+	}
+	h.insertInterior(ci, all)
+}
+
+func (h *hashTree) insertInterior(ci int, all []seq.Pattern) {
+	x := all[ci].ItemAt(h.depth)
+	child := h.children[x]
+	if child == nil {
+		child = &hashTree{depth: h.depth + 1, leaf: true}
+		h.children[x] = child
+	}
+	child.insert(ci, all[ci], all)
+}
+
+// probe visits candidate indices that might be contained in cs. A
+// candidate can be visited more than once; visit must deduplicate.
+func (h *hashTree) probe(cs *seq.CustomerSeq, visit func(int)) {
+	h.probeFrom(cs, 0, visit)
+}
+
+func (h *hashTree) probeFrom(cs *seq.CustomerSeq, from int, visit func(int)) {
+	if h.leaf {
+		for _, c := range h.cands {
+			visit(c)
+		}
+		return
+	}
+	// Dispatch on every remaining item of the customer: a contained
+	// candidate's depth-th item must occur at or after position `from`.
+	for i := from; i < cs.Len(); i++ {
+		if child, ok := h.children[cs.ItemAt(i)]; ok {
+			// The next candidate item must come at or after the same
+			// transaction (itemset extensions share the transaction).
+			next := i + 1
+			child.probeFrom(cs, next, visit)
+		}
+	}
+}
+
+// countSupportsHashTree counts candidate supports with the hash tree; it
+// equals countSupports but touches only plausible candidates per customer.
+func countSupportsHashTree(db []*seq.CustomerSeq, cands []seq.Pattern) []int {
+	counts := make([]int, len(cands))
+	if len(cands) == 0 {
+		return counts
+	}
+	tree := newHashTree()
+	for i, c := range cands {
+		tree.insert(i, c, cands)
+	}
+	seen := make([]int32, len(cands))
+	for csi, cs := range db {
+		stamp := int32(csi) + 1
+		tree.probe(cs, func(ci int) {
+			if seen[ci] == stamp {
+				return
+			}
+			seen[ci] = stamp
+			if cs.Contains(cands[ci]) {
+				counts[ci]++
+			}
+		})
+	}
+	return counts
+}

@@ -1,0 +1,124 @@
+package gsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// TestHashTreeCountsEqualNaive: the hash tree must produce the same
+// support counts as the bucketed scan for random candidate sets.
+func TestHashTreeCountsEqualNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for i := 0; i < 60; i++ {
+		db := testutil.RandomDB(r, 10+r.Intn(10), 6, 4, 3)
+		// Candidate set: random subsequences of random customers plus a
+		// few random non-occurring patterns.
+		var cands []seq.Pattern
+		keys := map[string]bool{}
+		add := func(p seq.Pattern) {
+			if p.Len() > 0 && !keys[p.Key()] {
+				keys[p.Key()] = true
+				cands = append(cands, p)
+			}
+		}
+		for j := 0; j < 40; j++ {
+			cs := db[r.Intn(len(db))]
+			p := cs.Pattern()
+			if p.Len() > 1 {
+				k := 1 + r.Intn(p.Len()-1)
+				add(p.Prefix(k))
+			}
+		}
+		for j := 0; j < 10; j++ {
+			add(seq.NewPattern(
+				seq.NewItemset(seq.Item(1+r.Intn(6))),
+				seq.NewItemset(seq.Item(1+r.Intn(6)), seq.Item(1+r.Intn(6)))))
+		}
+		a := countSupports(db, cands)
+		b := countSupportsHashTree(db, cands)
+		for ci := range cands {
+			if a[ci] != b[ci] {
+				t.Fatalf("candidate %s: bucketed %d, hash tree %d",
+					cands[ci].Letters(), a[ci], b[ci])
+			}
+		}
+	}
+}
+
+// TestHashTreeSplits forces leaf splits and deep interior nodes.
+func TestHashTreeSplits(t *testing.T) {
+	var cands []seq.Pattern
+	// 40 candidates sharing the same first two items force splits below
+	// depth 2.
+	for x := seq.Item(1); x <= 40; x++ {
+		cands = append(cands, seq.NewPattern(
+			seq.NewItemset(1), seq.NewItemset(2), seq.NewItemset(2+x)))
+	}
+	tree := newHashTree()
+	for i, c := range cands {
+		tree.insert(i, c, cands)
+	}
+	if tree.leaf {
+		t.Fatal("root should have split")
+	}
+	// A probe with a sequence containing everything must visit all
+	// candidates at least once.
+	items := make([]seq.Itemset, 0, 43)
+	for x := seq.Item(1); x <= 43; x++ {
+		items = append(items, seq.NewItemset(x))
+	}
+	cs := seq.NewCustomerSeq(1, items...)
+	visited := map[int]bool{}
+	tree.probe(cs, func(ci int) { visited[ci] = true })
+	if len(visited) != len(cands) {
+		t.Fatalf("probe visited %d of %d candidates", len(visited), len(cands))
+	}
+}
+
+// TestHashTreeMinerEqualsBucketedMiner: end-to-end on the paper's data.
+func TestHashTreeMinerEqualsBucketedMiner(t *testing.T) {
+	db := testutil.Table6()
+	a, err := Miner{}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Miner{NoHashTree: true}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.Diff(b); diff != "" {
+		t.Fatalf("hash tree changes results:\n%s", diff)
+	}
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}, Miner{NoHashTree: true}}, db, 3)
+}
+
+// TestHashTreeNeverSplitsShortCandidates: candidates shorter than the
+// dispatch depth must keep the leaf a leaf (no infinite split loop).
+func TestHashTreeNeverSplitsShortCandidates(t *testing.T) {
+	var cands []seq.Pattern
+	for x := seq.Item(1); x <= 30; x++ {
+		cands = append(cands, seq.NewPattern(seq.NewItemset(1))) // all identical, length 1
+	}
+	tree := newHashTree()
+	for i, c := range cands {
+		tree.insert(i, c, cands) // must not loop or split past length
+	}
+	if !tree.leaf {
+		// Splitting on depth 0 is fine, but then the depth-1 children hold
+		// length-1 candidates and must remain leaves.
+		for _, child := range tree.children {
+			if !child.leaf {
+				t.Fatal("child with exhausted candidates split")
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package kmin
+
+import (
+	"sort"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// AllKSubsequences exhaustively enumerates the distinct k-subsequences of
+// cs, returned in ascending comparative order. It is exponential in the
+// transaction sizes and exists as the ground-truth oracle for tests and the
+// bruteforce miner; transactions longer than 20 items are rejected by
+// panic to catch accidental production use.
+func AllKSubsequences(cs *seq.CustomerSeq, k int) []seq.Pattern {
+	if k <= 0 {
+		return nil
+	}
+	set := map[string]seq.Pattern{}
+	var cur []seq.Itemset
+	var rec func(t, need int)
+	rec = func(t, need int) {
+		if need == 0 {
+			p := seq.NewPattern(cur...)
+			set[p.Key()] = p
+			return
+		}
+		for tt := t; tt < cs.NTrans(); tt++ {
+			tr := cs.Transaction(tt)
+			if len(tr) > 20 {
+				panic("kmin: AllKSubsequences is a test oracle; transaction too large")
+			}
+			for mask := 1; mask < 1<<len(tr); mask++ {
+				var is seq.Itemset
+				for b := 0; b < len(tr); b++ {
+					if mask&(1<<b) != 0 {
+						is = append(is, tr[b])
+					}
+				}
+				if len(is) > need {
+					continue
+				}
+				cur = append(cur, is)
+				rec(tt+1, need-len(is))
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	rec(0, k)
+	out := make([]seq.Pattern, 0, len(set))
+	for _, p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return seq.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// RefKMS is the exhaustive reference for KMS: the minimum k-subsequence of
+// cs whose (k-1)-prefix appears in list, where k = len(list[i]) + 1.
+func RefKMS(cs *seq.CustomerSeq, list SortedList, k int) (seq.Pattern, bool) {
+	return refMin(cs, list, k, seq.Pattern{}, false, false)
+}
+
+// RefCKMS is the exhaustive reference for CKMS.
+func RefCKMS(cs *seq.CustomerSeq, list SortedList, bound seq.Pattern, strict bool) (seq.Pattern, bool) {
+	return refMin(cs, list, bound.Len(), bound, strict, true)
+}
+
+func refMin(cs *seq.CustomerSeq, list SortedList, k int, bound seq.Pattern, strict, bounded bool) (seq.Pattern, bool) {
+	prefixes := map[string]bool{}
+	for _, f := range list {
+		prefixes[f.Key()] = true
+	}
+	for _, p := range AllKSubsequences(cs, k) {
+		if !prefixes[p.Prefix(k-1).Key()] {
+			continue
+		}
+		if bounded {
+			c := seq.Compare(p, bound)
+			if c < 0 || (strict && c == 0) {
+				continue
+			}
+		}
+		return p, true // ascending order: first hit is the minimum
+	}
+	return seq.Pattern{}, false
+}

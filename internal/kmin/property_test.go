@@ -1,0 +1,141 @@
+package kmin
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// TestKMSStructuralProperties: whatever KMS returns must actually be a
+// k-subsequence of the customer whose (k-1)-prefix is the list entry at
+// the apriori pointer, and no smaller list entry may admit an extension.
+func TestKMSStructuralProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for i := 0; i < 1200; i++ {
+		k := 2 + r.Intn(3)
+		cs := randomCustomer(r, 5, 5, 3)
+		list := randomList(r, k, 5)
+		res, ok := KMS(cs, list)
+		if !ok {
+			continue
+		}
+		if res.Min.Len() != k {
+			t.Fatalf("result length %d, want %d", res.Min.Len(), k)
+		}
+		if !cs.Contains(res.Min) {
+			t.Fatalf("%s not contained in %s", res.Min.Letters(), cs.Pattern().Letters())
+		}
+		if !list[res.AprioriIdx].Equal(res.Min.Prefix(k - 1)) {
+			t.Fatalf("apriori pointer mismatch")
+		}
+		// Minimality across list entries: no earlier entry has any
+		// extension contained in cs.
+		for j := 0; j < res.AprioriIdx; j++ {
+			f := list[j]
+			for x := seq.Item(1); x <= 5; x++ {
+				if cs.Contains(f.ExtendS(x)) {
+					t.Fatalf("earlier entry %s extends with s(%d) but was skipped", f.Letters(), x)
+				}
+				if x > f.LastItem() && cs.Contains(f.ExtendI(x)) {
+					t.Fatalf("earlier entry %s extends with i(%d) but was skipped", f.Letters(), x)
+				}
+			}
+		}
+	}
+}
+
+// TestCKMSRespectsBound: the conditional minimum always satisfies the Ω
+// constraint of Definition 2.5 and is contained in the customer.
+func TestCKMSRespectsBound(t *testing.T) {
+	r := rand.New(rand.NewSource(402))
+	for i := 0; i < 1200; i++ {
+		k := 2 + r.Intn(3)
+		cs := randomCustomer(r, 5, 5, 3)
+		list := randomList(r, k, 5)
+		if len(list) == 0 {
+			continue
+		}
+		f := list[r.Intn(len(list))]
+		bound := f.ExtendS(seq.Item(1 + r.Intn(5)))
+		strict := r.Intn(2) == 0
+		res, ok := CKMS(cs, list, 0, bound, strict)
+		if !ok {
+			continue
+		}
+		c := seq.Compare(res.Min, bound)
+		if c < 0 || (strict && c == 0) {
+			t.Fatalf("CKMS result %s violates bound %s (strict=%v)",
+				res.Min.Letters(), bound.Letters(), strict)
+		}
+		if !cs.Contains(res.Min) {
+			t.Fatalf("CKMS result not contained")
+		}
+	}
+}
+
+// TestCKMSMonotoneInBound: raising the bound can only raise (or remove)
+// the conditional minimum.
+func TestCKMSMonotoneInBound(t *testing.T) {
+	r := rand.New(rand.NewSource(403))
+	for i := 0; i < 800; i++ {
+		k := 2 + r.Intn(2)
+		cs := randomCustomer(r, 5, 5, 3)
+		list := randomList(r, k, 5)
+		if len(list) == 0 {
+			continue
+		}
+		f := list[r.Intn(len(list))]
+		lo := f.ExtendS(seq.Item(1 + r.Intn(3)))
+		hi := f.ExtendS(seq.Item(3 + r.Intn(3)))
+		if seq.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		a, aok := CKMS(cs, list, 0, lo, false)
+		b, bok := CKMS(cs, list, 0, hi, false)
+		if bok && !aok {
+			t.Fatalf("higher bound found a result where lower did not")
+		}
+		if aok && bok && seq.Compare(a.Min, b.Min) > 0 {
+			t.Fatalf("conditional minimum decreased when bound rose: %s vs %s",
+				a.Min.Letters(), b.Min.Letters())
+		}
+	}
+}
+
+// TestKMSChainTerminates: repeatedly replacing the current minimum by the
+// strict conditional minimum must enumerate a strictly increasing chain
+// that terminates — the backbone of the DISC loop's termination argument.
+func TestKMSChainTerminates(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for i := 0; i < 400; i++ {
+		k := 2 + r.Intn(2)
+		cs := randomCustomer(r, 4, 5, 3)
+		list := SortedList(AllKSubsequences(cs, k-1))
+		res, ok := KMS(cs, list)
+		if !ok {
+			continue
+		}
+		prev := res.Min
+		steps := 0
+		for {
+			nxt, ok := CKMS(cs, list, 0, prev, true)
+			if !ok {
+				break
+			}
+			if seq.Compare(nxt.Min, prev) <= 0 {
+				t.Fatalf("chain not strictly increasing: %s then %s",
+					prev.Letters(), nxt.Min.Letters())
+			}
+			prev = nxt.Min
+			if steps++; steps > 10000 {
+				t.Fatalf("chain did not terminate")
+			}
+		}
+		// The chain must have enumerated exactly the distinct
+		// k-subsequences of cs (the list admits all prefixes here).
+		if want := len(AllKSubsequences(cs, k)); steps+1 != want {
+			t.Fatalf("chain enumerated %d k-subsequences, want %d", steps+1, want)
+		}
+	}
+}

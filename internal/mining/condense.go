@@ -1,0 +1,62 @@
+package mining
+
+import "github.com/disc-mining/disc/internal/seq"
+
+// Closed returns the closed frequent sequences of r: those with no frequent
+// supersequence of equal support. Because supports are anti-monotone along
+// subsequence chains, it suffices to compare each pattern against its
+// immediate (length+1) supersequences, and every immediate subsequence of a
+// pattern arises from dropping one item.
+func (r *Result) Closed() *Result {
+	return r.condense(func(sub, super PatternCount) bool {
+		return super.Support == sub.Support
+	})
+}
+
+// Maximal returns the maximal frequent sequences of r: those with no
+// frequent supersequence at all.
+func (r *Result) Maximal() *Result {
+	return r.condense(func(sub, super PatternCount) bool { return true })
+}
+
+// condense drops every pattern for which some frequent (len+1)
+// supersequence satisfies kill.
+func (r *Result) condense(kill func(sub, super PatternCount) bool) *Result {
+	killed := make([]bool, len(r.patterns))
+	for _, super := range r.patterns {
+		if super.Pattern.Len() < 2 {
+			continue
+		}
+		for i := 0; i < super.Pattern.Len(); i++ {
+			subKey := super.Pattern.DropItem(i).Key()
+			if idx, ok := r.byKey[subKey]; ok && !killed[idx] && kill(r.patterns[idx], super) {
+				killed[idx] = true
+			}
+		}
+	}
+	out := NewResult()
+	for i, pc := range r.patterns {
+		if !killed[i] {
+			out.Add(pc.Pattern, pc.Support)
+		}
+	}
+	return out
+}
+
+// CoveredBy reports whether p is a subsequence of q, treating both as
+// itemset sequences. Exposed for the condense tests and downstream users
+// working with Result values.
+func CoveredBy(p, q seq.Pattern) bool {
+	ps, qs := p.Itemsets(), q.Itemsets()
+	j := 0
+	for _, s := range ps {
+		for j < len(qs) && !qs[j].Contains(s) {
+			j++
+		}
+		if j >= len(qs) {
+			return false
+		}
+		j++
+	}
+	return true
+}

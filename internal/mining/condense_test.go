@@ -1,0 +1,112 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestClosedAndMaximalHandExample: supports chosen so that <(a)> is closed
+// but not maximal, <(a)(b)> and <(a, c)> are closed and maximal, and <(b)>
+// and <(c)> are not even closed (a supersequence carries the same
+// support).
+func TestClosedAndMaximalHandExample(t *testing.T) {
+	r := NewResult()
+	r.Add(pat("(a)"), 5)
+	r.Add(pat("(b)"), 2)    // same support as its superseq <(a)(b)>: not closed
+	r.Add(pat("(a)(b)"), 2) // maximal
+	r.Add(pat("(a, c)"), 3) // maximal
+	r.Add(pat("(c)"), 3)    // equal support to <(a, c)>: not closed
+	closed := r.Closed()
+	for _, s := range []string{"(a)", "(a)(b)", "(a, c)"} {
+		if _, ok := closed.Support(pat(s)); !ok {
+			t.Errorf("%s should be closed", s)
+		}
+	}
+	for _, s := range []string{"(b)", "(c)"} {
+		if _, ok := closed.Support(pat(s)); ok {
+			t.Errorf("%s should not be closed", s)
+		}
+	}
+	maximal := r.Maximal()
+	for _, s := range []string{"(a)(b)", "(a, c)"} {
+		if _, ok := maximal.Support(pat(s)); !ok {
+			t.Errorf("%s should be maximal", s)
+		}
+	}
+	if maximal.Len() != 2 {
+		t.Errorf("maximal set = %v", maximal.Sorted())
+	}
+}
+
+// TestCondenseProperties: maximal ⊆ closed ⊆ all, supports preserved, and
+// every pattern is covered by some maximal pattern.
+func TestCondenseProperties(t *testing.T) {
+	r := NewResult()
+	// A synthetic but structurally consistent result set: all prefixes of
+	// a few chains with non-increasing supports.
+	rng := rand.New(rand.NewSource(8))
+	chains := [][]string{
+		{"(a)", "(a)(b)", "(a)(b)(c)"},
+		{"(a)", "(a, d)", "(a, d)(e)"},
+		{"(b)", "(b)(b)"},
+		{"(c)"},
+	}
+	added := map[string]bool{}
+	for _, chain := range chains {
+		sup := 10 + rng.Intn(5)
+		for _, s := range chain {
+			if !added[s] {
+				added[s] = true
+				r.Add(pat(s), sup)
+			}
+			if sup > 2 {
+				sup -= rng.Intn(3)
+			}
+		}
+	}
+	closed, maximal := r.Closed(), r.Maximal()
+	if maximal.Len() > closed.Len() || closed.Len() > r.Len() {
+		t.Fatalf("sizes: maximal %d, closed %d, all %d", maximal.Len(), closed.Len(), r.Len())
+	}
+	for _, pc := range maximal.Sorted() {
+		if _, ok := closed.Support(pc.Pattern); !ok {
+			t.Errorf("maximal %s missing from closed set", pc.Pattern.Letters())
+		}
+	}
+	for _, pc := range closed.Sorted() {
+		sup, ok := r.Support(pc.Pattern)
+		if !ok || sup != pc.Support {
+			t.Errorf("closed set changed support of %s", pc.Pattern.Letters())
+		}
+	}
+	for _, pc := range r.Sorted() {
+		covered := false
+		for _, m := range maximal.Sorted() {
+			if CoveredBy(pc.Pattern, m.Pattern) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("%s not covered by any maximal pattern", pc.Pattern.Letters())
+		}
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"(a)(b)", "(a, c)(b, d)", true},
+		{"(a, b)", "(a)(b)", false},
+		{"(a)(a)", "(a)", false},
+		{"(a)", "(a)", true},
+		{"(b)(a)", "(a)(b)", false},
+	}
+	for _, c := range cases {
+		if got := CoveredBy(pat(c.p), pat(c.q)); got != c.want {
+			t.Errorf("CoveredBy(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package mining
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+func pat(s string) seq.Pattern { return seq.MustParsePattern(s) }
+
+func TestAbsSupport(t *testing.T) {
+	cases := []struct {
+		frac float64
+		n    int
+		want int
+	}{
+		{0.0025, 10000, 25},
+		{0.005, 10000, 50},
+		{0.02, 10000, 200},
+		{0.5, 4, 2},
+		{0.26, 4, 2},  // ceil(1.04)
+		{0.0, 100, 1}, // at least 1
+		{0.001, 5, 1},
+	}
+	for _, c := range cases {
+		if got := AbsSupport(c.frac, c.n); got != c.want {
+			t.Errorf("AbsSupport(%v, %d) = %d, want %d", c.frac, c.n, got, c.want)
+		}
+	}
+}
+
+func TestResultBasics(t *testing.T) {
+	r := NewResult()
+	r.Add(pat("(a)"), 4)
+	r.Add(pat("(a)(b)"), 3)
+	r.Add(pat("(a, b)"), 2)
+	if r.Len() != 3 || r.MaxLen() != 2 {
+		t.Fatalf("Len=%d MaxLen=%d", r.Len(), r.MaxLen())
+	}
+	if sup, ok := r.Support(pat("(a)(b)")); !ok || sup != 3 {
+		t.Errorf("Support = %d,%v", sup, ok)
+	}
+	if _, ok := r.Support(pat("(b)")); ok {
+		t.Error("phantom support")
+	}
+	h := r.CountByLength()
+	if h[1] != 1 || h[2] != 2 {
+		t.Errorf("CountByLength = %v", h)
+	}
+	s := r.Sorted()
+	if !s[0].Pattern.Equal(pat("(a)")) || !s[1].Pattern.Equal(pat("(a, b)")) || !s[2].Pattern.Equal(pat("(a)(b)")) {
+		t.Errorf("Sorted order wrong: %v", s)
+	}
+}
+
+func TestResultAddDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add must panic")
+		}
+	}()
+	r := NewResult()
+	r.Add(pat("(a)"), 1)
+	r.Add(pat("(a)"), 2)
+}
+
+func TestResultDiff(t *testing.T) {
+	a, b := NewResult(), NewResult()
+	a.Add(pat("(a)"), 3)
+	a.Add(pat("(b)"), 2)
+	b.Add(pat("(a)"), 3)
+	b.Add(pat("(b)"), 5)
+	b.Add(pat("(c)"), 1)
+	d := a.Diff(b)
+	if !strings.Contains(d, "support mismatch") || !strings.Contains(d, "extra in other") {
+		t.Errorf("Diff = %q", d)
+	}
+	if a.Equal(b) {
+		t.Error("Equal on differing results")
+	}
+	if !a.Equal(a) {
+		t.Error("Equal on itself")
+	}
+	c := NewResult()
+	c.Add(pat("(b)"), 2)
+	c.Add(pat("(a)"), 3)
+	if !a.Equal(c) {
+		t.Error("insertion order must not matter")
+	}
+}
+
+func TestDatabaseStats(t *testing.T) {
+	db := Database{
+		seq.MustParseCustomerSeq(1, "(a, b)(c)"),
+		seq.MustParseCustomerSeq(2, "(d)"),
+	}
+	if db.MaxItem() != 4 {
+		t.Errorf("MaxItem = %d", db.MaxItem())
+	}
+	if db.TotalItems() != 4 {
+		t.Errorf("TotalItems = %d", db.TotalItems())
+	}
+	if got := db.AvgTransPerCustomer(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("AvgTransPerCustomer = %v", got)
+	}
+	var empty Database
+	if empty.AvgTransPerCustomer() != 0 {
+		t.Error("empty database average should be 0")
+	}
+}
+
+// TestNRRByLevel builds a small result set by hand and checks Eq. 2:
+// NRR_Q = (1/N_Q) Σ size_child/size_Q, averaged per level.
+func TestNRRByLevel(t *testing.T) {
+	r := NewResult()
+	// Level 0 children (frequent 1-sequences): supports 8 and 4 over a
+	// 10-customer database -> NRR_0 = (0.8 + 0.4)/2 = 0.6.
+	r.Add(pat("(a)"), 8)
+	r.Add(pat("(b)"), 4)
+	// Children of <(a)>: supports 4 and 2 -> NRR = (0.5+0.25)/2 = 0.375.
+	// <(b)> has no children. Level 1 average = 0.375.
+	r.Add(pat("(a)(a)"), 4)
+	r.Add(pat("(a)(b)"), 2)
+	// Child of <(a)(a)>: support 2 -> NRR = 0.5. Level 2 average = 0.5.
+	r.Add(pat("(a)(a)(c)"), 2)
+	got := NRRByLevel(r, 10)
+	want := []float64{0.6, 0.375, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("NRRByLevel = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("NRRByLevel = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNRRPrefixParent: the parent of a frequent k-sequence under the NRR
+// accounting is its (k-1)-PREFIX, which for an i-extension shares the last
+// itemset.
+func TestNRRPrefixParent(t *testing.T) {
+	r := NewResult()
+	r.Add(pat("(a)"), 6)
+	r.Add(pat("(a, b)"), 3) // child of <(a)> via i-extension
+	got := NRRByLevel(r, 6)
+	if len(got) != 2 || math.Abs(got[1]-0.5) > 1e-9 {
+		t.Fatalf("NRRByLevel = %v", got)
+	}
+}
+
+func TestNRRInconsistentResultPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing prefix must panic")
+		}
+	}()
+	r := NewResult()
+	r.Add(pat("(a)(b)"), 3) // prefix <(a)> missing
+	NRRByLevel(r, 10)
+}

@@ -1,0 +1,237 @@
+// Package prefixspan implements the PrefixSpan algorithm of Pei et al.
+// (ICDE 2001) for itemset sequences, in the two variants compared by Chiu,
+// Wu & Chen (ICDE 2004, §4.1):
+//
+//   - Basic: physical projection — every recursion level materializes the
+//     projected postfix databases (the paper's Table 2 shows the projected
+//     database of <(a)> for Table 1).
+//   - Pseudo: pseudo-projection — projections are (sequence, offset)
+//     pointers into the original database, avoiding the copying cost when
+//     the database fits in memory.
+//
+// Both share one recursion engine. A projection records the greedy leftmost
+// matching point (t0, i0) of the current prefix pattern p in a customer
+// sequence: t0 is the transaction holding p's last itemset, i0 the
+// flattened index of p's last item. From there:
+//
+//   - s-extension items are the items of transactions after t0;
+//   - i-extension items are the items after i0 within t0, plus — required
+//     for completeness on itemset sequences — the items x > lastItem(p) of
+//     any later transaction that contains p's entire last itemset (the
+//     recursion's prefix part is matched before t0 < t, so such a
+//     transaction hosts a full match of p extended with x). Implementations
+//     that only look at the "_"-marked first postfix itemset lose patterns.
+package prefixspan
+
+import (
+	"github.com/disc-mining/disc/internal/counting"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Basic is PrefixSpan with physically materialized projected databases.
+type Basic struct{}
+
+// Name implements mining.Miner.
+func (Basic) Name() string { return "prefixspan" }
+
+// Mine implements mining.Miner.
+func (Basic) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	return run(db, minSup, false)
+}
+
+// Pseudo is PrefixSpan with pseudo-projection (pointer projections).
+type Pseudo struct{}
+
+// Name implements mining.Miner.
+func (Pseudo) Name() string { return "pseudo" }
+
+// Mine implements mining.Miner.
+func (Pseudo) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	return run(db, minSup, true)
+}
+
+// proj is one projected customer: the sequence to scan (the original
+// sequence under pseudo-projection, the materialized postfix under physical
+// projection) plus the matching point of the current prefix within it.
+type proj struct {
+	cs *seq.CustomerSeq
+	t0 int32 // transaction index of the prefix's last itemset
+	i0 int32 // flattened index of the prefix's last item
+}
+
+type engine struct {
+	minSup int
+	pseudo bool
+	res    *mining.Result
+	arrays []*counting.Array // one counting array per recursion depth
+	max    seq.Item
+}
+
+func run(db mining.Database, minSup int, pseudo bool) (*mining.Result, error) {
+	e := &engine{
+		minSup: minSup,
+		pseudo: pseudo,
+		res:    mining.NewResult(),
+		max:    db.MaxItem(),
+	}
+	if minSup < 1 {
+		minSup = 1
+		e.minSup = 1
+	}
+
+	// Frequent 1-sequences by one scan.
+	sup := make([]int, e.max+1)
+	seen := make([]bool, e.max+1)
+	var scratch []seq.Item
+	for _, cs := range db {
+		scratch = cs.DistinctItems(scratch[:0], seen)
+		for _, it := range scratch {
+			sup[it]++
+		}
+	}
+	for x := seq.Item(1); x <= e.max; x++ {
+		if sup[x] < minSup {
+			continue
+		}
+		p := seq.NewPattern(seq.Itemset{x})
+		// Project every customer containing x on its leftmost occurrence.
+		var projs []proj
+		for _, cs := range db {
+			if pr, ok := projectInitial(cs, x, pseudo); ok {
+				projs = append(projs, pr)
+			}
+		}
+		e.mine(p, projs, 0)
+	}
+	return e.res, nil
+}
+
+func projectInitial(cs *seq.CustomerSeq, x seq.Item, pseudo bool) (proj, bool) {
+	for t := 0; t < cs.NTrans(); t++ {
+		tr := cs.Transaction(t)
+		if !tr.Has(x) {
+			continue
+		}
+		i0 := int(cs.TransStart(t))
+		for cs.ItemAt(i0) != x {
+			i0++
+		}
+		if pseudo {
+			return proj{cs: cs, t0: int32(t), i0: int32(i0)}, true
+		}
+		post := cs.Suffix(t, x)
+		return proj{cs: post, t0: 0, i0: 0}, true
+	}
+	return proj{}, false
+}
+
+// mine records p (supported by every projected customer) and recurses into
+// its frequent extensions.
+func (e *engine) mine(p seq.Pattern, projs []proj, depth int) {
+	e.res.Add(p, len(projs))
+	if len(projs) < e.minSup {
+		return
+	}
+	arr := e.array(depth)
+	arr.Reset()
+	lastSet := p.LastItemset()
+	le := p.LastItem()
+	for ci, pr := range projs {
+		cid := int32(ci)
+		cs := pr.cs
+		// i-extensions within the matched transaction, after the matching
+		// point.
+		end := cs.TransStart(int(pr.t0) + 1)
+		for j := pr.i0 + 1; j < end; j++ {
+			arr.TouchI(cs.ItemAt(int(j)), cid)
+		}
+		// Later transactions: s-extensions always, i-extensions when the
+		// transaction contains p's whole last itemset.
+		for t := int(pr.t0) + 1; t < cs.NTrans(); t++ {
+			tr := cs.Transaction(t)
+			for _, x := range tr {
+				arr.TouchS(x, cid)
+			}
+			if tr.Contains(lastSet) {
+				for _, x := range tr {
+					if x > le {
+						arr.TouchI(x, cid)
+					}
+				}
+			}
+		}
+	}
+	for _, x := range arr.FrequentI(e.minSup, nil) {
+		child := p.ExtendI(x)
+		e.mine(child, e.project(projs, child, x, true), depth+1)
+	}
+	for _, x := range arr.FrequentS(e.minSup, nil) {
+		child := p.ExtendS(x)
+		e.mine(child, e.project(projs, child, x, false), depth+1)
+	}
+}
+
+// project builds the projected database of the child pattern from the
+// parent's projections.
+func (e *engine) project(projs []proj, child seq.Pattern, x seq.Item, iext bool) []proj {
+	lastSet := child.LastItemset()
+	out := make([]proj, 0, len(projs))
+	for _, pr := range projs {
+		cs := pr.cs
+		t, i, ok := int32(-1), int32(-1), false
+		if iext {
+			// Candidate 1: x occurs after the matching point within t0.
+			end := cs.TransStart(int(pr.t0) + 1)
+			for j := pr.i0 + 1; j < end; j++ {
+				if cs.ItemAt(int(j)) == x {
+					t, i, ok = pr.t0, j, true
+					break
+				}
+			}
+			// Candidate 2: a later transaction containing the whole new
+			// last itemset.
+			if !ok {
+				t, i, ok = findTransWith(cs, int(pr.t0)+1, lastSet, x)
+			}
+		} else {
+			t, i, ok = findTransWith(cs, int(pr.t0)+1, seq.Itemset{x}, x)
+		}
+		if !ok {
+			continue
+		}
+		if e.pseudo {
+			out = append(out, proj{cs: cs, t0: t, i0: i})
+		} else {
+			// The postfix's first transaction is cs.Transaction(t) filtered
+			// to items >= x, so the matched item x sits at index 0.
+			out = append(out, proj{cs: cs.Suffix(int(t), x), t0: 0, i0: 0})
+		}
+	}
+	return out
+}
+
+// findTransWith scans transactions from index from for the first one
+// containing set; it returns the transaction index and the flattened index
+// of x within it.
+func findTransWith(cs *seq.CustomerSeq, from int, set seq.Itemset, x seq.Item) (int32, int32, bool) {
+	for t := from; t < cs.NTrans(); t++ {
+		tr := cs.Transaction(t)
+		if !tr.Contains(set) {
+			continue
+		}
+		i := int(cs.TransStart(t))
+		for cs.ItemAt(i) != x {
+			i++
+		}
+		return int32(t), int32(i), true
+	}
+	return 0, 0, false
+}
+
+func (e *engine) array(depth int) *counting.Array {
+	for len(e.arrays) <= depth {
+		e.arrays = append(e.arrays, counting.New(e.max))
+	}
+	return e.arrays[depth]
+}

@@ -1,0 +1,148 @@
+package prefixspan
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// TestTable2Projection reproduces the paper's Table 2: the projected
+// database of <(a)> over Table 1 contains CIDs 1 and 4, with the first
+// transactions reduced to the items from a onward.
+func TestTable2Projection(t *testing.T) {
+	db := testutil.Table1()
+	var got []proj
+	for _, cs := range db {
+		if pr, ok := projectInitial(cs, 1, false); ok {
+			got = append(got, pr)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("projected database of <(a)> has %d entries, want 2", len(got))
+	}
+	// CID 1: (a,e,g)(b)(h)(f)(c)(b,f) -> (_,e,g)(b)(h)(f)(c)(b,f); our
+	// postfix keeps the matched item a in front of the "_" fragment.
+	want0 := "<(a, e, g)(b)(h)(f)(c)(b, f)>"
+	if got[0].cs.Pattern().Letters() != want0 {
+		t.Errorf("postfix of CID 1 = %s, want %s", got[0].cs.Pattern().Letters(), want0)
+	}
+	// CID 4: (f)(a,g)(b,f,h)(b,f) -> (_,g)(b,f,h)(b,f).
+	want1 := "<(a, g)(b, f, h)(b, f)>"
+	if got[1].cs.Pattern().Letters() != want1 {
+		t.Errorf("postfix of CID 4 = %s, want %s", got[1].cs.Pattern().Letters(), want1)
+	}
+	if got[0].t0 != 0 || got[0].i0 != 0 {
+		t.Errorf("matching point of postfix should be (0,0), got (%d,%d)", got[0].t0, got[0].i0)
+	}
+}
+
+// TestTable1Golden mines the paper's Table 1 with δ=2 and compares both
+// variants against the exhaustive oracle.
+func TestTable1Golden(t *testing.T) {
+	db := testutil.Table1()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Basic{}, Pseudo{}}, db, 2)
+}
+
+// TestTable6Golden mines the §3.1 example with δ=3.
+func TestTable6Golden(t *testing.T) {
+	db := testutil.Table6()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Basic{}, Pseudo{}}, db, 3)
+}
+
+// TestIExtensionAcrossTransactions is the classic itemset-PrefixSpan trap:
+// the i-extension pattern <(a)(b, c)> is only visible in a transaction
+// *after* the first postfix itemset. Implementations that only scan the
+// "_"-marked itemset miss it.
+func TestIExtensionAcrossTransactions(t *testing.T) {
+	db := mining.Database{
+		seq.MustParseCustomerSeq(1, "(a)(b)(b, c)"),
+		seq.MustParseCustomerSeq(2, "(a)(b, c)"),
+	}
+	for _, m := range []mining.Miner{Basic{}, Pseudo{}} {
+		res, err := m.Mine(db, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sup, ok := res.Support(seq.MustParsePattern("(a)(b, c)")); !ok || sup != 2 {
+			t.Errorf("%s: support of <(a)(b, c)> = %d,%v, want 2,true", m.Name(), sup, ok)
+		}
+	}
+}
+
+// TestRepeatedItemsetsDeepPatterns exercises repeated itemsets, which
+// stress the leftmost-projection logic.
+func TestRepeatedItemsetsDeepPatterns(t *testing.T) {
+	db := mining.Database{
+		seq.MustParseCustomerSeq(1, "(a, b)(a, b)(a, b)(a, b)"),
+		seq.MustParseCustomerSeq(2, "(a, b)(a, b)(a, b)(a, b)"),
+	}
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Basic{}, Pseudo{}}, db, 2)
+	res, _ := Basic{}.Mine(db, 2)
+	if sup, ok := res.Support(seq.MustParsePattern("(a, b)(a, b)(a, b)(a, b)")); !ok || sup != 2 {
+		t.Errorf("longest pattern support = %d,%v", sup, ok)
+	}
+}
+
+// TestRandomAgainstOracle is the main differential test for both variants.
+func TestRandomAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for i := 0; i < 60; i++ {
+		db := testutil.RandomDB(r, 6+r.Intn(8), 5, 4, 3)
+		minSup := 1 + r.Intn(4)
+		ref, err := bruteforce.Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Basic{}, Pseudo{}}, db, minSup)
+	}
+}
+
+// TestSkewedAgainstLevelWise uses larger skewed databases (too big for the
+// exponential oracle) against the level-wise miner.
+func TestSkewedAgainstLevelWise(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 10; i++ {
+		db := testutil.SkewedRandomDB(r, 60, 12, 6, 4)
+		minSup := 3 + r.Intn(6)
+		ref, err := bruteforce.LevelWise{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Basic{}, Pseudo{}}, db, minSup)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	for _, m := range []mining.Miner{Basic{}, Pseudo{}} {
+		res, err := m.Mine(nil, 1)
+		if err != nil || res.Len() != 0 {
+			t.Errorf("%s on empty db: %v, %d patterns", m.Name(), err, res.Len())
+		}
+		db := mining.Database{seq.MustParseCustomerSeq(1, "(a)")}
+		res, err = m.Mine(db, 1)
+		if err != nil || res.Len() != 1 {
+			t.Errorf("%s on singleton db: %v, %d patterns", m.Name(), err, res.Len())
+		}
+		// minSup 0 is clamped to 1.
+		res, err = m.Mine(db, 0)
+		if err != nil || res.Len() != 1 {
+			t.Errorf("%s with minSup 0: %v, %d patterns", m.Name(), err, res.Len())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package seq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the pattern in the paper's notation with numeric items,
+// e.g. "<(1, 5)(2)>".
+func (p Pattern) String() string {
+	return p.format(func(it Item) string { return strconv.Itoa(int(it)) })
+}
+
+// Letters renders the pattern using the paper's letter alphabet
+// (1 => a, 2 => b, ...). Items beyond 26 fall back to numbers.
+func (p Pattern) Letters() string {
+	return p.format(letterOf)
+}
+
+func letterOf(it Item) string {
+	if it >= 1 && it <= 26 {
+		return string(rune('a' + it - 1))
+	}
+	return strconv.Itoa(int(it))
+}
+
+func (p Pattern) format(f func(Item) string) string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, it := range p.items {
+		if i == 0 || p.tnos[i] != p.tnos[i-1] {
+			if i > 0 {
+				b.WriteByte(')')
+			}
+			b.WriteByte('(')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(f(it))
+	}
+	if len(p.items) > 0 {
+		b.WriteByte(')')
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// String renders the customer sequence like "<(1, 5)(2)>" prefixed by its
+// CID.
+func (cs *CustomerSeq) String() string {
+	return fmt.Sprintf("cid=%d %s", cs.CID, cs.Pattern().String())
+}
+
+// Letters renders the customer sequence body with the letter alphabet.
+func (cs *CustomerSeq) Letters() string {
+	return cs.Pattern().Letters()
+}
+
+// ParsePattern parses the paper's sequence notation. Both letter items
+// ("(a, e, g)(b)") and numeric items ("(1 5)(2)") are accepted; the
+// surrounding <> is optional, and commas between items are optional.
+// Single letters a-z parse as items 1-26.
+func ParsePattern(s string) (Pattern, error) {
+	itemsets, err := parseItemsets(s)
+	if err != nil {
+		return Pattern{}, err
+	}
+	return NewPattern(itemsets...), nil
+}
+
+// MustParsePattern is ParsePattern panicking on error; for tests and
+// examples with literal sequences.
+func MustParsePattern(s string) Pattern {
+	p, err := ParsePattern(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseCustomerSeq parses a customer sequence body in the same notation as
+// ParsePattern.
+func ParseCustomerSeq(cid int, s string) (*CustomerSeq, error) {
+	itemsets, err := parseItemsets(s)
+	if err != nil {
+		return nil, err
+	}
+	return NewCustomerSeq(cid, itemsets...), nil
+}
+
+// MustParseCustomerSeq is ParseCustomerSeq panicking on error.
+func MustParseCustomerSeq(cid int, s string) *CustomerSeq {
+	cs, err := ParseCustomerSeq(cid, s)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+func parseItemsets(s string) ([]Itemset, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	s = strings.TrimSuffix(s, ">")
+	var itemsets []Itemset
+	rest := strings.TrimSpace(s)
+	for len(rest) > 0 {
+		if rest[0] != '(' {
+			return nil, fmt.Errorf("seq: expected '(' at %q", rest)
+		}
+		end := strings.IndexByte(rest, ')')
+		if end < 0 {
+			return nil, fmt.Errorf("seq: unbalanced '(' in %q", s)
+		}
+		body := rest[1:end]
+		fields := strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+		var is Itemset
+		for _, f := range fields {
+			it, err := parseItem(f)
+			if err != nil {
+				return nil, err
+			}
+			is = append(is, it)
+		}
+		if len(is) == 0 {
+			return nil, fmt.Errorf("seq: empty itemset in %q", s)
+		}
+		itemsets = append(itemsets, is)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return itemsets, nil
+}
+
+func parseItem(f string) (Item, error) {
+	if len(f) == 1 && f[0] >= 'a' && f[0] <= 'z' {
+		return Item(f[0]-'a') + 1, nil
+	}
+	n, err := strconv.Atoi(f)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("seq: invalid item %q", f)
+	}
+	return Item(n), nil
+}

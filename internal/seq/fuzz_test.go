@@ -1,0 +1,28 @@
+package seq
+
+import "testing"
+
+// FuzzParsePattern: the pattern parser must never panic, and accepted
+// inputs must render/re-parse to an equal pattern.
+func FuzzParsePattern(f *testing.F) {
+	f.Add("(a, b)(c)")
+	f.Add("<(1 2)(3)>")
+	f.Add("(z)")
+	f.Add("((")
+	f.Add(")(")
+	f.Add("( a , , b )")
+	f.Add("(99999999999)")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePattern(input)
+		if err != nil {
+			return
+		}
+		q, err := ParsePattern(p.Letters())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", p.Letters(), input, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip changed pattern: %q -> %q", p.Letters(), q.Letters())
+		}
+	})
+}

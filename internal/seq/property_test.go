@@ -1,0 +1,133 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPrefixLaws: every proper pair-prefix of a pattern compares strictly
+// smaller, and the full-length prefix is the pattern itself.
+func TestPrefixLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	for i := 0; i < 2000; i++ {
+		p := randomPattern(r, 6, 7)
+		for k := 1; k < p.Len(); k++ {
+			pre := p.Prefix(k)
+			if Compare(pre, p) >= 0 {
+				t.Fatalf("Prefix(%d) of %s not smaller", k, p.Letters())
+			}
+			if pre.Len() != k {
+				t.Fatalf("Prefix(%d).Len() = %d", k, pre.Len())
+			}
+		}
+		if !p.Prefix(p.Len()).Equal(p) || !p.Prefix(p.Len()+5).Equal(p) {
+			t.Fatalf("full prefix of %s differs", p.Letters())
+		}
+	}
+}
+
+// TestExtendPrefixInverse: extending then taking the prefix recovers the
+// original pattern, for both extension forms.
+func TestExtendPrefixInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(302))
+	for i := 0; i < 2000; i++ {
+		p := randomPattern(r, 6, 6)
+		x := Item(1 + r.Intn(6))
+		s := p.ExtendS(x)
+		if !s.Prefix(p.Len()).Equal(p) {
+			t.Fatalf("ExtendS inverse failed for %s + %d", p.Letters(), x)
+		}
+		if s.LastItem() != x || s.LastTNo() != p.LastTNo()+1 {
+			t.Fatalf("ExtendS shape wrong: %s", s.Letters())
+		}
+		if x > p.LastItem() {
+			ii := p.ExtendI(x)
+			if !ii.Prefix(p.Len()).Equal(p) || ii.LastTNo() != p.LastTNo() {
+				t.Fatalf("ExtendI inverse failed for %s + %d", p.Letters(), x)
+			}
+		}
+	}
+}
+
+// TestContainmentClosedUnderPrefix: if a customer contains p, it contains
+// every prefix of p.
+func TestContainmentClosedUnderPrefix(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for i := 0; i < 1500; i++ {
+		cs := randomCustomer(r, 5, 6, 3)
+		p := randomPattern(r, 5, 5)
+		if !cs.Contains(p) {
+			continue
+		}
+		for k := 1; k < p.Len(); k++ {
+			if !cs.Contains(p.Prefix(k)) {
+				t.Fatalf("%s contains %s but not its prefix %s",
+					cs.Pattern().Letters(), p.Letters(), p.Prefix(k).Letters())
+			}
+		}
+	}
+}
+
+// TestParseFormatRoundTrip: rendering then parsing any random pattern is
+// the identity.
+func TestParseFormatRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(304))
+	for i := 0; i < 2000; i++ {
+		p := randomPattern(r, 26, 8)
+		for _, text := range []string{p.Letters(), p.String()} {
+			q, err := ParsePattern(text)
+			if err != nil {
+				t.Fatalf("parse %q: %v", text, err)
+			}
+			if !q.Equal(p) {
+				t.Fatalf("round trip %q -> %s", text, q.Letters())
+			}
+		}
+	}
+}
+
+// TestCustomerSeqPatternConsistency: the flattened accessors agree with the
+// itemset view.
+func TestCustomerSeqPatternConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(305))
+	for i := 0; i < 1000; i++ {
+		cs := randomCustomer(r, 8, 5, 4)
+		if cs.Len() != cs.Pattern().Len() {
+			t.Fatalf("Len mismatch")
+		}
+		pos := 0
+		for tn := 0; tn < cs.NTrans(); tn++ {
+			tr := cs.Transaction(tn)
+			if int(cs.TransStart(tn)) != pos {
+				t.Fatalf("TransStart(%d) = %d, want %d", tn, cs.TransStart(tn), pos)
+			}
+			for _, it := range tr {
+				if cs.ItemAt(pos) != it || int(cs.TNoAt(pos)) != tn+1 {
+					t.Fatalf("flattened mismatch at %d", pos)
+				}
+				pos++
+			}
+		}
+		if pos != cs.Len() {
+			t.Fatalf("length mismatch: %d vs %d", pos, cs.Len())
+		}
+	}
+}
+
+// TestDifferentialPointSymmetry: the differential point is symmetric and
+// consistent with Compare.
+func TestDifferentialPointSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(306))
+	for i := 0; i < 2000; i++ {
+		a := randomPattern(r, 5, 5)
+		b := randomPattern(r, 5, 5)
+		pa, oka := DifferentialPoint(a, b)
+		pb, okb := DifferentialPoint(b, a)
+		if oka != okb || (oka && pa != pb) {
+			t.Fatalf("asymmetric differential point for %s, %s", a.Letters(), b.Letters())
+		}
+		if oka != (Compare(a, b) != 0) {
+			t.Fatalf("differential point existence disagrees with Compare")
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package spade implements the SPADE algorithm of Zaki (Machine Learning
+// 2001), one of the baselines summarized in §1.1 of Chiu, Wu & Chen (ICDE
+// 2004). Sequences are mined in the vertical format: every pattern carries
+// an ID-list of (sid, eid) pairs recording each customer sequence (sid) and
+// transaction (eid) where an occurrence of the pattern *ends* — exactly the
+// paper's example: the ID-list of <(a, g)(b)> over Table 1 is
+// <(1,2), (1,6), (4,3), (4,4)>.
+//
+// Frequent 1- and 2-sequences are found with horizontal scans (as Zaki
+// does); longer sequences are enumerated depth-first over prefix-based
+// equivalence classes, joining the ID-lists of class siblings:
+//
+//   - equality join: occurrences ending in the same transaction (grows the
+//     last itemset, an i-extension);
+//   - temporal join: occurrences of the second atom ending strictly after
+//     an occurrence of the first (appends a new itemset, an s-extension).
+package spade
+
+import (
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Miner is the SPADE miner.
+type Miner struct{}
+
+// Name implements mining.Miner.
+func (Miner) Name() string { return "spade" }
+
+// pair is one ID-list entry: the customer sequence index and the 0-based
+// transaction index where the occurrence ends.
+type pair struct {
+	sid int32
+	eid int32
+}
+
+// IDList is a pattern's list of occurrence ends, sorted by (sid, eid) with
+// no duplicates.
+type IDList []pair
+
+// Support returns the number of distinct customer sequences in the list.
+func (l IDList) Support() int {
+	n := 0
+	for i, p := range l {
+		if i == 0 || p.sid != l[i-1].sid {
+			n++
+		}
+	}
+	return n
+}
+
+// EqualityJoin returns the intersection of two ID-lists: occurrences
+// ending in the same (sid, eid).
+func EqualityJoin(a, b IDList) IDList {
+	var out IDList
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].sid < b[j].sid || (a[i].sid == b[j].sid && a[i].eid < b[j].eid):
+			i++
+		case b[j].sid < a[i].sid || (b[j].sid == a[i].sid && b[j].eid < a[i].eid):
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// TemporalJoin returns the entries (sid, e_b) of b such that a contains an
+// entry (sid, e_a) with e_a < e_b.
+func TemporalJoin(a, b IDList) IDList {
+	var out IDList
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].sid < b[j].sid:
+			i++
+		case a[i].sid > b[j].sid:
+			j++
+		default:
+			// a[i] is the first entry of this sid in a (we never advance i
+			// past the first one before draining b's sid run), so a[i].eid
+			// is the minimal end of the first atom in this customer.
+			if b[j].eid > a[i].eid {
+				out = append(out, b[j])
+			}
+			j++
+		}
+	}
+	return out
+}
+
+// atom is one member of an equivalence class: the class prefix extended by
+// a single item, either into the prefix's last itemset (itemsetAtom) or as
+// a new itemset.
+type atom struct {
+	item        seq.Item
+	itemsetAtom bool // true: i-atom (grows the last itemset)
+	pattern     seq.Pattern
+	list        IDList
+}
+
+// Mine implements mining.Miner.
+func (Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	if minSup < 1 {
+		minSup = 1
+	}
+	res := mining.NewResult()
+	maxItem := db.MaxItem()
+
+	// Horizontal pass: frequent 1-sequences and their vertical ID-lists.
+	sup := make([]int, maxItem+1)
+	seen := make([]bool, maxItem+1)
+	var scratch []seq.Item
+	for _, cs := range db {
+		scratch = cs.DistinctItems(scratch[:0], seen)
+		for _, it := range scratch {
+			sup[it]++
+		}
+	}
+	f1 := make([]seq.Item, 0)
+	freq1 := make([]bool, maxItem+1)
+	for x := seq.Item(1); x <= maxItem; x++ {
+		if sup[x] >= minSup {
+			f1 = append(f1, x)
+			freq1[x] = true
+			res.Add(seq.NewPattern(seq.Itemset{x}), sup[x])
+		}
+	}
+	lists := make([]IDList, maxItem+1)
+	for sidx, cs := range db {
+		for t := 0; t < cs.NTrans(); t++ {
+			for _, x := range cs.Transaction(t) {
+				if freq1[x] {
+					lists[x] = append(lists[x], pair{sid: int32(sidx), eid: int32(t)})
+				}
+			}
+		}
+	}
+
+	// Horizontal pass for frequent 2-sequences: pair counting avoids the
+	// quadratic number of F1 x F1 joins.
+	supS, supI := count2(db, maxItem, freq1)
+
+	// Build the <(x)>-classes and recurse.
+	for _, x := range f1 {
+		px := seq.NewPattern(seq.Itemset{x})
+		var members []atom
+		for _, y := range f1 {
+			if y > x {
+				if s := int(supI[int(x)*(int(maxItem)+1)+int(y)]); s >= minSup {
+					l := EqualityJoin(lists[x], lists[y])
+					members = append(members, atom{item: y, itemsetAtom: true, pattern: px.ExtendI(y), list: l})
+				}
+			}
+			if s := int(supS[int(x)*(int(maxItem)+1)+int(y)]); s >= minSup {
+				l := TemporalJoin(lists[x], lists[y])
+				members = append(members, atom{item: y, pattern: px.ExtendS(y), list: l})
+			}
+		}
+		for _, m := range members {
+			res.Add(m.pattern, m.list.Support())
+		}
+		mineClass(members, minSup, res)
+	}
+	return res, nil
+}
+
+// mineClass recursively processes one equivalence class: for each member A
+// it derives the child class of A by joining A with every member B.
+func mineClass(members []atom, minSup int, res *mining.Result) {
+	for _, a := range members {
+		var children []atom
+		for _, b := range members {
+			for _, c := range joinAtoms(a, b) {
+				if c.list.Support() >= minSup {
+					res.Add(c.pattern, c.list.Support())
+					children = append(children, c)
+				}
+			}
+		}
+		mineClass(children, minSup, res)
+	}
+}
+
+// joinAtoms applies Zaki's join table to two members of the same class,
+// producing the candidate extensions of a's pattern.
+func joinAtoms(a, b atom) []atom {
+	switch {
+	case a.itemsetAtom && b.itemsetAtom:
+		// I x I -> I, once per unordered pair.
+		if b.item > a.item {
+			return []atom{{
+				item: b.item, itemsetAtom: true,
+				pattern: a.pattern.ExtendI(b.item),
+				list:    EqualityJoin(a.list, b.list),
+			}}
+		}
+		return nil
+	case a.itemsetAtom && !b.itemsetAtom:
+		// I x S -> S appended after a's pattern.
+		return []atom{{
+			item:    b.item,
+			pattern: a.pattern.ExtendS(b.item),
+			list:    TemporalJoin(a.list, b.list),
+		}}
+	case !a.itemsetAtom && b.itemsetAtom:
+		// S x I: not joinable; covered by I x S from the other side.
+		return nil
+	default:
+		// S x S -> temporal S always (including the self-join), plus the
+		// equality I when b's item can grow a's last singleton itemset.
+		out := []atom{{
+			item:    b.item,
+			pattern: a.pattern.ExtendS(b.item),
+			list:    TemporalJoin(a.list, b.list),
+		}}
+		if b.item > a.item {
+			out = append(out, atom{
+				item: b.item, itemsetAtom: true,
+				pattern: a.pattern.ExtendI(b.item),
+				list:    EqualityJoin(a.list, b.list),
+			})
+		}
+		return out
+	}
+}
+
+// count2 counts the supports of every 2-sequence over frequent items in one
+// horizontal scan. It returns flat matrices indexed x*(maxItem+1)+y for the
+// s-form <(x)(y)> and the i-form <(x, y)> (the latter only filled for
+// x < y).
+func count2(db mining.Database, maxItem seq.Item, freq1 []bool) (supS, supI []int32) {
+	n := int(maxItem) + 1
+	supS = make([]int32, n*n)
+	supI = make([]int32, n*n)
+	stampI := make([]int32, n*n) // last sid+1 that touched the i-cell
+	minEid := make([]int32, n)
+	var items []seq.Item
+	seen := make([]bool, n)
+	for sidx, cs := range db {
+		items = cs.DistinctItems(items[:0], seen)
+		// Track each frequent item's first and last transaction.
+		for _, x := range items {
+			minEid[x] = -1
+		}
+		maxEid := make(map[seq.Item]int32, len(items))
+		for t := 0; t < cs.NTrans(); t++ {
+			for _, x := range cs.Transaction(t) {
+				if !freq1[x] {
+					continue
+				}
+				if minEid[x] < 0 {
+					minEid[x] = int32(t)
+				}
+				maxEid[x] = int32(t)
+			}
+		}
+		// s-pairs: (x, y) supported iff x first occurs before y's last
+		// occurrence.
+		for _, x := range items {
+			if !freq1[x] || minEid[x] < 0 {
+				continue
+			}
+			for _, y := range items {
+				if !freq1[y] {
+					continue
+				}
+				if maxEid[y] > minEid[x] {
+					supS[int(x)*n+int(y)]++
+				}
+			}
+		}
+		// i-pairs: distinct co-occurrences within one transaction,
+		// deduplicated per customer by stamping.
+		for t := 0; t < cs.NTrans(); t++ {
+			tr := cs.Transaction(t)
+			for i := 0; i < len(tr); i++ {
+				if !freq1[tr[i]] {
+					continue
+				}
+				for j := i + 1; j < len(tr); j++ {
+					if !freq1[tr[j]] {
+						continue
+					}
+					cell := int(tr[i])*n + int(tr[j])
+					if stampI[cell] != int32(sidx)+1 {
+						stampI[cell] = int32(sidx) + 1
+						supI[cell]++
+					}
+				}
+			}
+		}
+	}
+	return supS, supI
+}

@@ -1,0 +1,169 @@
+package spade
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// idListOf computes a pattern's ID-list the slow way for golden checks:
+// every (sid, eid) where the pattern occurs ending at eid. sid here is the
+// 1-based CID to match the paper's notation.
+func idListOf(db mining.Database, p seq.Pattern) []pair {
+	var out []pair
+	sets := p.Itemsets()
+	for sidx, cs := range db {
+		for e := 0; e < cs.NTrans(); e++ {
+			if !cs.Transaction(e).Contains(sets[len(sets)-1]) {
+				continue
+			}
+			if prefixMatchesBefore(cs, sets[:len(sets)-1], e) {
+				out = append(out, pair{sid: int32(sidx) + 1, eid: int32(e) + 1})
+			}
+		}
+	}
+	return out
+}
+
+func prefixMatchesBefore(cs *seq.CustomerSeq, sets []seq.Itemset, before int) bool {
+	t := 0
+	for _, s := range sets {
+		for ; t < before; t++ {
+			if cs.Transaction(t).Contains(s) {
+				break
+			}
+		}
+		if t >= before {
+			return false
+		}
+		t++
+	}
+	return true
+}
+
+// TestIDListPaperExample reproduces the §1.1 example: the ID-list of
+// <(a, g)(b)> over Table 1 is <(1,2), (1,6), (4,3), (4,4)> (1-based).
+func TestIDListPaperExample(t *testing.T) {
+	got := idListOf(testutil.Table1(), seq.MustParsePattern("(a, g)(b)"))
+	want := []pair{{1, 2}, {1, 6}, {4, 3}, {4, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("ID-list = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ID-list = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTemporalJoinPaperExample reproduces the §1.1 merge: joining the
+// ID-lists of <(a, g)(h)> = <(1,3), (4,3)> and <(a, g)(f)> = <(1,4), (1,6),
+// (4,3), (4,4)> yields <(a, g)(h)(f)> = <(1,4), (1,6), (4,4)> with support
+// 2.
+func TestTemporalJoinPaperExample(t *testing.T) {
+	db := testutil.Table1()
+	lh := toIDList(idListOf(db, seq.MustParsePattern("(a, g)(h)")))
+	lf := toIDList(idListOf(db, seq.MustParsePattern("(a, g)(f)")))
+	got := TemporalJoin(lh, lf)
+	want := IDList{{1, 4}, {1, 6}, {4, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("TemporalJoin = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TemporalJoin = %v, want %v", got, want)
+		}
+	}
+	if got.Support() != 2 {
+		t.Errorf("support = %d, want 2", got.Support())
+	}
+}
+
+func toIDList(ps []pair) IDList { return IDList(ps) }
+
+func TestEqualityJoin(t *testing.T) {
+	a := IDList{{1, 1}, {1, 3}, {2, 2}, {4, 5}}
+	b := IDList{{1, 3}, {2, 1}, {2, 2}, {3, 1}, {4, 5}}
+	got := EqualityJoin(a, b)
+	want := IDList{{1, 3}, {2, 2}, {4, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("EqualityJoin = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EqualityJoin = %v, want %v", got, want)
+		}
+	}
+	if got.Support() != 3 {
+		t.Errorf("support = %d", got.Support())
+	}
+	if len(EqualityJoin(a, nil)) != 0 || len(TemporalJoin(nil, b)) != 0 {
+		t.Error("joins with empty lists must be empty")
+	}
+}
+
+func TestTemporalJoinUsesEarliestEnd(t *testing.T) {
+	// a has ends (1,2) and (1,5); b has (1,3): 3 > 2, so the join keeps it
+	// even though 3 < 5.
+	a := IDList{{1, 2}, {1, 5}}
+	b := IDList{{1, 3}}
+	got := TemporalJoin(a, b)
+	if len(got) != 1 || got[0] != (pair{1, 3}) {
+		t.Fatalf("TemporalJoin = %v", got)
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	db := testutil.Table1()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, 2)
+}
+
+func TestTable6Golden(t *testing.T) {
+	db := testutil.Table6()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, 3)
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 60; i++ {
+		db := testutil.RandomDB(r, 6+r.Intn(8), 5, 4, 3)
+		minSup := 1 + r.Intn(4)
+		ref, err := bruteforce.Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, minSup)
+	}
+}
+
+func TestSkewedAgainstLevelWise(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 8; i++ {
+		db := testutil.SkewedRandomDB(r, 60, 12, 6, 4)
+		minSup := 3 + r.Intn(6)
+		ref, err := bruteforce.LevelWise{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, minSup)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	res, err := Miner{}.Mine(nil, 1)
+	if err != nil || res.Len() != 0 {
+		t.Errorf("empty db: %v, %d", err, res.Len())
+	}
+}

@@ -1,0 +1,211 @@
+// Package spam implements the SPAM algorithm of Ayres, Flannick, Gehrke &
+// Yiu (KDD 2002), one of the baselines summarized in §1.1 of Chiu, Wu &
+// Chen (ICDE 2004). Every pattern carries a vertical bitmap with one bit
+// per (customer, transaction) slot, set when an occurrence of the pattern
+// ends in that transaction. An s-extension first applies the S-step
+// transform (per customer: set every bit strictly after the first set bit)
+// and then ANDs the item's bitmap; an i-extension ANDs directly. The
+// depth-first search passes pruned candidate lists down the tree, which is
+// SPAM's version of anti-monotone candidate pruning.
+//
+// SPAM assumes all bitmaps fit in main memory (the paper's stated
+// assumption); this implementation keeps one bitmap per live tree path and
+// per surviving candidate.
+package spam
+
+import (
+	"math/bits"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Miner is the SPAM miner.
+type Miner struct{}
+
+// Name implements mining.Miner.
+func (Miner) Name() string { return "spam" }
+
+// layout maps (customer, transaction) pairs to bit positions.
+type layout struct {
+	offsets []int32 // offsets[c] = first bit of customer c; len = ncust+1
+	bitCust []int32 // bit -> customer index
+	words   int
+}
+
+type bitmap []uint64
+
+func (l *layout) newBitmap() bitmap { return make(bitmap, l.words) }
+
+func (b bitmap) set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// and sets dst = a & b.
+func and(dst, a, b bitmap) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// support counts the customers with at least one set bit.
+func (l *layout) support(b bitmap) int {
+	n := 0
+	last := int32(-1)
+	for w, word := range b {
+		for word != 0 {
+			bit := int32(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			if c := l.bitCust[bit]; c != last {
+				last = c
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sTransform writes into dst the S-step transform of src: per customer,
+// every bit strictly after the customer's first set bit is set. It walks
+// the set bits of src (skipping empty customers wholesale) and fills each
+// matched customer's tail region.
+func (l *layout) sTransform(dst, src bitmap) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	last := int32(-1) // last customer already handled
+	for w, word := range src {
+		for word != 0 {
+			bit := int32(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+			c := l.bitCust[bit]
+			if c == last {
+				continue // only the first set bit per customer matters
+			}
+			last = c
+			for i := bit + 1; i < l.offsets[c+1]; i++ {
+				dst.set(i)
+			}
+		}
+	}
+}
+
+// Mine implements mining.Miner.
+func (Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	if minSup < 1 {
+		minSup = 1
+	}
+	res := mining.NewResult()
+	maxItem := db.MaxItem()
+
+	// Layout and frequent items.
+	l := &layout{offsets: make([]int32, len(db)+1)}
+	total := int32(0)
+	for c, cs := range db {
+		l.offsets[c] = total
+		total += int32(cs.NTrans())
+	}
+	l.offsets[len(db)] = total
+	l.words = int(total+63) / 64
+	l.bitCust = make([]int32, total)
+	for c := range db {
+		for i := l.offsets[c]; i < l.offsets[c+1]; i++ {
+			l.bitCust[i] = int32(c)
+		}
+	}
+
+	sup := make([]int, maxItem+1)
+	seen := make([]bool, maxItem+1)
+	var scratch []seq.Item
+	for _, cs := range db {
+		scratch = cs.DistinctItems(scratch[:0], seen)
+		for _, it := range scratch {
+			sup[it]++
+		}
+	}
+	var f1 []seq.Item
+	itemBM := make([]bitmap, maxItem+1)
+	for x := seq.Item(1); x <= maxItem; x++ {
+		if sup[x] >= minSup {
+			f1 = append(f1, x)
+			itemBM[x] = l.newBitmap()
+		}
+	}
+	for c, cs := range db {
+		for t := 0; t < cs.NTrans(); t++ {
+			for _, x := range cs.Transaction(t) {
+				if itemBM[x] != nil {
+					itemBM[x].set(l.offsets[c] + int32(t))
+				}
+			}
+		}
+	}
+
+	m := &spamMiner{l: l, minSup: minSup, res: res, itemBM: itemBM}
+	for _, x := range f1 {
+		res.Add(seq.NewPattern(seq.Itemset{x}), sup[x])
+		var icand []seq.Item
+		for _, y := range f1 {
+			if y > x {
+				icand = append(icand, y)
+			}
+		}
+		m.mine(seq.NewPattern(seq.Itemset{x}), itemBM[x], f1, icand)
+	}
+	return res, nil
+}
+
+type spamMiner struct {
+	l      *layout
+	minSup int
+	res    *mining.Result
+	itemBM []bitmap
+}
+
+// mine explores the children of (p, bm). scand and icand are the pruned
+// s- and i-candidate item lists inherited from the parent.
+func (m *spamMiner) mine(p seq.Pattern, bm bitmap, scand, icand []seq.Item) {
+	// S-step: one shared transform, then an AND per candidate.
+	var sSurv []seq.Item
+	var sBM []bitmap
+	if len(scand) > 0 {
+		trans := m.l.newBitmap()
+		m.l.sTransform(trans, bm)
+		for _, y := range scand {
+			nb := m.l.newBitmap()
+			and(nb, trans, m.itemBM[y])
+			if s := m.l.support(nb); s >= m.minSup {
+				m.res.Add(p.ExtendS(y), s)
+				sSurv = append(sSurv, y)
+				sBM = append(sBM, nb)
+			}
+		}
+	}
+	// I-step.
+	var iSurv []seq.Item
+	var iBM []bitmap
+	for _, y := range icand {
+		nb := m.l.newBitmap()
+		and(nb, bm, m.itemBM[y])
+		if s := m.l.support(nb); s >= m.minSup {
+			m.res.Add(p.ExtendI(y), s)
+			iSurv = append(iSurv, y)
+			iBM = append(iBM, nb)
+		}
+	}
+	// Recurse: s-children inherit (sSurv, sSurv>y); i-children inherit
+	// (sSurv, iSurv>y).
+	for i, y := range sSurv {
+		m.mine(p.ExtendS(y), sBM[i], sSurv, greaterThan(sSurv, y))
+	}
+	for i, y := range iSurv {
+		m.mine(p.ExtendI(y), iBM[i], sSurv, greaterThan(iSurv, y))
+	}
+}
+
+func greaterThan(items []seq.Item, y seq.Item) []seq.Item {
+	for i, x := range items {
+		if x > y {
+			return items[i:]
+		}
+	}
+	return nil
+}

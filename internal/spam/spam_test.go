@@ -1,0 +1,151 @@
+package spam
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+func buildLayout(sizes ...int32) *layout {
+	l := &layout{offsets: make([]int32, len(sizes)+1)}
+	total := int32(0)
+	for i, s := range sizes {
+		l.offsets[i] = total
+		total += s
+	}
+	l.offsets[len(sizes)] = total
+	l.words = int(total+63) / 64
+	l.bitCust = make([]int32, total)
+	for c := range sizes {
+		for i := l.offsets[c]; i < l.offsets[c+1]; i++ {
+			l.bitCust[i] = int32(c)
+		}
+	}
+	return l
+}
+
+func TestSTransform(t *testing.T) {
+	// Three customers with 3, 4 and 2 transactions.
+	l := buildLayout(3, 4, 2)
+	src := l.newBitmap()
+	// Customer 0: first set bit at slot 0 -> bits 1,2 set.
+	src.set(0)
+	src.set(2)
+	// Customer 1: first set bit at slot 5 (its transaction 2) -> bit 6 set.
+	src.set(5)
+	// Customer 2: no bits -> nothing set.
+	dst := l.newBitmap()
+	l.sTransform(dst, src)
+	wantSet := map[int32]bool{1: true, 2: true, 6: true}
+	for i := int32(0); i < 9; i++ {
+		got := dst[i>>6]&(1<<(uint(i)&63)) != 0
+		if got != wantSet[i] {
+			t.Errorf("bit %d = %v, want %v", i, got, wantSet[i])
+		}
+	}
+}
+
+func TestSTransformSpansWords(t *testing.T) {
+	// One customer spanning two 64-bit words: first set bit near the end
+	// of word 0 must set bits across the boundary.
+	l := buildLayout(100)
+	src := l.newBitmap()
+	src.set(62)
+	dst := l.newBitmap()
+	l.sTransform(dst, src)
+	for i := int32(0); i < 100; i++ {
+		want := i >= 63
+		got := dst[i>>6]&(1<<(uint(i)&63)) != 0
+		if got != want {
+			t.Fatalf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSupportCountsCustomersNotBits(t *testing.T) {
+	l := buildLayout(3, 3, 3)
+	b := l.newBitmap()
+	b.set(0)
+	b.set(1)
+	b.set(2) // all in customer 0
+	b.set(7) // customer 2
+	if got := l.support(b); got != 2 {
+		t.Errorf("support = %d, want 2", got)
+	}
+	if got := l.support(l.newBitmap()); got != 0 {
+		t.Errorf("support of empty bitmap = %d", got)
+	}
+}
+
+func TestGreaterThan(t *testing.T) {
+	items := []seq.Item{2, 5, 9}
+	if got := greaterThan(items, 1); len(got) != 3 {
+		t.Errorf("greaterThan(1) = %v", got)
+	}
+	if got := greaterThan(items, 5); len(got) != 1 || got[0] != 9 {
+		t.Errorf("greaterThan(5) = %v", got)
+	}
+	if got := greaterThan(items, 9); got != nil {
+		t.Errorf("greaterThan(9) = %v", got)
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	db := testutil.Table1()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, 2)
+}
+
+func TestTable6Golden(t *testing.T) {
+	db := testutil.Table6()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, 3)
+}
+
+func TestRandomAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < 60; i++ {
+		db := testutil.RandomDB(r, 6+r.Intn(8), 5, 4, 3)
+		minSup := 1 + r.Intn(4)
+		ref, err := bruteforce.Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, minSup)
+	}
+}
+
+func TestSkewedAgainstLevelWise(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	for i := 0; i < 8; i++ {
+		db := testutil.SkewedRandomDB(r, 60, 12, 6, 4)
+		minSup := 3 + r.Intn(6)
+		ref, err := bruteforce.LevelWise{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckAgainst(t, ref, []mining.Miner{Miner{}}, db, minSup)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	res, err := Miner{}.Mine(nil, 1)
+	if err != nil || res.Len() != 0 {
+		t.Errorf("empty db: %v, %d", err, res.Len())
+	}
+	db := mining.Database{seq.MustParseCustomerSeq(1, "(a)")}
+	res, err = Miner{}.Mine(db, 1)
+	if err != nil || res.Len() != 1 {
+		t.Errorf("singleton db: %v, %d", err, res.Len())
+	}
+}

@@ -1,0 +1,99 @@
+// Package testutil provides shared fixtures for the mining test suites:
+// the paper's example databases, random database generation, and the
+// cross-miner agreement checker used by every algorithm's differential
+// tests.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Table1 returns the paper's Table 1 example database.
+func Table1() mining.Database {
+	return mining.Database{
+		seq.MustParseCustomerSeq(1, "(a, e, g)(b)(h)(f)(c)(b, f)"),
+		seq.MustParseCustomerSeq(2, "(b)(d, f)(e)"),
+		seq.MustParseCustomerSeq(3, "(b, f, g)"),
+		seq.MustParseCustomerSeq(4, "(f)(a, g)(b, f, h)(b, f)"),
+	}
+}
+
+// Table6 returns the paper's Table 6 example database (§3.1, δ = 3).
+func Table6() mining.Database {
+	return mining.Database{
+		seq.MustParseCustomerSeq(1, "(a, d)(d)(a, g, h)(c)"),
+		seq.MustParseCustomerSeq(2, "(b)(a)(f)(a, c, e, g)"),
+		seq.MustParseCustomerSeq(3, "(a, f, g)(a, e, g, h)(c, g, h)"),
+		seq.MustParseCustomerSeq(4, "(f)(a, c, f)(a, c, e, g, h)"),
+		seq.MustParseCustomerSeq(5, "(a, g)"),
+		seq.MustParseCustomerSeq(6, "(a, f)(a, e, g, h)"),
+		seq.MustParseCustomerSeq(7, "(a, b, g)(a, e, g)(g, h)"),
+		seq.MustParseCustomerSeq(8, "(b, f)(b, e)(e, f, h)"),
+		seq.MustParseCustomerSeq(9, "(d, f)(d, f, g, h)"),
+		seq.MustParseCustomerSeq(10, "(b, f, g)(c, e, h)"),
+		seq.MustParseCustomerSeq(11, "(e, g)(f)(e, f)"),
+	}
+}
+
+// RandomDB builds a random database of ncust customer sequences over an
+// alphabet of nitems, with up to maxTrans transactions of up to maxPerTrans
+// items each.
+func RandomDB(r *rand.Rand, ncust, nitems, maxTrans, maxPerTrans int) mining.Database {
+	db := make(mining.Database, ncust)
+	for c := range db {
+		nt := 1 + r.Intn(maxTrans)
+		sets := make([]seq.Itemset, nt)
+		for i := range sets {
+			sz := 1 + r.Intn(maxPerTrans)
+			var is seq.Itemset
+			for j := 0; j < sz; j++ {
+				is = append(is, seq.Item(1+r.Intn(nitems)))
+			}
+			sets[i] = is
+		}
+		db[c] = seq.NewCustomerSeq(c+1, sets...)
+	}
+	return db
+}
+
+// SkewedRandomDB builds a random database where item probabilities follow a
+// Zipf-ish skew, which produces longer frequent sequences than uniform
+// sampling and stresses the deep-recursion paths of the miners.
+func SkewedRandomDB(r *rand.Rand, ncust, nitems, maxTrans, maxPerTrans int) mining.Database {
+	zipf := rand.NewZipf(r, 1.3, 1.0, uint64(nitems-1))
+	db := make(mining.Database, ncust)
+	for c := range db {
+		nt := 1 + r.Intn(maxTrans)
+		sets := make([]seq.Itemset, nt)
+		for i := range sets {
+			sz := 1 + r.Intn(maxPerTrans)
+			var is seq.Itemset
+			for j := 0; j < sz; j++ {
+				is = append(is, seq.Item(1+zipf.Uint64()))
+			}
+			sets[i] = is
+		}
+		db[c] = seq.NewCustomerSeq(c+1, sets...)
+	}
+	return db
+}
+
+// CheckAgainst mines db with every miner and requires each result to be
+// identical (patterns and exact supports) to the reference result.
+func CheckAgainst(t *testing.T, ref *mining.Result, miners []mining.Miner, db mining.Database, minSup int) {
+	t.Helper()
+	for _, m := range miners {
+		got, err := m.Mine(db, minSup)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if diff := ref.Diff(got); diff != "" {
+			t.Fatalf("%s disagrees with reference (minSup=%d, %d customers):\n%s",
+				m.Name(), minSup, len(db), diff)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package walkthrough
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWalkthroughGolden pins the paper-fidelity facts the walkthrough
+// renders: the Table 3 and Table 9 orderings, the ID-list, the Table 4 and
+// Table 10 re-sorted states, and the Example 3.5 conclusion.
+func TestWalkthroughGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantInOrder := []string{
+		// Table 1 + §1.1 facts.
+		"CID 1  <(a, e, g)(b)(h)(f)(c)(b, f)>",
+		"(1,2) (1,6) (4,3) (4,4)",
+		"<(a, g)(h)(f)> support (paper: 2): 2",
+		// Table 2.
+		"CID 4  <(a, g)(b, f, h)(b, f)>",
+		// Ordering.
+		"<(a)(b)(h)> < <(a)(c)(f)>",
+		"<(a, b)(c)> < <(a)(b, c)>",
+		// Table 3: ascending 3-minimums, CID 1/4 before CID 2 before CID 3.
+		"CID 1  <(a)(b)(b)>",
+		"CID 4  <(a)(b)(b)>",
+		"CID 2  <(b)(d)(e)>",
+		"CID 3  <(b, f, g)>",
+		// Table 4: CID 2 first, then CID 4 <(b, f)(b)>, CID 3, CID 1.
+		"CID 2  <(b)(d)(e)>",
+		"CID 4  <(b, f)(b)>",
+		"CID 3  <(b, f, g)>",
+		"CID 1  <(b)(f)(b)>",
+		// Table 9.
+		"CID 3  <(a)(a, e)(c)>",
+		"CID 1  <(a)(a, g)(c)>",
+		// Table 10: CID 3 re-sorted to <(a)(a, e, g)>.
+		"CID 3  <(a)(a, e, g)>",
+		// Example 3.5.
+		"support (Table 10 shows its 5 supporters): 5",
+		"(_h)=3",
+		"<(a)(a, e, g, h)> is the only frequent 5-sequence",
+	}
+	pos := 0
+	for _, want := range wantInOrder {
+		idx := strings.Index(out[pos:], want)
+		if idx < 0 {
+			t.Fatalf("missing (or out of order) %q in walkthrough output:\n%s", want, out)
+		}
+		pos += idx
+	}
+}

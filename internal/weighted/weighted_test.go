@@ -1,0 +1,124 @@
+package weighted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+func TestWeightsAccessors(t *testing.T) {
+	w := Weights{0, 1.0, 0.5, 2.0}
+	if w.Of(2) != 0.5 || w.Of(9) != 0 {
+		t.Errorf("Of = %v, %v", w.Of(2), w.Of(9))
+	}
+	if w.Max() != 2.0 {
+		t.Errorf("Max = %v", w.Max())
+	}
+	p := seq.MustParsePattern("(a)(c)") // items 1 and 3
+	if got := w.PatternWeight(p); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("PatternWeight = %v, want 1.5", got)
+	}
+	if w.PatternWeight(seq.Pattern{}) != 0 {
+		t.Error("empty pattern weight must be 0")
+	}
+}
+
+// TestHandComputed: Table 1 with weights making h (item 8) heavy. The
+// pattern <(h)> has support 2 and weight 3.0 => wsup 6; <(b)> has support 4
+// and weight 1.0 => wsup 4.
+func TestHandComputed(t *testing.T) {
+	db := testutil.Table1()
+	w := make(Weights, 9)
+	for i := range w {
+		w[i] = 1.0
+	}
+	w[8] = 3.0 // h
+	out, err := Miner{Weights: w}.Mine(db, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]Pattern{}
+	for _, p := range out {
+		found[p.Pattern.Letters()] = p
+	}
+	h, ok := found["<(h)>"]
+	if !ok || h.Support != 2 || math.Abs(h.WeightedSupport-6.0) > 1e-9 {
+		t.Errorf("<(h)> = %+v, ok=%v", h, ok)
+	}
+	if _, ok := found["<(b)>"]; ok {
+		t.Error("<(b)> has wsup 4 < 5 and must be filtered")
+	}
+	// Non-anti-monotone behaviour: <(a, g)(h)(f)> (4 items incl. h) has
+	// support 2, weight (1+1+3+1)/4 = 1.5, wsup 3.0 — below τ even though
+	// a heavier subsequence <(h)> qualifies.
+	if _, ok := found["<(a, g)(h)(f)>"]; ok {
+		t.Error("<(a, g)(h)(f)> must be filtered at τ=5")
+	}
+}
+
+// TestSoundAndComplete compares against a brute-force weighted enumeration.
+func TestSoundAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for i := 0; i < 25; i++ {
+		db := testutil.RandomDB(r, 8, 5, 4, 3)
+		w := make(Weights, 6)
+		for j := 1; j < len(w); j++ {
+			w[j] = 0.25 + 2*r.Float64()
+		}
+		tau := 1.0 + 3*r.Float64()
+		got, err := Miner{Weights: w}.Mine(db, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := map[string]float64{}
+		for _, p := range got {
+			if p.WeightedSupport < tau {
+				t.Fatalf("unsound: %s wsup %v < τ %v", p.Pattern.Letters(), p.WeightedSupport, tau)
+			}
+			gotSet[p.Pattern.Key()] = p.WeightedSupport
+		}
+		// Complete: enumerate everything with support >= 1 and re-score.
+		all, err := bruteforce.Exhaustive{}.Mine(db, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range all.Sorted() {
+			ws := float64(pc.Support) * w.PatternWeight(pc.Pattern)
+			if ws >= tau {
+				if _, ok := gotSet[pc.Pattern.Key()]; !ok {
+					t.Fatalf("missing weighted-frequent %s (wsup %v >= τ %v)", pc.Pattern.Letters(), ws, tau)
+				}
+			}
+		}
+	}
+}
+
+func TestSortedByWeightedSupport(t *testing.T) {
+	db := testutil.Table1()
+	w := make(Weights, 9)
+	for i := range w {
+		w[i] = 1.0
+	}
+	out, err := Miner{Weights: w}.Mine(db, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].WeightedSupport > out[i-1].WeightedSupport {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := (Miner{Weights: Weights{0, 1}}).Mine(nil, 0); err == nil {
+		t.Error("non-positive tau must error")
+	}
+	if _, err := (Miner{Weights: Weights{0, 0}}).Mine(nil, 1); err == nil {
+		t.Error("all-zero weights must error")
+	}
+}
