@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race pass runs in -short mode: the brute-force reference miners of
+# the heavyweight cross-validation tests are orders of magnitude slower
+# under the race detector and those tests exercise no concurrency — the
+# plain `test` pass covers them, and the parallel-scheduling determinism
+# and cancellation tests (the ones the race detector is for) do not skip.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# check is what CI runs: vet, build, the full suite, then the race pass.
+check: vet build test race

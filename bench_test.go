@@ -7,6 +7,8 @@
 package disc
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -153,6 +155,27 @@ func BenchmarkFig10(b *testing.B) {
 	b.Run("DynamicDISCAll", func(b *testing.B) { benchMiner(b, core.NewDynamic(), thetaDB, minSup) })
 	b.Run("PrefixSpan", func(b *testing.B) { benchMiner(b, prefixspan.Basic{}, thetaDB, minSup) })
 	b.Run("Pseudo", func(b *testing.B) { benchMiner(b, prefixspan.Pseudo{}, thetaDB, minSup) })
+}
+
+// BenchmarkMineParallel sweeps the partition worker pool on the Figure 8
+// workload. On a multi-CPU host the larger pools should show the speedup
+// the execution layer is for; on one CPU the sweep measures the scheduling
+// overhead of the parallel path (eager bucket computation plus merge),
+// which must stay small. The mined result is identical at every width.
+func BenchmarkMineParallel(b *testing.B) {
+	workloads(b)
+	minSup := AbsSupport(0.0025, len(sparseDB))
+	if minSup < 2 {
+		minSup = 2
+	}
+	widths := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		widths = append(widths, g)
+	}
+	for _, w := range widths {
+		m := NewDISCAll(Options{BiLevel: true, Levels: 2, Workers: w})
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchMiner(b, m, sparseDB, minSup) })
+	}
 }
 
 // BenchmarkTable5Baselines complements the static Table 5 matrix with a

@@ -3,35 +3,61 @@
 //
 // Usage:
 //
-//	discmine -in db.txt -minsup 0.005 [-algo disc-all] [-top 20] [-stats] [-o patterns.txt]
+//	discmine -in db.txt -minsup 0.005 [-algo disc-all] [-workers 4] [-timeout 30s] [-top 20] [-stats] [-o patterns.txt]
 //
 // minsup below 1 is a fraction of the database size; at or above 1 it is
 // the absolute minimum support count δ.
+//
+// -workers bounds the partition worker pool of the disc-all variants
+// (0 = one worker per CPU; the mined result is identical at every
+// setting). -timeout aborts the run after the given duration; Ctrl-C
+// (SIGINT) aborts it immediately. Either way the process exits with an
+// error instead of printing a partial result.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	"github.com/disc-mining/disc"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+// minerFor builds the requested algorithm, threading the worker count into
+// the disc-all variants (the only parallel engines).
+func minerFor(algo disc.Algorithm, workers int) (disc.Miner, error) {
+	opts := disc.DefaultOptions()
+	opts.Workers = workers
+	switch algo {
+	case disc.DISCAll:
+		return disc.NewDISCAll(opts), nil
+	case disc.DynamicDISCAll:
+		return disc.NewDynamicDISCAll(opts), nil
+	}
+	return disc.NewMiner(algo)
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("discmine", flag.ContinueOnError)
 	in := fs.String("in", "", "input database (native or SPMF format)")
 	algo := fs.String("algo", string(disc.DISCAll), fmt.Sprintf("algorithm: %v", disc.Algorithms()))
 	minsup := fs.Float64("minsup", 0.01, "minimum support: fraction (<1) or absolute count (>=1)")
+	workers := fs.Int("workers", 0, "partition worker pool size for disc-all variants (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 0, "abort mining after this duration (0 = no limit)")
 	top := fs.Int("top", 0, "print only the top-N patterns by support (0 = all)")
 	stats := fs.Bool("stats", false, "print DISC run statistics (disc-all variants only)")
 	verify := fs.String("verify", "", "re-mine with this second algorithm and require identical results")
@@ -41,6 +67,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	db, err := disc.ReadDatabase(*in)
@@ -53,25 +84,25 @@ func run(args []string, stdout io.Writer) error {
 	if *minsup < 1 {
 		delta = disc.AbsSupport(*minsup, len(db))
 	}
-	m, err := disc.NewMiner(disc.Algorithm(*algo))
+	m, err := minerFor(disc.Algorithm(*algo), *workers)
 	if err != nil {
 		return err
 	}
 
 	start := time.Now()
-	res, err := m.Mine(db, delta)
+	res, err := disc.AsContextMiner(m).MineContext(ctx, db, delta)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "%s: %s in %.3fs (δ=%d)\n", m.Name(), res, time.Since(start).Seconds(), delta)
 
 	if *verify != "" {
-		v, err := disc.NewMiner(disc.Algorithm(*verify))
+		v, err := minerFor(disc.Algorithm(*verify), *workers)
 		if err != nil {
 			return err
 		}
 		vStart := time.Now()
-		vRes, err := v.Mine(db, delta)
+		vRes, err := disc.AsContextMiner(v).MineContext(ctx, db, delta)
 		if err != nil {
 			return err
 		}

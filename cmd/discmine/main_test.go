@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,7 +22,7 @@ func writeDB(t *testing.T) string {
 func TestMineFile(t *testing.T) {
 	path := writeDB(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-minsup", "2", "-algo", "disc-all", "-stats"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-algo", "disc-all", "-stats"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -39,7 +40,7 @@ func TestMineFile(t *testing.T) {
 func TestFractionalThresholdAndTop(t *testing.T) {
 	path := writeDB(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-minsup", "0.5", "-top", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "0.5", "-top", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "δ=2") {
@@ -54,7 +55,7 @@ func TestOutputFile(t *testing.T) {
 	path := writeDB(t)
 	outPath := filepath.Join(t.TempDir(), "patterns.txt")
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-minsup", "2", "-o", outPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-o", outPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -68,14 +69,14 @@ func TestOutputFile(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("missing -in must error")
 	}
-	if err := run([]string{"-in", "nope.txt"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", "nope.txt"}, &out); err == nil {
 		t.Error("missing file must error")
 	}
 	path := writeDB(t)
-	if err := run([]string{"-in", path, "-algo", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", path, "-algo", "bogus"}, &out); err == nil {
 		t.Error("unknown algorithm must error")
 	}
 }
@@ -84,7 +85,7 @@ func TestAllAlgorithmsRunViaCLI(t *testing.T) {
 	path := writeDB(t)
 	for _, algo := range []string{"prefixspan", "pseudo", "gsp", "spade", "spam", "levelwise", "dynamic-disc-all"} {
 		var out bytes.Buffer
-		if err := run([]string{"-in", path, "-minsup", "2", "-algo", algo}, &out); err != nil {
+		if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-algo", algo}, &out); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 		if !strings.Contains(out.String(), "56 frequent sequences") {
@@ -93,16 +94,52 @@ func TestAllAlgorithmsRunViaCLI(t *testing.T) {
 	}
 }
 
+func TestWorkersFlag(t *testing.T) {
+	path := writeDB(t)
+	for _, workers := range []string{"1", "4"} {
+		for _, algo := range []string{"disc-all", "dynamic-disc-all"} {
+			var out bytes.Buffer
+			if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-algo", algo, "-workers", workers}, &out); err != nil {
+				t.Fatalf("%s -workers %s: %v", algo, workers, err)
+			}
+			if !strings.Contains(out.String(), "56 frequent sequences") {
+				t.Errorf("%s -workers %s disagrees:\n%s", algo, workers, out.String())
+			}
+		}
+	}
+}
+
+func TestTimeoutAndCancellation(t *testing.T) {
+	path := writeDB(t)
+	var out bytes.Buffer
+	// A generous timeout on a tiny database must not interfere.
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-timeout", "1m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// A cancelled parent context (what SIGINT produces) aborts the run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"-in", path, "-minsup", "2"}, &out); err != context.Canceled {
+		t.Errorf("cancelled run = %v, want context.Canceled", err)
+	}
+	// An already-expired -timeout aborts the run with DeadlineExceeded:
+	// the deadline passes while the database loads, long before mining.
+	err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-timeout", "1ns"}, &out)
+	if err != context.DeadlineExceeded {
+		t.Errorf("expired -timeout = %v, want DeadlineExceeded", err)
+	}
+}
+
 func TestVerifyFlag(t *testing.T) {
 	path := writeDB(t)
 	var out bytes.Buffer
-	if err := run([]string{"-in", path, "-minsup", "2", "-verify", "spade"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-verify", "spade"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "verified against spade") {
 		t.Errorf("missing verification line:\n%s", out.String())
 	}
-	if err := run([]string{"-in", path, "-minsup", "2", "-verify", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-verify", "bogus"}, &out); err == nil {
 		t.Error("unknown verify algorithm must error")
 	}
 }

@@ -63,9 +63,10 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "comma-separated experiment ids, or 'all' (available: table5, fig8, fig9, table12, table13, table14, fig10, ablation)")
+	exp := fs.String("exp", "all", "comma-separated experiment ids, or 'all' (available: table5, fig8, fig9, table12, table13, table14, fig10, ablation, speedup)")
 	scale := fs.Float64("scale", 0.1, "fraction of the paper's database sizes (1 = paper scale)")
 	seed := fs.Int64("seed", 1, "generator seed")
+	workers := fs.Int("workers", 0, "partition worker pool size for the disc-all variants (0 = one per CPU)")
 	verbose := fs.Bool("v", false, "print one line per measurement")
 	csvPath := fs.String("csv", "", "append raw measurements of all experiments to this CSV file")
 	sizes := fs.String("sizes", "", "comma-separated customer counts overriding the fig8 sweep")
@@ -76,7 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}

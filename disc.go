@@ -26,6 +26,7 @@
 package disc
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/disc-mining/disc/internal/bruteforce"
@@ -60,6 +61,16 @@ type (
 	PatternCount = mining.PatternCount
 	// Miner is the interface implemented by all algorithms.
 	Miner = mining.Miner
+	// ContextMiner is a Miner that additionally honours context
+	// cancellation and deadlines.
+	ContextMiner = mining.ContextMiner
+	// ExecOptions tunes how a mine executes (worker count, progress hook)
+	// independently of what it computes.
+	ExecOptions = mining.ExecOptions
+	// ProgressEvent is one execution progress report.
+	ProgressEvent = mining.ProgressEvent
+	// ProgressFunc receives ProgressEvents during a mine.
+	ProgressFunc = mining.ProgressFunc
 	// GeneratorConfig configures the synthetic data generator (the paper's
 	// Table 11 options).
 	GeneratorConfig = gen.Config
@@ -95,6 +106,9 @@ var (
 	Compare = seq.Compare
 	// AbsSupport converts a relative threshold into the absolute δ.
 	AbsSupport = mining.AbsSupport
+	// AsContextMiner upgrades any Miner to a ContextMiner, wrapping
+	// algorithms without native cancellation support.
+	AsContextMiner = mining.AsContextMiner
 	// NRRByLevel computes the §4.2 non-reduction rates from a result set.
 	NRRByLevel = mining.NRRByLevel
 	// Generate synthesizes a database (IBM-Quest-style process).
@@ -172,6 +186,14 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // supported by at least minSup customers, with exact support counts.
 func Mine(db Database, minSup int) (*Result, error) {
 	return core.New().Mine(db, minSup)
+}
+
+// MineContext is Mine honouring ctx: mining stops promptly with ctx.Err()
+// when the context is cancelled or its deadline passes. Parallel execution
+// is controlled through Options.Workers on NewDISCAll / NewDynamicDISCAll;
+// this entry point uses the defaults (one worker per CPU).
+func MineContext(ctx context.Context, db Database, minSup int) (*Result, error) {
+	return core.New().MineContext(ctx, db, minSup)
 }
 
 // MineRelative is Mine with a relative threshold: δ = ⌈frac·len(db)⌉.

@@ -1,9 +1,15 @@
 package disc
 
 import (
+	"context"
+	"math/rand"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/testutil"
 )
 
 func table1() Database {
@@ -55,6 +61,74 @@ func TestAllAlgorithmsAgreeViaFacade(t *testing.T) {
 	}
 	if _, err := NewMiner("nope"); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
 		t.Errorf("unknown algorithm error = %v", err)
+	}
+}
+
+func TestMineContextThroughFacade(t *testing.T) {
+	ref, err := Mine(table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineContext(context.Background(), table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref.Diff(got); diff != "" {
+		t.Errorf("MineContext differs from Mine:\n%s", diff)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := MineContext(ctx, table1(), 2); err != context.Canceled || res != nil {
+		t.Errorf("cancelled MineContext = (%v, %v), want (nil, Canceled)", res, err)
+	}
+}
+
+// TestWrappedMinerCancellation: AsContextMiner upgrades a serial baseline
+// (no native cancellation support) to honour a cancelled context promptly,
+// and the abandoned background run winds down without leaking goroutines.
+func TestWrappedMinerCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m, err := NewMiner(PrefixSpan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := AsContextMiner(m)
+	// Sanity: without cancellation the wrapper is transparent.
+	ref, _ := Mine(table1(), 2)
+	got, err := cm.MineContext(context.Background(), table1(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref.Diff(got); diff != "" {
+		t.Errorf("wrapped PrefixSpan differs from DISC-all:\n%s", diff)
+	}
+	// A run on a heavier database is cancelled immediately after start;
+	// the wrapper must return Canceled well before the mine would finish.
+	r := rand.New(rand.NewSource(7))
+	db := testutil.SkewedRandomDB(r, 300, 12, 6, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cm.MineContext(ctx, db, 2)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("MineContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("wrapped miner did not return after cancellation")
+	}
+	// The abandoned serial mine keeps running in the background until it
+	// completes; wait for it to wind down.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base+2 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines did not settle: %d now vs %d at start", n, base)
 	}
 }
 

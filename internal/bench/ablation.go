@@ -32,14 +32,14 @@ func Ablation(cfg Config) (*Report, error) {
 		name  string
 		miner mining.Miner
 	}{
-		{"bilevel-on-2lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 2}}},
-		{"bilevel-off-2lv", &core.Miner{Opts: core.Options{BiLevel: false, Levels: 2}}},
-		{"bilevel-on-1lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 1}}},
-		{"bilevel-on-3lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 3}}},
-		{"pure-disc", &core.Miner{Opts: core.Options{BiLevel: true, Levels: -1}}},
-		{"dynamic-g0.25", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.25}}},
-		{"dynamic-g0.50", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.5}}},
-		{"dynamic-g0.75", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.75}}},
+		{"bilevel-on-2lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 2, Workers: cfg.Workers}}},
+		{"bilevel-off-2lv", &core.Miner{Opts: core.Options{BiLevel: false, Levels: 2, Workers: cfg.Workers}}},
+		{"bilevel-on-1lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 1, Workers: cfg.Workers}}},
+		{"bilevel-on-3lv", &core.Miner{Opts: core.Options{BiLevel: true, Levels: 3, Workers: cfg.Workers}}},
+		{"pure-disc", &core.Miner{Opts: core.Options{BiLevel: true, Levels: -1, Workers: cfg.Workers}}},
+		{"dynamic-g0.25", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.25, Workers: cfg.Workers}}},
+		{"dynamic-g0.50", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.5, Workers: cfg.Workers}}},
+		{"dynamic-g0.75", &core.Dynamic{Opts: core.Options{BiLevel: true, Gamma: 0.75, Workers: cfg.Workers}}},
 	}
 	t := Table{Title: "seconds by variant", Header: []string{"minsup"}}
 	for _, v := range variants {

@@ -38,6 +38,10 @@ type Config struct {
 	Scale float64
 	// Seed feeds the data generator.
 	Seed int64
+	// Workers bounds the partition worker pool of the DISC-all variants
+	// (0 = one per CPU). Results are identical at every setting; only the
+	// timings change.
+	Workers int
 	// Progress, when non-nil, receives one line per measurement.
 	Progress io.Writer
 
@@ -59,9 +63,10 @@ func (c Config) withDefaults() Config {
 type Measurement struct {
 	Experiment string
 	Algo       string
-	X          float64 // the sweep variable (customers, minsup, or θ)
+	X          float64 // the sweep variable (customers, minsup, θ, or workers)
 	Seconds    float64
 	Patterns   int
+	Workers    int // worker pool size the run used (1 for serial algorithms)
 }
 
 // Table is a rendered result table.
@@ -130,6 +135,7 @@ func All() []Experiment {
 		{"table14", "Average NRR per level vs theta", Table14},
 		{"fig10", "Runtime vs theta (incl. Dynamic DISC-all)", Fig10},
 		{"ablation", "DISC-all design-choice ablation (extra, not in the paper)", Ablation},
+		{"speedup", "DISC-all parallel speedup vs worker count (extra, not in the paper)", Speedup},
 	}
 }
 
@@ -162,13 +168,41 @@ func scaledMinSup(frac float64, n int) int {
 // how much of the planted pattern tail is frequent, i.e. the workload
 // shape — is preserved across scales.
 
+// discMiner returns a fresh static DISC-all miner with the given worker
+// pool bound.
+func discMiner(workers int) *core.Miner {
+	m := core.New()
+	m.Opts.Workers = workers
+	return m
+}
+
+// dynamicMiner is discMiner for the Dynamic variant.
+func dynamicMiner(workers int) *core.Dynamic {
+	m := core.NewDynamic()
+	m.Opts.Workers = workers
+	return m
+}
+
 // miners returns fresh instances per run (DISC miners carry stats).
-func competitorSet(withDynamic bool) []mining.Miner {
-	ms := []mining.Miner{core.New(), prefixspan.Basic{}, prefixspan.Pseudo{}}
+func competitorSet(workers int, withDynamic bool) []mining.Miner {
+	ms := []mining.Miner{discMiner(workers), prefixspan.Basic{}, prefixspan.Pseudo{}}
 	if withDynamic {
-		ms = append(ms, core.NewDynamic())
+		ms = append(ms, dynamicMiner(workers))
 	}
 	return ms
+}
+
+// minerWorkers reports the worker pool size a miner will run with: the
+// resolved Options.Workers for the parallel DISC-all variants, 1 for the
+// serial baselines.
+func minerWorkers(m mining.Miner) int {
+	switch dm := m.(type) {
+	case *core.Miner:
+		return dm.Opts.EffectiveWorkers()
+	case *core.Dynamic:
+		return dm.Opts.EffectiveWorkers()
+	}
+	return 1
 }
 
 // measure runs every miner on the workload and cross-checks that all found
@@ -189,7 +223,8 @@ func measure(cfg Config, exp string, x float64, db mining.Database, minSup int, 
 			return nil, fmt.Errorf("%s: %s found %d patterns, expected %d (x=%v, δ=%d)",
 				exp, m.Name(), res.Len(), patterns, x, minSup)
 		}
-		out = append(out, Measurement{Experiment: exp, Algo: m.Name(), X: x, Seconds: sec, Patterns: res.Len()})
+		out = append(out, Measurement{Experiment: exp, Algo: m.Name(), X: x, Seconds: sec,
+			Patterns: res.Len(), Workers: minerWorkers(m)})
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "%s x=%v %s: %.3fs (%d patterns, δ=%d)\n", exp, x, m.Name(), sec, patterns, minSup)
 		}
@@ -289,7 +324,7 @@ func Fig8(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		minSup := scaledMinSup(0.0025, n)
-		ms, err := measure(cfg, "fig8", float64(n), db, minSup, competitorSet(false))
+		ms, err := measure(cfg, "fig8", float64(n), db, minSup, competitorSet(cfg.Workers, false))
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +378,7 @@ func Fig9(cfg Config) (*Report, error) {
 	}
 	for _, frac := range cfg.fracs() {
 		minSup := scaledMinSup(frac, len(db))
-		ms, err := measure(cfg, "fig9", frac, db, minSup, competitorSet(false))
+		ms, err := measure(cfg, "fig9", frac, db, minSup, competitorSet(cfg.Workers, false))
 		if err != nil {
 			return nil, err
 		}
@@ -366,7 +401,7 @@ func Table12(cfg Config) (*Report, error) {
 		PaperShape: "NRR small at the original database and level 1, rising toward ~0.9 at deeper levels; deep levels appear only at low thresholds",
 	}
 	t := Table{Title: "average NRR by level", Header: []string{"minsup", "Original", "1", "2", "3", "4", "5", "6", "7", "8"}}
-	m := core.New()
+	m := discMiner(cfg.Workers)
 	for _, frac := range cfg.fracs() {
 		minSup := scaledMinSup(frac, len(db))
 		res, err := m.Mine(db, minSup)
@@ -408,7 +443,7 @@ func Table13(cfg Config) (*Report, error) {
 	for _, frac := range cfg.fracs() {
 		minSup := scaledMinSup(frac, len(db))
 		ms, err := measure(cfg, "table13", frac, db, minSup,
-			[]mining.Miner{prefixspan.Pseudo{}, core.New()})
+			[]mining.Miner{prefixspan.Pseudo{}, discMiner(cfg.Workers)})
 		if err != nil {
 			return nil, err
 		}
@@ -448,7 +483,7 @@ func Table14(cfg Config) (*Report, error) {
 		PaperShape: "level-2 NRR decreases as theta grows (0.83 at θ=10 down to ~0.2 at θ=40); deeper levels stay high",
 	}
 	t := Table{Title: "average NRR by level", Header: []string{"theta", "Original", "1", "2", "3", "4", "5", "6"}}
-	m := core.New()
+	m := discMiner(cfg.Workers)
 	for _, theta := range cfg.thetas() {
 		db, err := thetaDB(cfg, theta)
 		if err != nil {
@@ -492,7 +527,7 @@ func Fig10(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		minSup := scaledMinSup(0.005, len(db))
-		ms, err := measure(cfg, "fig10", theta, db, minSup, competitorSet(true))
+		ms, err := measure(cfg, "fig10", theta, db, minSup, competitorSet(cfg.Workers, true))
 		if err != nil {
 			return nil, err
 		}

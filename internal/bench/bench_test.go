@@ -21,7 +21,7 @@ func tiny() Config {
 }
 
 func TestRegistry(t *testing.T) {
-	ids := []string{"table5", "fig8", "fig9", "table12", "table13", "table14", "fig10", "ablation"}
+	ids := []string{"table5", "fig8", "fig9", "table12", "table13", "table14", "fig10", "ablation", "speedup"}
 	all := All()
 	if len(all) != len(ids) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(ids))
@@ -182,22 +182,50 @@ func TestAblationTiny(t *testing.T) {
 	}
 }
 
+func TestSpeedupTiny(t *testing.T) {
+	r, err := Speedup(Config{Scale: 0.005, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := workerSweep()
+	if len(r.Measurements) != len(sweep) {
+		t.Fatalf("speedup measurements = %d, want %d", len(r.Measurements), len(sweep))
+	}
+	if r.Measurements[0].Workers != 1 {
+		t.Errorf("first measurement workers = %d, want 1", r.Measurements[0].Workers)
+	}
+	patterns := r.Measurements[0].Patterns
+	for _, m := range r.Measurements {
+		if m.Patterns != patterns {
+			t.Errorf("workers=%d found %d patterns, serial found %d", m.Workers, m.Patterns, patterns)
+		}
+		if m.Workers != int(m.X) {
+			t.Errorf("measurement %+v: X and Workers disagree", m)
+		}
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("workerSweep not strictly ascending: %v", sweep)
+		}
+	}
+}
+
 func TestCSVAndChartRendering(t *testing.T) {
 	r := &Report{
 		ID:    "x",
 		Title: "demo",
 		Measurements: []Measurement{
-			{Experiment: "x", Algo: "a", X: 1, Seconds: 0.5, Patterns: 10},
-			{Experiment: "x", Algo: "b", X: 1, Seconds: 1.0, Patterns: 10},
-			{Experiment: "x", Algo: "a", X: 2, Seconds: 2.0, Patterns: 20},
+			{Experiment: "x", Algo: "a", X: 1, Seconds: 0.5, Patterns: 10, Workers: 1},
+			{Experiment: "x", Algo: "b", X: 1, Seconds: 1.0, Patterns: 10, Workers: 4},
+			{Experiment: "x", Algo: "a", X: 2, Seconds: 2.0, Patterns: 20, Workers: 1},
 		},
 	}
 	var csv bytes.Buffer
 	if err := r.WriteCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(csv.String(), "experiment,algo,x,seconds,patterns") ||
-		!strings.Contains(csv.String(), "x,b,1,1.000000,10") {
+	if !strings.Contains(csv.String(), "experiment,algo,x,seconds,patterns,workers") ||
+		!strings.Contains(csv.String(), "x,b,1,1.000000,10,4") {
 		t.Errorf("CSV:\n%s", csv.String())
 	}
 	var chart bytes.Buffer

@@ -8,14 +8,15 @@ import (
 )
 
 // WriteCSV emits the report's raw measurements as CSV
-// (experiment,algo,x,seconds,patterns), suitable for external plotting.
+// (experiment,algo,x,seconds,patterns,workers), suitable for external
+// plotting.
 func (r *Report) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "experiment,algo,x,seconds,patterns"); err != nil {
+	if _, err := fmt.Fprintln(w, "experiment,algo,x,seconds,patterns,workers"); err != nil {
 		return err
 	}
 	for _, m := range r.Measurements {
-		if _, err := fmt.Fprintf(w, "%s,%s,%v,%.6f,%d\n",
-			m.Experiment, m.Algo, m.X, m.Seconds, m.Patterns); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%s,%v,%.6f,%d,%d\n",
+			m.Experiment, m.Algo, m.X, m.Seconds, m.Patterns, m.Workers); err != nil {
 			return err
 		}
 	}

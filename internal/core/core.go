@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,6 +57,31 @@ type Options struct {
 	// is at least γ switches from partitioning to DISC. Ignored by the
 	// static algorithm.
 	Gamma float64
+
+	// Workers bounds the number of concurrent partition workers of the
+	// execution layer. 0 selects runtime.GOMAXPROCS(0); 1 forces the
+	// serial walk. The mined result is identical at every setting: the
+	// parallel scheduler assigns deterministic per-partition inputs and
+	// merges partition results in ascending key order.
+	Workers int
+
+	// Progress, when non-nil, receives execution progress events (one per
+	// scheduled and per completed first-level partition). Callbacks are
+	// serialized but may run on worker goroutines.
+	Progress mining.ProgressFunc
+}
+
+// WithExec copies the execution-layer settings of x into the options.
+func (o Options) WithExec(x mining.ExecOptions) Options {
+	o.Workers = x.Workers
+	o.Progress = x.Progress
+	return o
+}
+
+// EffectiveWorkers resolves the Workers field (values below 1 select
+// GOMAXPROCS), mirroring mining.ExecOptions.
+func (o Options) EffectiveWorkers() int {
+	return mining.ExecOptions{Workers: o.Workers}.EffectiveWorkers()
 }
 
 // DefaultOptions returns the configuration used in the paper's experiments:
@@ -103,6 +129,38 @@ func (s *Stats) partitionProcessed(level int) {
 	s.PartitionsByLevel[level]++
 }
 
+// merge folds the statistics of a completed partition worker into s. The
+// scheduler merges workers in ascending partition-key order, so the merged
+// statistics are deterministic for a fixed input; the counters equal the
+// serial run's exactly, and the per-level NRR means (combined by weighted
+// average) match it up to floating-point associativity.
+func (s *Stats) merge(o *Stats) {
+	s.Rounds += o.Rounds
+	s.FrequentHits += o.FrequentHits
+	s.Skips += o.Skips
+	s.KMSCalls += o.KMSCalls
+	s.CKMSCalls += o.CKMSCalls
+	s.Dropped += o.Dropped
+	for level, n := range o.PartitionsByLevel {
+		for len(s.PartitionsByLevel) <= level {
+			s.PartitionsByLevel = append(s.PartitionsByLevel, 0)
+		}
+		s.PartitionsByLevel[level] += n
+	}
+	for level, mean := range o.NRRByLevel {
+		if o.nrrCount[level] == 0 {
+			continue
+		}
+		for len(s.NRRByLevel) <= level {
+			s.NRRByLevel = append(s.NRRByLevel, 0)
+			s.nrrCount = append(s.nrrCount, 0)
+		}
+		n, m := float64(s.nrrCount[level]), float64(o.nrrCount[level])
+		s.NRRByLevel[level] = (s.NRRByLevel[level]*n + mean*m) / (n + m)
+		s.nrrCount[level] += o.nrrCount[level]
+	}
+}
+
 // Miner is the static DISC-all algorithm (Figure 2).
 type Miner struct {
 	Opts  Options
@@ -120,6 +178,13 @@ func (m *Miner) LastStats() Stats { return m.stats }
 
 // Mine implements mining.Miner.
 func (m *Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	return m.MineContext(context.Background(), db, minSup)
+}
+
+// MineContext implements mining.ContextMiner: the run observes ctx
+// cooperatively (per partition, per DISC round batch) and returns ctx.Err()
+// when cancelled, after every partition worker has stopped.
+func (m *Miner) MineContext(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
 	opts := m.Opts
 	if opts.Levels == 0 {
 		opts.Levels = 2
@@ -129,7 +194,7 @@ func (m *Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
 		opts:   opts,
 		policy: func(level int, nrr float64) bool { return levels > 0 && level < levels },
 	}
-	res, err := e.run(db, minSup)
+	res, err := e.run(ctx, db, minSup)
 	m.stats = e.stats
 	return res, err
 }
@@ -152,6 +217,11 @@ func (d *Dynamic) LastStats() Stats { return d.stats }
 
 // Mine implements mining.Miner.
 func (d *Dynamic) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	return d.MineContext(context.Background(), db, minSup)
+}
+
+// MineContext implements mining.ContextMiner (see Miner.MineContext).
+func (d *Dynamic) MineContext(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
 	opts := d.Opts
 	gamma := opts.Gamma
 	if gamma <= 0 {
@@ -161,7 +231,7 @@ func (d *Dynamic) Mine(db mining.Database, minSup int) (*mining.Result, error) {
 		opts:   opts,
 		policy: func(level int, nrr float64) bool { return nrr < gamma },
 	}
-	res, err := e.run(db, minSup)
+	res, err := e.run(ctx, db, minSup)
 	d.stats = e.stats
 	return res, err
 }
@@ -171,7 +241,11 @@ type member struct {
 	cs *seq.CustomerSeq
 }
 
-// engine runs the shared partition-or-DISC recursion.
+// engine runs the shared partition-or-DISC recursion. A parallel run
+// creates one child engine per scheduled partition (its own result set,
+// statistics and counting-array scratch state) and merges the children
+// back in ascending partition-key order; ctx, sched, pool and prog are
+// shared across the engine tree.
 type engine struct {
 	opts    Options
 	policy  func(level int, nrr float64) bool
@@ -180,41 +254,113 @@ type engine struct {
 	maxItem seq.Item
 	arrays  []*counting.Array
 	stats   Stats
+	ctx     context.Context  // nil means "never cancelled" (direct engine use in tests)
+	sched   *scheduler       // nil for a serial run
+	pool    *arrayPool       // shared counting-array scratch pool of a parallel run
+	prog    *progressTracker // nil unless Options.Progress is set
 }
 
-func (e *engine) run(db mining.Database, minSup int) (*mining.Result, error) {
+func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
 	e.minSup = minSup
+	e.ctx = ctx
 	e.res = mining.NewResult()
 	e.maxItem = db.MaxItem()
+	if err := e.cancelled(); err != nil {
+		return nil, err
+	}
 	if len(db) == 0 {
 		return e.res, nil
+	}
+	workers := e.opts.EffectiveWorkers()
+	if e.opts.Progress != nil {
+		e.prog = &progressTracker{fn: e.opts.Progress, workers: workers}
+	}
+	if workers > 1 {
+		e.sched = newScheduler(workers)
+		e.pool = &arrayPool{maxItem: e.maxItem}
 	}
 	members := make([]*member, len(db))
 	for i, cs := range db {
 		members[i] = &member{cs: cs}
 	}
-	e.processPartition(seq.Pattern{}, members, 0)
+	if err := e.processPartition(seq.Pattern{}, members, 0); err != nil {
+		return nil, err
+	}
 	return e.res, nil
 }
 
-// array returns the counting array for one recursion depth.
+// child returns a worker engine for one scheduled partition: it shares the
+// run-wide configuration and coordination state but owns its result set,
+// statistics and counting arrays.
+func (e *engine) child() *engine {
+	return &engine{
+		opts:    e.opts,
+		policy:  e.policy,
+		minSup:  e.minSup,
+		res:     mining.NewResult(),
+		maxItem: e.maxItem,
+		ctx:     e.ctx,
+		sched:   e.sched,
+		pool:    e.pool,
+		prog:    e.prog,
+	}
+}
+
+// cancelled returns the context's error once the run is cancelled or past
+// its deadline.
+func (e *engine) cancelled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// array returns the counting array for one recursion depth. Parallel runs
+// draw the arrays from the shared pool (returned by releaseArrays when the
+// worker finishes) so that live scratch memory stays proportional to
+// workers × depth rather than to the number of scheduled partitions.
 func (e *engine) array(depth int) *counting.Array {
 	for len(e.arrays) <= depth {
-		e.arrays = append(e.arrays, counting.New(e.maxItem))
+		e.arrays = append(e.arrays, nil)
 	}
 	a := e.arrays[depth]
+	if a == nil {
+		if e.pool != nil {
+			a = e.pool.get()
+		} else {
+			a = counting.New(e.maxItem)
+		}
+		e.arrays[depth] = a
+	}
 	a.Reset()
 	return a
+}
+
+// releaseArrays returns the engine's counting arrays to the shared pool.
+func (e *engine) releaseArrays() {
+	if e.pool == nil {
+		return
+	}
+	for i, a := range e.arrays {
+		if a != nil {
+			e.pool.put(a)
+			e.arrays[i] = nil
+		}
+	}
+	e.arrays = e.arrays[:0]
 }
 
 // processPartition handles one <key>-partition whose members are exactly
 // the customers containing key (len(key) == level). It discovers the
 // frequent (level+1)-sequences with prefix key, then either splits into
 // child partitions or runs DISC, per the policy.
-func (e *engine) processPartition(key seq.Pattern, members []*member, level int) {
+func (e *engine) processPartition(key seq.Pattern, members []*member, level int) error {
+	if err := e.cancelled(); err != nil {
+		return err
+	}
 	e.stats.partitionProcessed(level)
 
 	// Step 1: one scan with the counting array finds the frequent
@@ -224,7 +370,7 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 		e.res.Add(p, supports[i])
 	}
 	if len(listNext) == 0 {
-		return
+		return nil
 	}
 
 	// The non-reduction rate of this partition (Eq. 2, with child sizes
@@ -244,25 +390,22 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 	}
 
 	if e.policy(level, nrr) {
-		e.split(key, members, listNext, level)
-		return
+		if e.sched != nil && level < parallelSplitDepth && len(listNext) > 1 {
+			return e.splitParallel(key, members, listNext, level)
+		}
+		return e.split(key, members, listNext, level)
 	}
-	e.discLoop(members, listNext, level+2)
+	return e.discLoop(members, listNext, level+2)
 }
 
 // split partitions members by their minimal contained frequent extension
 // of key, processes the partitions in ascending order, and reassigns
 // customers to their next minimal contained extension after each partition
 // finishes (Steps 2.2 and 2.1.3.3 of Figure 2).
-func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, level int) {
-	freqI := make([]bool, e.maxItem+1)
-	freqS := make([]bool, e.maxItem+1)
-	for _, p := range list {
-		if p.LastTNo() == key.LastTNoOrZero() {
-			freqI[p.LastItem()] = true
-		} else {
-			freqS[p.LastItem()] = true
-		}
+func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, level int) error {
+	freqI, freqS := extensionFlags(key, list, e.maxItem)
+	if level == 0 && e.prog != nil {
+		e.prog.begin(len(list))
 	}
 	tree := avl.New[seq.Pattern, *member](seq.Compare)
 	for _, mb := range members {
@@ -271,12 +414,20 @@ func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, l
 		}
 	}
 	for tree.Size() > 0 {
+		if err := e.cancelled(); err != nil {
+			return err
+		}
 		pkey, bucket, _ := tree.PopMin()
 		// The bucket holds every remaining customer containing pkey, so
 		// its size is pkey's exact support; pkey comes from the frequent
 		// list.
 		if len(bucket) >= e.minSup {
-			e.processPartition(pkey, bucket, level+1)
+			if err := e.processPartition(pkey, bucket, level+1); err != nil {
+				return err
+			}
+		}
+		if level == 0 && e.prog != nil {
+			e.prog.step()
 		}
 		bx, bno := pkey.LastItem(), pkey.LastTNo()
 		for _, mb := range bucket {
@@ -285,6 +436,23 @@ func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, l
 			}
 		}
 	}
+	return nil
+}
+
+// extensionFlags spreads the frequent extension list of key into the
+// per-item lookup tables consumed by minFreqExtension: freqI flags items
+// whose i-form (growing key's last itemset) is frequent, freqS the s-form.
+func extensionFlags(key seq.Pattern, list []seq.Pattern, maxItem seq.Item) (freqI, freqS []bool) {
+	freqI = make([]bool, maxItem+1)
+	freqS = make([]bool, maxItem+1)
+	for _, p := range list {
+		if p.LastTNo() == key.LastTNoOrZero() {
+			freqI[p.LastItem()] = true
+		} else {
+			freqS[p.LastItem()] = true
+		}
+	}
+	return freqI, freqS
 }
 
 // minFreqExtension returns the minimal frequent extension pair (x, no) of

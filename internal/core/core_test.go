@@ -18,9 +18,12 @@ func allVariants() []mining.Miner {
 		&Miner{Opts: Options{BiLevel: true, Levels: 3}},
 		&Miner{Opts: Options{BiLevel: true, Levels: -1}}, // pure DISC, no partitioning
 		&Miner{}, // zero options: defaults apply
+		&Miner{Opts: Options{BiLevel: true, Levels: 2, Workers: 4}},  // parallel scheduler
+		&Miner{Opts: Options{BiLevel: false, Levels: 3, Workers: 3}}, // parallel, deeper static split
 		NewDynamic(),
 		&Dynamic{Opts: Options{BiLevel: true, Gamma: 0.05}},
 		&Dynamic{Opts: Options{BiLevel: false, Gamma: 0.95}},
+		&Dynamic{Opts: Options{BiLevel: true, Gamma: 0.5, Workers: 4}}, // parallel dynamic
 	}
 }
 

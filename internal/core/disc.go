@@ -20,12 +20,15 @@ type discEntry struct {
 // partition shrinks below δ (Step 2.1.3.2 of Figure 2). With the bi-level
 // option each call to discover handles lengths k and k+1 in one pass over
 // the k-sorted database.
-func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int) {
+func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int) error {
 	// Copy: the slice is filtered in place below, and the caller's split
 	// still needs its bucket intact for reassignment.
 	members = append([]*member(nil), members...)
 	k := startK
 	for len(listPrev) > 0 && len(members) >= e.minSup {
+		if err := e.cancelled(); err != nil {
+			return err
+		}
 		listK, listK1 := e.discover(members, listPrev, k)
 		if e.opts.BiLevel {
 			listPrev = listK1
@@ -44,6 +47,7 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 		}
 		members = alive
 	}
+	return e.cancelled()
 }
 
 // discover runs the frequent k-sequence discovery procedure of Figure 4 on
@@ -65,7 +69,10 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 // database serves two lengths.
 func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (listK, listK1 []seq.Pattern) {
 	tree := avl.New[seq.Pattern, discEntry](seq.Compare)
-	for _, mb := range members {
+	for i, mb := range members {
+		if i&cancelCheckMask == cancelCheckMask && e.cancelled() != nil {
+			return nil, nil
+		}
 		e.stats.KMSCalls++
 		if r, ok := kmin.KMS(mb.cs, listPrev); ok {
 			tree.Insert(r.Min, discEntry{cs: mb.cs, ptr: r.AprioriIdx})
@@ -74,6 +81,12 @@ func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (lis
 		}
 	}
 	for tree.Size() >= e.minSup {
+		// Cooperative cancellation, checked one round in 64: the caller
+		// (discLoop) notices the context error and discards the partial
+		// lists returned here.
+		if e.stats.Rounds&cancelCheckMask == 0 && e.cancelled() != nil {
+			break
+		}
 		e.stats.Rounds++
 		alpha1, _, _ := tree.Min()
 		alphaD, _ := tree.Select(e.minSup)

@@ -1,0 +1,232 @@
+// Parallel partition scheduling. DISC-all's divide-and-conquer structure
+// (Figure 2) produces independent partitions — processPartition touches
+// only its own members, counting arrays and AVL scratch state — so the
+// first two partitioning levels are fanned out onto a bounded worker pool.
+//
+// The serial algorithm assigns customers to partitions lazily: each
+// customer sits in the bucket of its minimal contained frequent extension
+// and is reassigned to the next one when that bucket is popped (Steps 2.2
+// and 2.1.3.3 of Figure 2). Walked to completion, the reassignment chain
+// visits exactly the frequent extensions the customer contains, so the
+// bucket a partition eventually sees is precisely "the members containing
+// its key". The parallel path computes that closure upfront
+// (eagerBuckets), which makes every partition's input independent of the
+// processing order and therefore schedulable: per-partition results and
+// statistics are merged back in ascending key order, so a parallel run is
+// deterministic and produces the same result set as the serial walk at
+// any worker count.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/disc-mining/disc/internal/counting"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// parallelSplitDepth is the number of partitioning levels fanned out onto
+// the worker pool: splits at levels 0 and 1 schedule their level-1 and
+// level-2 partitions concurrently. Deeper splits (Levels > 2 or Dynamic
+// configurations) stay serial within their worker — by then the fan-out
+// above them already saturates the pool.
+const parallelSplitDepth = 2
+
+// cancelCheckMask throttles cooperative cancellation checks inside the
+// DISC round loop to one in 64, keeping ctx.Err() off the per-round hot
+// path.
+const cancelCheckMask = 63
+
+// scheduler is the bounded worker pool of a parallel run. Its capacity is
+// workers-1 because the submitting goroutine always works too (the inline
+// fallback of do), so at most `workers` partition jobs run concurrently
+// and submission never blocks — which also makes the nested fan-out
+// (level-1 partitions scheduling level-2 partitions) deadlock-free.
+type scheduler struct {
+	workers int
+	sem     chan struct{}
+}
+
+func newScheduler(workers int) *scheduler {
+	return &scheduler{workers: workers, sem: make(chan struct{}, workers-1)}
+}
+
+// do runs fn on its own goroutine when a worker slot is free, and inline
+// on the caller otherwise. Spawned goroutines are tracked by wg; callers
+// wait on it after submitting a whole batch.
+func (s *scheduler) do(wg *sync.WaitGroup, fn func()) {
+	select {
+	case s.sem <- struct{}{}:
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-s.sem
+				wg.Done()
+			}()
+			fn()
+		}()
+	default:
+		fn()
+	}
+}
+
+// arrayPool recycles counting arrays across partition workers so that live
+// scratch memory is bounded by workers × recursion depth instead of the
+// number of scheduled partitions. Arrays reset in O(1) (epoch stamping),
+// so reuse is free.
+type arrayPool struct {
+	maxItem seq.Item
+	p       sync.Pool
+}
+
+func (ap *arrayPool) get() *counting.Array {
+	if a, ok := ap.p.Get().(*counting.Array); ok {
+		return a
+	}
+	return counting.New(ap.maxItem)
+}
+
+func (ap *arrayPool) put(a *counting.Array) { ap.p.Put(a) }
+
+// progressTracker serializes Options.Progress callbacks and counts
+// completed first-level partitions.
+type progressTracker struct {
+	mu      sync.Mutex
+	fn      mining.ProgressFunc
+	done    int
+	total   int
+	workers int
+}
+
+// begin announces the first-level partition count.
+func (p *progressTracker) begin(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.fn(mining.ProgressEvent{Stage: mining.StagePartitions, Done: 0, Total: total, Workers: p.workers})
+}
+
+// step reports one more completed first-level partition.
+func (p *progressTracker) step() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.fn(mining.ProgressEvent{Stage: mining.StagePartitions, Done: p.done, Total: p.total, Workers: p.workers})
+}
+
+// splitParallel is the scheduled counterpart of split: it computes every
+// child partition's membership upfront and runs the qualifying partitions
+// on the worker pool, each on a child engine with private result,
+// statistics and scratch state. Children are merged back in ascending
+// key order (list is sorted), so the outcome is deterministic and equal to
+// the serial walk's.
+func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pattern, level int) error {
+	buckets := e.eagerBuckets(key, members, list)
+	if level == 0 && e.prog != nil {
+		e.prog.begin(len(list))
+	}
+	children := make([]*engine, len(list))
+	errs := make([]error, len(list))
+	var wg sync.WaitGroup
+	for i := range list {
+		if len(buckets[i]) < e.minSup {
+			// Too few members survive reduction to host a frequent
+			// (level+2)-sequence; the partition key itself was already
+			// counted by the parent.
+			if level == 0 && e.prog != nil {
+				e.prog.step()
+			}
+			continue
+		}
+		i := i
+		child := e.child()
+		children[i] = child
+		e.sched.do(&wg, func() {
+			errs[i] = child.processPartition(list[i], buckets[i], level+1)
+			child.releaseArrays()
+			if level == 0 && e.prog != nil {
+				e.prog.step()
+			}
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, child := range children {
+		if child == nil {
+			continue
+		}
+		e.stats.merge(&child.stats)
+		e.res.Merge(child.res)
+	}
+	return nil
+}
+
+// eagerBuckets assigns every member to the bucket of each frequent
+// extension of key it contains — the transitive closure of Figure 2's
+// reassignment walk, computed upfront so the partitions can be scheduled
+// concurrently. Bucket i collects the members containing list[i] in member
+// order, making each scheduled partition's input (and hence the merged
+// output) independent of scheduling order. The closure walk is itself
+// chunked across the pool; chunk results are concatenated in member order.
+func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern) [][]*member {
+	freqI, freqS := extensionFlags(key, list, e.maxItem)
+	assign := func(members []*member, buckets [][]*member) {
+		for _, mb := range members {
+			x, no, ok := minFreqExtension(mb.cs, key, freqI, freqS, 0, 0, false)
+			for ok {
+				i := findExtension(list, x, no)
+				buckets[i] = append(buckets[i], mb)
+				x, no, ok = minFreqExtension(mb.cs, key, freqI, freqS, x, no, true)
+			}
+		}
+	}
+	const chunkMin = 256 // below this, chunking overhead beats the win
+	if len(members) < chunkMin || e.sched == nil {
+		buckets := make([][]*member, len(list))
+		assign(members, buckets)
+		return buckets
+	}
+	chunks := e.sched.workers
+	if max := len(members) / chunkMin; chunks > max {
+		chunks = max
+	}
+	per := (len(members) + chunks - 1) / chunks
+	parts := make([][][]*member, chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > len(members) {
+			hi = len(members)
+		}
+		part := make([][]*member, len(list))
+		parts[c] = part
+		e.sched.do(&wg, func() { assign(members[lo:hi], part) })
+	}
+	wg.Wait()
+	buckets := parts[0]
+	for c := 1; c < chunks; c++ {
+		for i := range buckets {
+			buckets[i] = append(buckets[i], parts[c][i]...)
+		}
+	}
+	return buckets
+}
+
+// findExtension locates the extension pair (x, no) in the ascending
+// frequent extension list. All entries share the same prefix, so the
+// comparative order reduces to ComparePair on the last pair.
+func findExtension(list []seq.Pattern, x seq.Item, no int32) int {
+	i := sort.Search(len(list), func(i int) bool {
+		return seq.ComparePair(list[i].LastItem(), list[i].LastTNo(), x, no) >= 0
+	})
+	if i == len(list) || list[i].LastItem() != x || list[i].LastTNo() != no {
+		panic("core: extension chain produced a pair outside the frequent list")
+	}
+	return i
+}

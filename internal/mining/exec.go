@@ -1,0 +1,120 @@
+// Execution layer: the options, progress hooks and context-aware miner
+// interface that every algorithm in this repository runs through. The
+// DISC-all engine implements ContextMiner natively (cooperative
+// cancellation plus a bounded partition worker pool); the serial baseline
+// miners are adapted with AsContextMiner, which provides cancellation at
+// the granularity of the whole run.
+package mining
+
+import (
+	"context"
+	"runtime"
+)
+
+// StagePartitions is the ProgressEvent stage reporting first-level
+// partition scheduling and completion of a partitioned DISC-all run.
+const StagePartitions = "partitions"
+
+// ProgressEvent is one execution progress report. An event with Done == 0
+// announces a stage with Total units of work; subsequent events carry the
+// number of completed units.
+type ProgressEvent struct {
+	// Stage identifies the unit of work (e.g. StagePartitions).
+	Stage string
+	// Done and Total count completed and scheduled units of work.
+	Done, Total int
+	// Workers is the size of the worker pool executing the stage (1 for a
+	// serial run).
+	Workers int
+}
+
+// ProgressFunc receives progress events during a mining run. Engines
+// serialize their callbacks: a ProgressFunc never runs concurrently with
+// itself, but it may be invoked from a goroutine other than the caller of
+// Mine, so it must not touch the caller's state without synchronization.
+type ProgressFunc func(ProgressEvent)
+
+// ExecOptions configures how a mining run executes, independently of the
+// algorithm: how many workers may run concurrently and where progress is
+// reported. The zero value selects a serial-equivalent default
+// (GOMAXPROCS workers, no progress reporting).
+type ExecOptions struct {
+	// Workers bounds the number of concurrently running workers. 0 selects
+	// runtime.GOMAXPROCS(0); 1 forces a serial run. Engines guarantee that
+	// the mined result is identical at every setting.
+	Workers int
+	// Progress, when non-nil, receives execution progress events.
+	Progress ProgressFunc
+}
+
+// EffectiveWorkers resolves the Workers field: values below 1 select
+// GOMAXPROCS.
+func (o ExecOptions) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ContextMiner is a Miner whose runs can be cancelled through a
+// context.Context (cancellation or deadline). MineContext returns
+// ctx.Err() when the run was cut short; the partial result is discarded.
+type ContextMiner interface {
+	Miner
+	MineContext(ctx context.Context, db Database, minSup int) (*Result, error)
+}
+
+// AsContextMiner returns m itself when it already implements ContextMiner
+// (the DISC-all family does, with cooperative per-partition cancellation),
+// and otherwise wraps it so that MineContext works uniformly across all
+// eight algorithms.
+//
+// The wrapper runs the serial Mine on its own goroutine and abandons it on
+// cancellation: MineContext returns ctx.Err() immediately, while the
+// goroutine finishes its (discarded) computation in the background and
+// then exits. This trades promptness for the inability to interrupt the
+// underlying serial algorithm mid-flight — acceptable for the baselines,
+// whose runs the repository only uses for verification and benchmarks.
+func AsContextMiner(m Miner) ContextMiner {
+	if cm, ok := m.(ContextMiner); ok {
+		return cm
+	}
+	return &contextAdapter{Miner: m}
+}
+
+// contextAdapter adapts a serial Miner to ContextMiner.
+type contextAdapter struct {
+	Miner
+}
+
+// MineContext implements ContextMiner.
+func (a *contextAdapter) MineContext(ctx context.Context, db Database, minSup int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: the goroutine never blocks, so it exits even after abandonment
+	go func() {
+		res, err := a.Miner.Mine(db, minSup)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case o := <-ch:
+		return o.res, o.err
+	}
+}
+
+// Merge adds every pattern of o into r, preserving o's insertion order.
+// The two pattern sets must be disjoint (Add panics on duplicates); the
+// parallel DISC-all scheduler merges per-partition results whose patterns
+// extend distinct partition keys, so disjointness holds by construction.
+func (r *Result) Merge(o *Result) {
+	for _, pc := range o.patterns {
+		r.Add(pc.Pattern, pc.Support)
+	}
+}

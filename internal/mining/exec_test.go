@@ -1,0 +1,126 @@
+package mining
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestEffectiveWorkers(t *testing.T) {
+	if got := (ExecOptions{}).EffectiveWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero value = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := (ExecOptions{Workers: -3}).EffectiveWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, w := range []int{1, 2, 16} {
+		if got := (ExecOptions{Workers: w}).EffectiveWorkers(); got != w {
+			t.Errorf("Workers %d = %d", w, got)
+		}
+	}
+}
+
+// fakeMiner is a controllable serial Miner for adapter tests.
+type fakeMiner struct {
+	block chan struct{} // when non-nil, Mine blocks until closed
+	res   *Result
+	err   error
+	runs  int
+}
+
+func (f *fakeMiner) Name() string { return "fake" }
+
+func (f *fakeMiner) Mine(db Database, minSup int) (*Result, error) {
+	f.runs++
+	if f.block != nil {
+		<-f.block
+	}
+	return f.res, f.err
+}
+
+func TestAsContextMinerPassThrough(t *testing.T) {
+	want := NewResult()
+	want.Add(pat("(a)"), 3)
+	f := &fakeMiner{res: want}
+	cm := AsContextMiner(f)
+	if cm.Name() != "fake" {
+		t.Errorf("Name = %q", cm.Name())
+	}
+	res, err := cm.MineContext(context.Background(), nil, 2)
+	if err != nil || res != want {
+		t.Fatalf("MineContext = (%v, %v), want (%v, nil)", res, err, want)
+	}
+	// The plain Mine path still works through the embedded Miner.
+	if res, err := cm.Mine(nil, 2); err != nil || res != want {
+		t.Fatalf("Mine = (%v, %v)", res, err)
+	}
+	if f.runs != 2 {
+		t.Errorf("underlying miner ran %d times, want 2", f.runs)
+	}
+}
+
+func TestAsContextMinerPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	cm := AsContextMiner(&fakeMiner{err: boom})
+	if _, err := cm.MineContext(context.Background(), nil, 2); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestAsContextMinerCancellation(t *testing.T) {
+	block := make(chan struct{})
+	f := &fakeMiner{block: block}
+	cm := AsContextMiner(f)
+	defer close(block) // let the abandoned goroutine finish
+
+	// Pre-cancelled context: the mine never starts.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := cm.MineContext(pre, nil, 2); err != context.Canceled {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+	if f.runs != 0 {
+		t.Fatalf("pre-cancelled context still started the miner")
+	}
+
+	// Cancellation mid-run: MineContext returns promptly even though the
+	// underlying Mine is stuck.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cm.MineContext(ctx, nil, 2)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("MineContext did not return after cancellation")
+	}
+}
+
+func TestAsContextMinerIdempotent(t *testing.T) {
+	cm := AsContextMiner(&fakeMiner{})
+	if AsContextMiner(cm) != cm {
+		t.Error("wrapping a ContextMiner must return it unchanged")
+	}
+}
+
+func TestResultMerge(t *testing.T) {
+	a, b := NewResult(), NewResult()
+	a.Add(pat("(a)"), 3)
+	b.Add(pat("(b)"), 2)
+	b.Add(pat("(b)(c)"), 2)
+	a.Merge(b)
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if sup, ok := a.Support(pat("(b)(c)")); !ok || sup != 2 {
+		t.Errorf("merged support = %d,%v", sup, ok)
+	}
+}

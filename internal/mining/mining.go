@@ -7,6 +7,7 @@ package mining
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -53,8 +54,21 @@ func (db Database) AvgTransPerCustomer() float64 {
 
 // AbsSupport converts a relative minimum support threshold into the paper's
 // δ (an absolute minimum support count): δ = ⌈frac·n⌉, at least 1.
+//
+// The product frac·n is computed in floating point, so thresholds that are
+// exact in decimal can land one ulp off an integer (0.01·100 =
+// 1.0000000000000002): a bare Ceil would round those up one customer too
+// far. Products within a relative 1e-9 of an integer are therefore treated
+// as that integer before taking the ceiling; genuine fractions (off by
+// more than the guard) still round up.
 func AbsSupport(frac float64, n int) int {
-	d := int(frac*float64(n) + 0.9999999)
+	x := frac * float64(n)
+	var d int
+	if r := math.Round(x); math.Abs(x-r) <= 1e-9*math.Max(1, math.Abs(r)) {
+		d = int(r)
+	} else {
+		d = int(math.Ceil(x))
+	}
 	if d < 1 {
 		d = 1
 	}

@@ -23,6 +23,18 @@ func TestAbsSupport(t *testing.T) {
 		{0.26, 4, 2},  // ceil(1.04)
 		{0.0, 100, 1}, // at least 1
 		{0.001, 5, 1},
+		// Exact products must not be bumped to the next integer even when
+		// the float product lands an ulp above (0.01 × 100 is
+		// 1.0000000000000002 in float64).
+		{0.01, 100, 1},
+		{0.25, 4, 1},
+		{1.0, 7, 7},
+		{1.0, 1000000, 1000000},
+		{0.005, 200000000, 1000000},
+		{0.1, 30, 3},
+		// Genuinely fractional products still round up.
+		{0.33333334, 3, 2}, // 1.00000002 is not within tolerance of 1
+		{1.0 / 3, 3, 1},    // float64(1/3)·3 lands within tolerance of 1
 	}
 	for _, c := range cases {
 		if got := AbsSupport(c.frac, c.n); got != c.want {
