@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench check difftest fuzz
 
 all: check
 
@@ -23,6 +24,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# The full differential grid (128 generated/mutated databases × every
+# miner and DISC option combination) under the race detector. The plain
+# `test` pass already runs the grid without -race; `race` samples it
+# (-short). This target is the exhaustive combination CI runs as its own
+# job.
+difftest:
+	$(GO) test -race -run TestDifferentialGrid -count=1 ./internal/difftest
+
+# Coverage-guided fuzzing smoke pass: Go allows one -fuzz pattern per
+# invocation, so each target gets its own run.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDISCAllVsOracle -fuzztime $(FUZZTIME) ./internal/difftest
+	$(GO) test -run '^$$' -fuzz FuzzDynamicVsOracle -fuzztime $(FUZZTIME) ./internal/difftest
 
 # check is what CI runs: vet, build, the full suite, then the race pass.
 check: vet build test race

@@ -29,17 +29,20 @@ import (
 	"context"
 	"fmt"
 
-	"github.com/disc-mining/disc/internal/bruteforce"
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/gen"
-	"github.com/disc-mining/disc/internal/gsp"
 	"github.com/disc-mining/disc/internal/mining"
-	"github.com/disc-mining/disc/internal/prefixspan"
 	"github.com/disc-mining/disc/internal/seq"
-	"github.com/disc-mining/disc/internal/spade"
-	"github.com/disc-mining/disc/internal/spam"
 	"github.com/disc-mining/disc/internal/weighted"
+
+	// Imported for their miner registrations (NewMiner resolves algorithm
+	// names through the mining registry).
+	_ "github.com/disc-mining/disc/internal/bruteforce"
+	_ "github.com/disc-mining/disc/internal/gsp"
+	_ "github.com/disc-mining/disc/internal/prefixspan"
+	_ "github.com/disc-mining/disc/internal/spade"
+	_ "github.com/disc-mining/disc/internal/spam"
 )
 
 // Core data-model types, re-exported from the internal packages.
@@ -147,27 +150,16 @@ func Algorithms() []Algorithm {
 	return []Algorithm{DISCAll, DynamicDISCAll, PrefixSpan, Pseudo, GSP, SPADE, SPAM, LevelWise}
 }
 
-// NewMiner constructs a miner by algorithm name.
+// NewMiner constructs a miner by algorithm name. Every algorithm package
+// registers its constructor with the shared miner registry (also consumed
+// by the differential-correctness harness in internal/difftest), so this
+// is a registry lookup.
 func NewMiner(a Algorithm) (Miner, error) {
-	switch a {
-	case DISCAll:
-		return core.New(), nil
-	case DynamicDISCAll:
-		return core.NewDynamic(), nil
-	case PrefixSpan:
-		return prefixspan.Basic{}, nil
-	case Pseudo:
-		return prefixspan.Pseudo{}, nil
-	case GSP:
-		return gsp.Miner{}, nil
-	case SPADE:
-		return spade.Miner{}, nil
-	case SPAM:
-		return spam.Miner{}, nil
-	case LevelWise:
-		return bruteforce.LevelWise{}, nil
+	m, err := mining.NewRegistered(string(a))
+	if err != nil {
+		return nil, fmt.Errorf("disc: unknown algorithm %q (available: %v)", a, Algorithms())
 	}
-	return nil, fmt.Errorf("disc: unknown algorithm %q (available: %v)", a, Algorithms())
+	return m, nil
 }
 
 // NewDISCAll constructs a DISC-all miner with explicit options; its

@@ -9,8 +9,36 @@ import (
 	"testing"
 	"time"
 
+	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/testutil"
 )
+
+// TestAlgorithmsMatchRegistry: the public algorithm list and the miner
+// registry must stay in sync — NewMiner resolves names through the
+// registry, and the differential harness enumerates it.
+func TestAlgorithmsMatchRegistry(t *testing.T) {
+	registered := map[string]bool{}
+	for _, n := range mining.RegisteredNames() {
+		registered[n] = true
+	}
+	for _, a := range Algorithms() {
+		if !registered[string(a)] {
+			t.Errorf("algorithm %q is not registered", a)
+			continue
+		}
+		m, err := NewMiner(a)
+		if err != nil {
+			t.Errorf("NewMiner(%q): %v", a, err)
+			continue
+		}
+		if m.Name() != string(a) {
+			t.Errorf("NewMiner(%q).Name() = %q", a, m.Name())
+		}
+	}
+	if got, want := len(registered), len(Algorithms()); got != want {
+		t.Errorf("%d registered miners vs %d public algorithms: %v", got, want, mining.RegisteredNames())
+	}
+}
 
 func table1() Database {
 	return Database{

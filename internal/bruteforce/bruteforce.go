@@ -59,8 +59,15 @@ func (e Exhaustive) Mine(db mining.Database, minSup int) (*mining.Result, error)
 	return res, nil
 }
 
-// LevelWise is the naive generate-and-count miner.
+// LevelWise is the naive generate-and-count miner. It is registered as a
+// production algorithm; Exhaustive is not (its cost is exponential in the
+// customer length), so the differential harness names it explicitly as the
+// oracle on small inputs.
 type LevelWise struct{}
+
+func init() {
+	mining.Register("levelwise", func() mining.Miner { return LevelWise{} })
+}
 
 // Name implements mining.Miner.
 func (LevelWise) Name() string { return "levelwise" }

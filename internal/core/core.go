@@ -37,25 +37,36 @@ import (
 	"github.com/disc-mining/disc/internal/seq"
 )
 
+func init() {
+	mining.Register("disc-all", func() mining.Miner { return New() })
+	mining.Register("dynamic-disc-all", func() mining.Miner { return NewDynamic() })
+}
+
 // Options configures the DISC-all family.
 type Options struct {
 	// BiLevel enables the §3.2 bi-level technique (one k-sorted database
 	// yields both frequent k- and (k+1)-sequences). The paper's
-	// experimental version has it on; it defaults to on here (the zero
-	// Options disables nothing — see DefaultOptions).
+	// experimental version has it on, and DefaultOptions selects it; the
+	// zero Options leaves it off.
 	BiLevel bool
 
-	// Levels is the number of partitioning levels of the static DISC-all
-	// (the paper presents and evaluates the two-level scheme; 0 selects
-	// it). A negative value disables partitioning entirely — the pure DISC
-	// strategy runs on the whole database from length 2 upward, which is
-	// the ablation baseline for the multi-level partitioning strategy.
-	// Ignored by Dynamic.
+	// Levels is the number of partitioning levels of the static DISC-all.
+	// The paper presents and evaluates the two-level scheme, which
+	// DefaultOptions selects (Levels = 2). Zero or negative disables
+	// partitioning entirely — the pure DISC strategy runs on the whole
+	// database from length 2 upward, the ablation baseline for the
+	// multi-level partitioning strategy. The mining run uses the value as
+	// given: defaults are resolved only by New and DefaultOptions, so an
+	// explicit 0 is representable. Ignored by Dynamic.
 	Levels int
 
 	// Gamma is the Dynamic DISC-all NRR threshold γ: a partition whose NRR
-	// is at least γ switches from partitioning to DISC. Ignored by the
-	// static algorithm.
+	// is at least γ switches from partitioning to DISC. γ = 0 (or below)
+	// switches to DISC immediately on the whole database; γ ≥ 1 partitions
+	// for as long as partitioning is productive. The mining run uses the
+	// value as given: defaults are resolved only by NewDynamic and
+	// DefaultOptions (γ = 0.5), so an explicit 0 is representable. Ignored
+	// by the static algorithm.
 	Gamma float64
 
 	// Workers bounds the number of concurrent partition workers of the
@@ -185,14 +196,10 @@ func (m *Miner) Mine(db mining.Database, minSup int) (*mining.Result, error) {
 // cooperatively (per partition, per DISC round batch) and returns ctx.Err()
 // when cancelled, after every partition worker has stopped.
 func (m *Miner) MineContext(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
-	opts := m.Opts
-	if opts.Levels == 0 {
-		opts.Levels = 2
-	}
-	levels := opts.Levels
+	levels := m.Opts.Levels // used as given; New/DefaultOptions resolve defaults
 	e := &engine{
-		opts:   opts,
-		policy: func(level int, nrr float64) bool { return levels > 0 && level < levels },
+		opts:   m.Opts,
+		policy: func(level int, nrr float64) bool { return level < levels },
 	}
 	res, err := e.run(ctx, db, minSup)
 	m.stats = e.stats
@@ -222,13 +229,9 @@ func (d *Dynamic) Mine(db mining.Database, minSup int) (*mining.Result, error) {
 
 // MineContext implements mining.ContextMiner (see Miner.MineContext).
 func (d *Dynamic) MineContext(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
-	opts := d.Opts
-	gamma := opts.Gamma
-	if gamma <= 0 {
-		gamma = 0.5
-	}
+	gamma := d.Opts.Gamma // used as given; NewDynamic/DefaultOptions resolve defaults
 	e := &engine{
-		opts:   opts,
+		opts:   d.Opts,
 		policy: func(level int, nrr float64) bool { return nrr < gamma },
 	}
 	res, err := e.run(ctx, db, minSup)
@@ -386,7 +389,11 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 	// occurrences that can only form non-frequent 1- or 2-sequences are
 	// removed before going deeper.
 	if level == 1 {
-		members = e.reduceMembers(key.LastItem(), members, listNext)
+		var err error
+		members, err = e.reduceMembers(key.LastItem(), members, listNext)
+		if err != nil {
+			return err
+		}
 	}
 
 	if e.policy(level, nrr) {
@@ -553,7 +560,12 @@ func mergeExtensions(key seq.Pattern, arr *counting.Array, fi, fs []seq.Item) ([
 // frequent 2-sequences <(λ)(x)> and <(λ x)>. Occurrences of λ itself are
 // always kept. Customers reduced below length 3 are dropped (they were
 // already counted for lengths 1 and 2).
-func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.Pattern) []*member {
+//
+// A member of the <(λ)>-partition must contain λ; a member that does not
+// means the database violates the documented canonical form (itemsets
+// sorted ascending, duplicate-free — see seq.NewCustomerSeq), and the run
+// reports that as an error rather than crashing from a worker goroutine.
+func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.Pattern) ([]*member, error) {
 	freqS := make([]bool, e.maxItem+1)
 	freqI := make([]bool, e.maxItem+1)
 	for _, p := range list2 {
@@ -578,7 +590,7 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 			}
 		}
 		if minTrans < 0 {
-			panic(fmt.Sprintf("core: partition member cid=%d lacks item %d", cs.CID, lambda))
+			return nil, fmt.Errorf("core: malformed database: customer cid=%d was assigned to the partition of item %d but does not contain it (itemsets must be sorted ascending and duplicate-free; construct customer sequences with seq.NewCustomerSeq)", cs.CID, lambda)
 		}
 		sets = sets[:0]
 		// The removal rules of §3.1 apply to items right of the minimum
@@ -623,7 +635,7 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 		}
 		out = append(out, &member{cs: red})
 	}
-	return out
+	return out, nil
 }
 
 // sortPatternList sorts patterns ascending in place (defensive helper for

@@ -17,7 +17,7 @@ func allVariants() []mining.Miner {
 		&Miner{Opts: Options{BiLevel: true, Levels: 1}},
 		&Miner{Opts: Options{BiLevel: true, Levels: 3}},
 		&Miner{Opts: Options{BiLevel: true, Levels: -1}}, // pure DISC, no partitioning
-		&Miner{}, // zero options: defaults apply
+		&Miner{}, // zero options: no partitioning, no bi-level (explicit zero is honoured)
 		&Miner{Opts: Options{BiLevel: true, Levels: 2, Workers: 4}},  // parallel scheduler
 		&Miner{Opts: Options{BiLevel: false, Levels: 3, Workers: 3}}, // parallel, deeper static split
 		NewDynamic(),
@@ -213,7 +213,10 @@ func TestReduceMembersTable7(t *testing.T) {
 		members = append(members, &member{cs: cs})
 	}
 	list2, _ := e.frequentExtensions(seq.MustParsePattern("(a)"), members, 1)
-	reduced := e.reduceMembers(1, members, list2)
+	reduced, err := e.reduceMembers(1, members, list2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := map[int]string{
 		1: "<(a)(a, g, h)(c)>",
 		2: "<(b)(a)(a, c, e, g)>",

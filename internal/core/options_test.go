@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// TestExplicitZeroLevels: Levels = 0 now means "no partitioning" (pure
+// DISC), exactly like a negative value — it is no longer silently coerced
+// to the two-level default. Defaults come only from New/DefaultOptions.
+func TestExplicitZeroLevels(t *testing.T) {
+	db := testutil.Table6()
+	ref, err := New().Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := &Miner{Opts: Options{BiLevel: true, Levels: 0}}
+	res, err := m.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref.Diff(res); diff != "" {
+		t.Fatalf("Levels=0 changes the result set:\n%s", diff)
+	}
+	// Pure DISC processes exactly one partition: the root database.
+	if got := m.LastStats().PartitionsByLevel; len(got) != 1 || got[0] != 1 {
+		t.Errorf("Levels=0 PartitionsByLevel = %v, want [1]", got)
+	}
+
+	// The default miner really does partition (two levels), so the zero
+	// setting is observably different behaviour, not a silent default.
+	def := New()
+	if def.Opts.Levels != 2 {
+		t.Fatalf("New() Levels = %d, want 2", def.Opts.Levels)
+	}
+	if _, err := def.Mine(db, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := def.LastStats().PartitionsByLevel; len(got) < 2 || got[1] == 0 {
+		t.Errorf("default PartitionsByLevel = %v, want level-1 partitions", got)
+	}
+}
+
+// TestExplicitZeroGamma: γ = 0 means "switch to DISC immediately" — every
+// partition's NRR is at least 0, so the dynamic policy never partitions.
+// Previously Gamma <= 0 was coerced to 0.5, making γ=0 unrepresentable.
+func TestExplicitZeroGamma(t *testing.T) {
+	db := testutil.Table6()
+	ref, err := bruteforce.Exhaustive{}.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := &Dynamic{Opts: Options{BiLevel: true, Gamma: 0}}
+	res, err := d.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref.Diff(res); diff != "" {
+		t.Fatalf("Gamma=0 changes the result set:\n%s", diff)
+	}
+	if got := d.LastStats().PartitionsByLevel; len(got) != 1 || got[0] != 1 {
+		t.Errorf("Gamma=0 PartitionsByLevel = %v, want [1] (DISC from the root)", got)
+	}
+
+	// γ ≥ 1 keeps partitioning while productive; on this data that means
+	// going past the root.
+	deep := &Dynamic{Opts: Options{BiLevel: true, Gamma: 1.5}}
+	res, err = deep.Mine(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ref.Diff(res); diff != "" {
+		t.Fatalf("Gamma=1.5 changes the result set:\n%s", diff)
+	}
+	if got := deep.LastStats().PartitionsByLevel; len(got) < 2 || got[1] == 0 {
+		t.Errorf("Gamma=1.5 PartitionsByLevel = %v, want level-1 partitions", got)
+	}
+
+	// NewDynamic still carries the paper's default.
+	if g := NewDynamic().Opts.Gamma; g != 0.5 {
+		t.Errorf("NewDynamic() Gamma = %v, want 0.5", g)
+	}
+}
+
+// malformedDB builds a database whose third customer violates canonical
+// form: its backing item slice (exposed by Items for read-only scanning)
+// is mutated to hold an unsorted transaction, so partition assignment sees
+// item 1 but the sorted-itemset lookups of the reduction step do not.
+func malformedDB() mining.Database {
+	bad := seq.NewCustomerSeq(3, seq.Itemset{1, 2, 3})
+	items := bad.Items()
+	items[0], items[2] = items[2], items[0] // transaction now reads (3 2 1)
+	return mining.Database{
+		seq.MustParseCustomerSeq(1, "(1)(2)"),
+		seq.MustParseCustomerSeq(2, "(1)(2)"),
+		bad,
+	}
+}
+
+// TestMalformedDatabaseSurfacesError: a database breaking the canonical
+// itemset invariant must make Mine return an error instead of panicking
+// from (possibly) a parallel worker goroutine.
+func TestMalformedDatabaseSurfacesError(t *testing.T) {
+	for _, m := range []mining.Miner{
+		&Miner{Opts: Options{BiLevel: true, Levels: 2, Workers: 1}},
+		&Miner{Opts: Options{BiLevel: true, Levels: 2, Workers: 4}},
+		// γ high enough that the dynamic policy partitions this database
+		// (its root NRR is 1.0) and reaches the reduction step.
+		&Dynamic{Opts: Options{BiLevel: true, Gamma: 1.5, Workers: 4}},
+	} {
+		_, err := m.Mine(malformedDB(), 2)
+		if err == nil {
+			t.Fatalf("%T: malformed database must error", m)
+		}
+		if !strings.Contains(err.Error(), "malformed database") {
+			t.Errorf("%T: error %q does not identify the malformed database", m, err)
+		}
+	}
+}

@@ -60,7 +60,7 @@ func TestParallelDeterminism(t *testing.T) {
 func TestParallelStatsMatchSerial(t *testing.T) {
 	r := rand.New(rand.NewSource(72))
 	db := testutil.SkewedRandomDB(r, 80, 12, 6, 4)
-	ms, mp := &Miner{Opts: Options{Workers: 1}}, &Miner{Opts: Options{Workers: 8}}
+	ms, mp := &Miner{Opts: Options{Levels: 2, Workers: 1}}, &Miner{Opts: Options{Levels: 2, Workers: 8}}
 	if _, err := ms.Mine(db, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -107,9 +107,9 @@ func TestCancellationPrompt(t *testing.T) {
 		name  string
 		miner mining.ContextMiner
 	}{
-		{"serial", &Miner{Opts: Options{Workers: 1}}},
-		{"parallel", &Miner{Opts: Options{Workers: 8}}},
-		{"dynamic-parallel", &Dynamic{Opts: Options{Workers: 8}}},
+		{"serial", &Miner{Opts: Options{Levels: 2, Workers: 1}}},
+		{"parallel", &Miner{Opts: Options{Levels: 2, Workers: 8}}},
+		{"dynamic-parallel", &Dynamic{Opts: Options{Gamma: 0.5, Workers: 8}}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
@@ -178,7 +178,7 @@ func TestProgressEvents(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		var mu sync.Mutex
 		var events []mining.ProgressEvent
-		m := &Miner{Opts: Options{Workers: workers, Progress: func(ev mining.ProgressEvent) {
+		m := &Miner{Opts: Options{Levels: 2, Workers: workers, Progress: func(ev mining.ProgressEvent) {
 			mu.Lock()
 			events = append(events, ev)
 			mu.Unlock()

@@ -3,8 +3,8 @@
 //   - native: one customer per line, "cid: (1 5)(2)(3 7)" — the paper's
 //     notation with numeric items;
 //   - SPMF: the format of the SPMF mining library, "1 5 -1 2 -1 3 7 -1 -2"
-//     (itemsets separated by -1, sequences terminated by -2), one sequence
-//     per line with implicit 1-based customer ids.
+//     (itemsets separated by -1, sequences terminated by -2), one or more
+//     sequences per line with implicit 1-based customer ids.
 //
 // Read auto-detects the format from the first data line.
 package data
@@ -52,18 +52,20 @@ func Read(r io.Reader, f Format) (mining.Database, error) {
 				f = SPMF
 			}
 		}
-		var cs *seq.CustomerSeq
-		var err error
 		switch f {
 		case Native:
-			cs, err = parseNative(line, len(db)+1)
+			cs, err := parseNative(line, len(db)+1)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+			}
+			db = append(db, cs)
 		case SPMF:
-			cs, err = parseSPMF(line, len(db)+1)
+			css, err := parseSPMF(line, len(db)+1)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+			}
+			db = append(db, css...)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
-		}
-		db = append(db, cs)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("data: %w", err)
@@ -92,8 +94,14 @@ func parseNative(line string, defaultCID int) (*seq.CustomerSeq, error) {
 	return cs, nil
 }
 
-func parseSPMF(line string, cid int) (*seq.CustomerSeq, error) {
+// parseSPMF parses every sequence on one SPMF line. The format terminates
+// each sequence with -2, and a line may carry several sequences (SPMF
+// itself accepts that); each gets the next implicit customer id starting
+// at cid. Tokens after the last -2 that do not form a terminated sequence
+// are an error, never silently dropped.
+func parseSPMF(line string, cid int) ([]*seq.CustomerSeq, error) {
 	fields := strings.Fields(line)
+	var out []*seq.CustomerSeq
 	var sets []seq.Itemset
 	var cur seq.Itemset
 	for _, f := range fields {
@@ -109,7 +117,9 @@ func parseSPMF(line string, cid int) (*seq.CustomerSeq, error) {
 			if len(sets) == 0 {
 				return nil, fmt.Errorf("empty sequence")
 			}
-			return seq.NewCustomerSeq(cid, sets...), nil
+			out = append(out, seq.NewCustomerSeq(cid, sets...))
+			cid++
+			sets, cur = nil, nil
 		case n == -1:
 			if len(cur) == 0 {
 				return nil, fmt.Errorf("empty itemset before -1")
@@ -122,7 +132,13 @@ func parseSPMF(line string, cid int) (*seq.CustomerSeq, error) {
 			return nil, fmt.Errorf("invalid item %d", n)
 		}
 	}
-	return nil, fmt.Errorf("sequence not terminated by -2")
+	if len(cur) > 0 || len(sets) > 0 {
+		return nil, fmt.Errorf("sequence not terminated by -2")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sequence")
+	}
+	return out, nil
 }
 
 // Write renders db to w in the given format (Auto means Native).

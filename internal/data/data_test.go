@@ -56,6 +56,47 @@ func TestSPMFRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSPMFMultipleSequencesPerLine is the regression test for the parser
+// dropping everything after the first -2 on a line: "1 -1 -2 2 -1 -2" is
+// two one-item sequences, not one.
+func TestSPMFMultipleSequencesPerLine(t *testing.T) {
+	db, err := Read(strings.NewReader("1 -1 -2 2 -1 -2"), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 2 {
+		t.Fatalf("parsed %d sequences, want 2", len(db))
+	}
+	if db[0].CID != 1 || db[1].CID != 2 {
+		t.Errorf("CIDs = %d, %d, want 1, 2", db[0].CID, db[1].CID)
+	}
+	if s := db[0].Pattern().String(); s != "<(1)>" {
+		t.Errorf("first sequence = %s, want <(1)>", s)
+	}
+	if s := db[1].Pattern().String(); s != "<(2)>" {
+		t.Errorf("second sequence = %s, want <(2)>", s)
+	}
+
+	// Mixed with ordinary one-sequence lines: ids keep incrementing.
+	db, err = Read(strings.NewReader("1 2 -1 -2\n3 -1 -2 4 -1 5 -1 -2\n"), Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 3 || db[2].CID != 3 {
+		t.Fatalf("parsed %d sequences (last cid %d), want 3 (cid 3)", len(db), db[len(db)-1].CID)
+	}
+	if s := db[2].Pattern().String(); s != "<(4)(5)>" {
+		t.Errorf("third sequence = %s, want <(4)(5)>", s)
+	}
+
+	// Trailing tokens that never see a -2 are an error, not silently lost.
+	for _, bad := range []string{"1 -1 -2 2", "1 -1 -2 2 -1", "1 -1 -2 -1 -2"} {
+		if _, err := Read(strings.NewReader(bad), Auto); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
 func TestReadSkipsCommentsAndBlankLines(t *testing.T) {
 	in := "# header\n\n1: (1 2)(3)\n# trailing\n2: (4)\n"
 	db, err := Read(strings.NewReader(in), Auto)

@@ -1,0 +1,256 @@
+package difftest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/gen"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// TestDifferentialGrid is the main harness run: every grid database is
+// mined with every variant and all result sets must agree (with the
+// exhaustive oracle as reference where feasible) and satisfy the result
+// invariants. Short mode samples the grid so `go test -race -short` stays
+// fast; CI runs the full grid.
+func TestDifferentialGrid(t *testing.T) {
+	cases := Grid()
+	if !testing.Short() && len(cases) < 100 {
+		t.Fatalf("grid has %d databases, want at least 100", len(cases))
+	}
+	if testing.Short() {
+		sampled := make([]Case, 0, len(cases)/8+1)
+		for i := 0; i < len(cases); i += 8 {
+			sampled = append(sampled, cases[i])
+		}
+		cases = sampled
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			db, err := gen.Generate(c.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Mutate {
+				db = gen.Mutate(rand.New(rand.NewSource(c.Config.Seed)), db)
+			}
+			if len(db) == 0 {
+				t.Skip("mutated to empty")
+			}
+			minSup := mining.AbsSupport(c.Frac, len(db))
+			if mis := Check(db, minSup); mis != nil {
+				vs := failingPair(mis)
+				shrunk := Shrink(mis.DB, func(d mining.Database) bool {
+					return len(d) > 0 && CheckVariants(d, minSup, vs) != nil
+				})
+				t.Fatalf("%v\nshrunk counterexample (%d customers):\n%s",
+					mis, len(shrunk), Counterexample(shrunk))
+			}
+		})
+	}
+}
+
+// failingPair narrows the variant list to the configurations named by a
+// mismatch, so the shrinking predicate re-runs two miners instead of the
+// whole matrix.
+func failingPair(mis *Mismatch) []Variant {
+	var vs []Variant
+	for _, v := range Variants() {
+		if v.Name == mis.Ref || v.Name == mis.Got {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) == 0 { // reference was the oracle: keep the failing variant only
+		return Variants()
+	}
+	return vs
+}
+
+// offByOne wraps a correct miner with the classic threshold bug: the
+// support test uses > instead of >=, silently dropping every pattern at
+// exactly minSup. The harness must catch it and shrink the witness.
+type offByOne struct{ inner mining.Miner }
+
+func (o offByOne) Name() string { return o.inner.Name() + "+off-by-one" }
+
+func (o offByOne) Mine(db mining.Database, minSup int) (*mining.Result, error) {
+	res, err := o.inner.Mine(db, minSup)
+	if err != nil {
+		return nil, err
+	}
+	out := mining.NewResult()
+	for _, pc := range res.Sorted() {
+		if pc.Support == minSup {
+			continue
+		}
+		out.Add(pc.Pattern, pc.Support)
+	}
+	return out, nil
+}
+
+// TestInjectedOffByOneIsCaughtAndShrunk: seeding the variant list with a
+// deliberately broken miner must produce a mismatch, and Shrink must
+// reduce the witness database to the theoretical minimum — minSup
+// customers of one identical item each (any pattern needs minSup
+// customers to be frequent, and a fixpoint of single-item drops cannot
+// hold a longer witness).
+func TestInjectedOffByOneIsCaughtAndShrunk(t *testing.T) {
+	db, err := gen.Generate(gen.Config{
+		NCust: 30, SLen: 3, TLen: 1.5, NItems: 10,
+		SeqPatLen: 2, NSeqPatterns: 20, NLitPatterns: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := mining.AbsSupport(0.15, len(db))
+	vs := []Variant{
+		{Name: "disc-all", New: func() mining.Miner { return core.New() }},
+		{Name: "disc-all+off-by-one", New: func() mining.Miner { return offByOne{core.New()} }},
+	}
+	mis := CheckVariants(db, minSup, vs)
+	if mis == nil {
+		t.Fatal("harness did not catch the injected off-by-one")
+	}
+	if mis.Got != "disc-all+off-by-one" && mis.Ref != "disc-all+off-by-one" {
+		t.Fatalf("mismatch blames %q vs %q", mis.Ref, mis.Got)
+	}
+	fail := func(d mining.Database) bool {
+		return len(d) > 0 && CheckVariants(d, minSup, vs) != nil
+	}
+	shrunk := Shrink(mis.DB, fail)
+	if !fail(shrunk) {
+		t.Fatal("shrunk database no longer reproduces the mismatch")
+	}
+	if len(shrunk) != minSup {
+		t.Errorf("shrunk to %d customers, want exactly minsup=%d", len(shrunk), minSup)
+	}
+	if got := shrunk.TotalItems(); got != minSup {
+		t.Errorf("shrunk database has %d items, want %d (one per customer)", got, minSup)
+	}
+	// The counterexample is valid native format round-tripping to the same
+	// database.
+	text := Counterexample(shrunk)
+	back, err := data.Read(strings.NewReader(text), data.Native)
+	if err != nil {
+		t.Fatalf("counterexample does not parse: %v\n%s", err, text)
+	}
+	if len(back) != len(shrunk) {
+		t.Fatalf("counterexample round-trip: %d customers, want %d", len(back), len(shrunk))
+	}
+	for i := range back {
+		if seq.Compare(back[i].Pattern(), shrunk[i].Pattern()) != 0 {
+			t.Errorf("counterexample customer %d differs after round-trip", i)
+		}
+	}
+}
+
+// TestCheckInvariantsRejectsBadResults: each invariant clause actually
+// fires.
+func TestCheckInvariantsRejectsBadResults(t *testing.T) {
+	p2 := seq.MustParsePattern("(1)(2)")
+	p1a, p1b := seq.MustParsePattern("(1)"), seq.MustParsePattern("(2)")
+
+	good := mining.NewResult()
+	good.Add(p1a, 3)
+	good.Add(p1b, 2)
+	good.Add(p2, 2)
+	if err := CheckInvariants(good, 2, 4); err != nil {
+		t.Fatalf("valid result rejected: %v", err)
+	}
+
+	below := mining.NewResult()
+	below.Add(p1a, 1)
+	if err := CheckInvariants(below, 2, 4); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("support below minsup not caught: %v", err)
+	}
+
+	above := mining.NewResult()
+	above.Add(p1a, 5)
+	if err := CheckInvariants(above, 2, 4); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("support above database size not caught: %v", err)
+	}
+
+	open := mining.NewResult()
+	open.Add(p2, 2)
+	open.Add(p1a, 3) // (2) missing
+	if err := CheckInvariants(open, 2, 4); err == nil || !strings.Contains(err.Error(), "downward closure") {
+		t.Errorf("missing subsequence not caught: %v", err)
+	}
+
+	anti := mining.NewResult()
+	anti.Add(p2, 3)
+	anti.Add(p1a, 3)
+	anti.Add(p1b, 2) // subsequence with lower support than the superpattern
+	if err := CheckInvariants(anti, 2, 4); err == nil || !strings.Contains(err.Error(), "anti-monotonicity") {
+		t.Errorf("anti-monotonicity violation not caught: %v", err)
+	}
+}
+
+// TestVariantsCoverTheMatrix: the option matrix promised by the harness
+// is really present.
+func TestVariantsCoverTheMatrix(t *testing.T) {
+	names := map[string]bool{}
+	for _, v := range Variants() {
+		if names[v.Name] {
+			t.Errorf("duplicate variant %q", v.Name)
+		}
+		names[v.Name] = true
+	}
+	for _, want := range []string{
+		"disc-all", "dynamic-disc-all", "gsp", "spade", "spam",
+		"prefixspan", "pseudo", "levelwise", "gsp[nohashtree]",
+		"disc-all[bilevel=false,levels=-1,workers=1]",
+		"disc-all[bilevel=true,levels=2,workers=1]",
+		"dynamic-disc-all[gamma=0,workers=1]",
+		"dynamic-disc-all[gamma=1.5,workers=1]",
+	} {
+		if !names[want] {
+			t.Errorf("variant %q missing (have %d variants)", want, len(names))
+		}
+	}
+}
+
+// TestMutateIsDeterministicAndCanonical: Mutate must be reproducible for
+// a fixed seed and must only emit canonical customer sequences.
+func TestMutateIsDeterministicAndCanonical(t *testing.T) {
+	db, err := gen.Generate(gen.Config{NCust: 20, SLen: 3, TLen: 2, NItems: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen.Mutate(rand.New(rand.NewSource(11)), db)
+	b := gen.Mutate(rand.New(rand.NewSource(11)), db)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if seq.Compare(a[i].Pattern(), b[i].Pattern()) != 0 {
+			t.Fatalf("same seed, customer %d differs", i)
+		}
+	}
+	for _, cs := range a {
+		if cs.Len() == 0 {
+			t.Error("empty customer emitted")
+		}
+		for ti := 0; ti < cs.NTrans(); ti++ {
+			tx := cs.Transaction(ti)
+			for j := 1; j < len(tx); j++ {
+				if tx[j-1] >= tx[j] {
+					t.Fatalf("non-canonical transaction %v", tx)
+				}
+			}
+		}
+	}
+	// The original database is untouched.
+	orig, _ := gen.Generate(gen.Config{NCust: 20, SLen: 3, TLen: 2, NItems: 15, Seed: 3})
+	for i := range db {
+		if seq.Compare(db[i].Pattern(), orig[i].Pattern()) != 0 {
+			t.Fatalf("Mutate modified its input (customer %d)", i)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/bruteforce"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// parseFuzzDB turns fuzzer bytes into a database through the SPMF parser
+// and gates it to oracle-feasible size: small customer count, short
+// sequences, bounded item universe (the counting structures allocate by
+// max item id).
+func parseFuzzDB(text string) (mining.Database, bool) {
+	db, err := data.Read(strings.NewReader(text), data.SPMF)
+	if err != nil || len(db) == 0 || len(db) > 16 {
+		return nil, false
+	}
+	for _, cs := range db {
+		if cs.Len() > 10 {
+			return nil, false
+		}
+		for _, it := range cs.Items() {
+			if it < 1 || it > 512 {
+				return nil, false
+			}
+		}
+	}
+	return db, true
+}
+
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	f.Add("1 -1 -2", uint8(0))
+	f.Add("1 5 -1 2 -1 -2 2 -1 -2", uint8(1))
+	f.Add("1 2 -1 3 -1 -2\n1 -1 3 -1 -2\n2 3 -1 -2", uint8(2))
+	f.Add("4 -1 4 -1 4 -1 -2 4 -1 -2 4 -1 -2", uint8(3))
+}
+
+// FuzzDISCAllVsOracle feeds fuzzer-mutated SPMF databases through the
+// default DISC-all miner and the exhaustive enumeration oracle and
+// demands identical result sets plus clean invariants.
+func FuzzDISCAllVsOracle(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, text string, rawSup uint8) {
+		db, ok := parseFuzzDB(text)
+		if !ok {
+			t.Skip()
+		}
+		minSup := 1 + int(rawSup)%len(db)
+		want, err := bruteforce.Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.New().Mine(db, minSup)
+		if err != nil {
+			t.Fatalf("disc-all: %v\ndatabase:\n%s", err, Counterexample(db))
+		}
+		if diff := want.Diff(got); diff != "" {
+			t.Fatalf("disc-all vs oracle at minsup=%d:\n%s\ndatabase:\n%s",
+				minSup, diff, Counterexample(db))
+		}
+		if err := CheckInvariants(got, minSup, len(db)); err != nil {
+			t.Fatalf("invariant: %v\ndatabase:\n%s", err, Counterexample(db))
+		}
+	})
+}
+
+// FuzzDynamicVsOracle is FuzzDISCAllVsOracle for Dynamic DISC-all, with
+// the NRR threshold γ (including the boundary γ = 0) taken from the
+// fuzzer too.
+func FuzzDynamicVsOracle(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, text string, raw uint8) {
+		db, ok := parseFuzzDB(text)
+		if !ok {
+			t.Skip()
+		}
+		minSup := 1 + int(raw)%len(db)
+		gamma := float64(raw%8) / 4 // 0, 0.25, ..., 1.75
+		want, err := bruteforce.Exhaustive{}.Mine(db, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &core.Dynamic{Opts: core.Options{BiLevel: raw%2 == 0, Gamma: gamma, Workers: 1}}
+		got, err := d.Mine(db, minSup)
+		if err != nil {
+			t.Fatalf("dynamic-disc-all(γ=%g): %v\ndatabase:\n%s", gamma, err, Counterexample(db))
+		}
+		if diff := want.Diff(got); diff != "" {
+			t.Fatalf("dynamic-disc-all(γ=%g) vs oracle at minsup=%d:\n%s\ndatabase:\n%s",
+				gamma, minSup, diff, Counterexample(db))
+		}
+		if err := CheckInvariants(got, minSup, len(db)); err != nil {
+			t.Fatalf("invariant: %v\ndatabase:\n%s", err, Counterexample(db))
+		}
+	})
+}

@@ -160,6 +160,12 @@ func (g *generator) buildItemsetPool() {
 	var prev []seq.Item
 	for i := 0; i < n; i++ {
 		size := g.poisson(g.cfg.LitPatLen-1) + 1
+		// An itemset holds distinct items, so its size cannot exceed the
+		// universe; without the clamp the fill loop below never terminates
+		// on configs with very few items.
+		if size > g.cfg.NItems {
+			size = g.cfg.NItems
+		}
 		set := map[seq.Item]bool{}
 		// A correlated fraction of items comes from the previous itemset.
 		if len(prev) > 0 {
@@ -324,3 +330,66 @@ func (g *generator) corrupt(pat [][]seq.Item, level float64) [][]seq.Item {
 
 // newRand builds the generator's seeded source (exposed for tests).
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Mutate returns a randomly perturbed deep copy of db: per customer one
+// structural edit is applied (drop/duplicate/swap a transaction, drop an
+// item occurrence, inject an item from another customer, or no change),
+// and occasionally a whole customer is duplicated. Every result is
+// re-canonicalized through seq.NewCustomerSeq; customers mutated to
+// emptiness are removed. The differential-correctness harness
+// (internal/difftest) uses this to reach database shapes the generator's
+// statistical process never produces — near-empty customers, exact
+// duplicate sequences, truncated tails. Deterministic for a fixed rand
+// state.
+func Mutate(r *rand.Rand, db mining.Database) mining.Database {
+	out := make(mining.Database, 0, len(db)+1)
+	for _, cs := range db {
+		src := cs.Itemsets()
+		sets := make([]seq.Itemset, len(src))
+		for i, is := range src {
+			sets[i] = append(seq.Itemset(nil), is...)
+		}
+		switch r.Intn(6) {
+		case 0: // drop a transaction
+			if len(sets) > 0 {
+				t := r.Intn(len(sets))
+				sets = append(sets[:t], sets[t+1:]...)
+			}
+		case 1: // duplicate a transaction in place
+			if len(sets) > 0 {
+				t := r.Intn(len(sets))
+				sets = append(sets[:t+1], sets[t:]...)
+			}
+		case 2: // swap two transactions
+			if len(sets) > 1 {
+				a, b := r.Intn(len(sets)), r.Intn(len(sets))
+				sets[a], sets[b] = sets[b], sets[a]
+			}
+		case 3: // drop one item occurrence
+			if len(sets) > 0 {
+				t := r.Intn(len(sets))
+				if len(sets[t]) > 0 {
+					i := r.Intn(len(sets[t]))
+					sets[t] = append(sets[t][:i], sets[t][i+1:]...)
+				}
+			}
+		case 4: // inject an item from another customer
+			if len(sets) > 0 && len(db) > 0 {
+				donor := db[r.Intn(len(db))]
+				if donor.Len() > 0 {
+					t := r.Intn(len(sets))
+					sets[t] = append(sets[t], donor.ItemAt(r.Intn(donor.Len())))
+				}
+			}
+		default: // unchanged
+		}
+		ncs := seq.NewCustomerSeq(cs.CID, sets...)
+		if ncs.Len() > 0 {
+			out = append(out, ncs)
+		}
+	}
+	if len(out) > 0 && r.Intn(4) == 0 {
+		out = append(out, out[r.Intn(len(out))])
+	}
+	return out
+}

@@ -144,6 +144,28 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// TestGenerateTinyItemUniverse: itemset sizes are clamped to the item
+// universe, so a universe smaller than a Poisson size draw terminates
+// (this used to loop forever) and every item stays in range.
+func TestGenerateTinyItemUniverse(t *testing.T) {
+	for items := 1; items <= 3; items++ {
+		db, err := Generate(Config{NCust: 30, SLen: 2, TLen: 2, NItems: items, Seed: int64(items)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(db) != 30 {
+			t.Fatalf("nitems=%d: %d customers", items, len(db))
+		}
+		for _, cs := range db {
+			for _, it := range cs.Items() {
+				if int(it) < 1 || int(it) > items {
+					t.Fatalf("nitems=%d: item %d out of range", items, it)
+				}
+			}
+		}
+	}
+}
+
 func TestPaperDefaultConfigs(t *testing.T) {
 	p := PaperDefaults(50000)
 	if p.SLen != 10 || p.TLen != 2.5 || p.NItems != 1000 || p.SeqPatLen != 4 {

@@ -21,6 +21,10 @@ type Miner struct {
 	NoHashTree bool
 }
 
+func init() {
+	mining.Register("gsp", func() mining.Miner { return Miner{} })
+}
+
 // Name implements mining.Miner.
 func (Miner) Name() string { return "gsp" }
 

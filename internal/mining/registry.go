@@ -1,0 +1,57 @@
+// Miner registry. Each algorithm package registers a constructor for its
+// miner(s) from an init function, so that callers that want "every
+// available algorithm" — the public NewMiner entry point and the
+// differential-correctness harness in internal/difftest — enumerate one
+// authoritative list instead of maintaining parallel switch statements.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var registry = struct {
+	mu        sync.RWMutex
+	factories map[string]func() Miner
+}{factories: map[string]func() Miner{}}
+
+// Register records a miner constructor under the algorithm's canonical
+// name. It is called from the algorithm packages' init functions; the
+// factory must return a fresh miner on every call (miners may carry
+// per-run state such as statistics). Registering an empty name, a nil
+// factory or a duplicate name panics — all three are programming errors.
+func Register(name string, factory func() Miner) {
+	if name == "" || factory == nil {
+		panic("mining: Register called with empty name or nil factory")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("mining: duplicate miner registration %q", name))
+	}
+	registry.factories[name] = factory
+}
+
+// RegisteredNames returns the names of every registered miner, sorted.
+func RegisteredNames() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewRegistered constructs a fresh miner by registered name.
+func NewRegistered(name string) (Miner, error) {
+	registry.mu.RLock()
+	factory := registry.factories[name]
+	registry.mu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("mining: no registered miner %q (available: %v)", name, RegisteredNames())
+	}
+	return factory(), nil
+}

@@ -1,0 +1,51 @@
+package mining
+
+import (
+	"strings"
+	"testing"
+)
+
+type registryFakeMiner struct{ Miner }
+
+func (registryFakeMiner) Name() string { return "fake" }
+
+func TestRegistry(t *testing.T) {
+	Register("registry-test-fake", func() Miner { return registryFakeMiner{} })
+
+	found := false
+	for _, name := range RegisteredNames() {
+		if name == "registry-test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("RegisteredNames() = %v, missing registry-test-fake", RegisteredNames())
+	}
+
+	m, err := NewRegistered("registry-test-fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "fake" {
+		t.Errorf("Name() = %q", m.Name())
+	}
+
+	if _, err := NewRegistered("no-such-miner"); err == nil || !strings.Contains(err.Error(), "no-such-miner") {
+		t.Errorf("NewRegistered on unknown name: %v", err)
+	}
+
+	for _, bad := range []func(){
+		func() { Register("", func() Miner { return registryFakeMiner{} }) },
+		func() { Register("x", nil) },
+		func() { Register("registry-test-fake", func() Miner { return registryFakeMiner{} }) }, // duplicate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Register call must panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

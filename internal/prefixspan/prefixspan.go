@@ -29,6 +29,11 @@ import (
 	"github.com/disc-mining/disc/internal/seq"
 )
 
+func init() {
+	mining.Register("prefixspan", func() mining.Miner { return Basic{} })
+	mining.Register("pseudo", func() mining.Miner { return Pseudo{} })
+}
+
 // Basic is PrefixSpan with physically materialized projected databases.
 type Basic struct{}
 

@@ -24,6 +24,10 @@ import (
 // Miner is the SPADE miner.
 type Miner struct{}
 
+func init() {
+	mining.Register("spade", func() mining.Miner { return Miner{} })
+}
+
 // Name implements mining.Miner.
 func (Miner) Name() string { return "spade" }
 

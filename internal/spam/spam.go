@@ -23,6 +23,10 @@ import (
 // Miner is the SPAM miner.
 type Miner struct{}
 
+func init() {
+	mining.Register("spam", func() mining.Miner { return Miner{} })
+}
+
 // Name implements mining.Miner.
 func (Miner) Name() string { return "spam" }
 
