@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench check difftest fuzz
+.PHONY: all build vet test race bench check difftest faultinject fuzz
 
 all: check
 
@@ -32,6 +32,14 @@ bench:
 # job.
 difftest:
 	$(GO) test -race -run TestDifferentialGrid -count=1 ./internal/difftest
+
+# Deterministic fault injection under the race detector: injected worker
+# panics must surface as typed errors (never crashes), and runs killed at
+# injected partition boundaries must resume from their checkpoints
+# byte-identically to a straight run, across a sampled differential grid.
+faultinject:
+	$(GO) test -race -run 'TestFaultInjection' -count=1 ./internal/difftest
+	$(GO) test -race -run 'TestWorkerPanicContained|TestPanicContainedEverySite|TestCheckpointResumeByteIdentical|TestProgressNeverConcurrent' -count=1 ./internal/core
 
 # Coverage-guided fuzzing smoke pass: Go allows one -fuzz pattern per
 # invocation, so each target gets its own run.

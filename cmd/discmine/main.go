@@ -11,13 +11,20 @@
 // -workers bounds the partition worker pool of the disc-all variants
 // (0 = one worker per CPU; the mined result is identical at every
 // setting). -timeout aborts the run after the given duration; Ctrl-C
-// (SIGINT) aborts it immediately. Either way the process exits with an
-// error instead of printing a partial result.
+// (SIGINT) aborts it immediately.
+//
+// With -checkpoint <path>, an interrupted disc-all run writes the
+// completed first-level partitions to <path>, reports how many finished,
+// and exits with code 2; rerunning with -resume restores them and mines
+// only the unfinished partitions — the final result is byte-identical to
+// an uninterrupted run. -checkpoint-interval additionally snapshots the
+// checkpoint periodically while the run is in flight.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,20 +35,33 @@ import (
 	"github.com/disc-mining/disc"
 )
 
+// exitError carries a specific process exit code out of run.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+func (e *exitError) ExitCode() int { return e.code }
+
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "discmine:", err)
-		os.Exit(1)
+		code := 1
+		var ec interface{ ExitCode() int }
+		if errors.As(err, &ec) {
+			code = ec.ExitCode()
+		}
+		os.Exit(code)
 	}
 }
 
-// minerFor builds the requested algorithm, threading the worker count into
-// the disc-all variants (the only parallel engines).
-func minerFor(algo disc.Algorithm, workers int) (disc.Miner, error) {
-	opts := disc.DefaultOptions()
-	opts.Workers = workers
+// minerFor builds the requested algorithm, threading the full options into
+// the disc-all variants (the only engines that honour them).
+func minerFor(algo disc.Algorithm, opts disc.Options) (disc.Miner, error) {
 	switch algo {
 	case disc.DISCAll:
 		return disc.NewDISCAll(opts), nil
@@ -62,6 +82,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	stats := fs.Bool("stats", false, "print DISC run statistics (disc-all variants only)")
 	verify := fs.String("verify", "", "re-mine with this second algorithm and require identical results")
 	out := fs.String("o", "", "write patterns to this file instead of stdout")
+	ckptPath := fs.String("checkpoint", "", "write a resumable checkpoint here when the run is interrupted (disc-all variants)")
+	resume := fs.Bool("resume", false, "restore completed partitions from the -checkpoint file, if it exists")
+	ckptEvery := fs.Duration("checkpoint-interval", 0, "additionally snapshot the checkpoint at this interval (0 = only on interruption)")
+	maxPatterns := fs.Int("max-patterns", 0, "soft budget on discovered patterns; the run degrades near it and fails past it (0 = unbounded)")
+	maxMem := fs.Int64("max-mem-bytes", 0, "soft heap budget in bytes with the same degradation ladder (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,20 +109,88 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if *minsup < 1 {
 		delta = disc.AbsSupport(*minsup, len(db))
 	}
-	m, err := minerFor(disc.Algorithm(*algo), *workers)
+	algorithm := disc.Algorithm(*algo)
+	opts := disc.DefaultOptions()
+	opts.Workers = *workers
+	opts.MaxPatterns = *maxPatterns
+	opts.MaxMemBytes = *maxMem
+
+	// Checkpoint/resume wiring. The fingerprint binds the checkpoint file
+	// to this exact job (algorithm, options, δ, database content), so a
+	// checkpoint can never silently poison a different run's results.
+	var cp *disc.Checkpointer
+	var fp uint64
+	if *ckptPath != "" {
+		if algorithm != disc.DISCAll && algorithm != disc.DynamicDISCAll {
+			return fmt.Errorf("-checkpoint requires a disc-all variant, not %q", algorithm)
+		}
+		fp = disc.CheckpointFingerprint(string(algorithm), opts, delta, db)
+		cp = disc.NewCheckpointer()
+		if *resume {
+			switch f, err := disc.ReadCheckpoint(*ckptPath); {
+			case errors.Is(err, os.ErrNotExist):
+				fmt.Fprintf(stdout, "no checkpoint at %s, starting fresh\n", *ckptPath)
+			case err != nil:
+				return err
+			case f.Algo != string(algorithm) || f.MinSup != delta || f.Fingerprint != fp:
+				return fmt.Errorf("%w: %s belongs to a different job", disc.ErrCheckpointMismatch, *ckptPath)
+			default:
+				cp = disc.ResumeCheckpoint(f)
+				fmt.Fprintf(stdout, "resuming: restored %d completed partitions from %s\n", len(f.Partitions), *ckptPath)
+			}
+		}
+		opts.Checkpoint = cp
+	} else if *resume {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	m, err := minerFor(algorithm, opts)
 	if err != nil {
 		return err
+	}
+
+	if cp != nil && *ckptEvery > 0 {
+		tick := time.NewTicker(*ckptEvery)
+		done := make(chan struct{})
+		defer close(done)
+		defer tick.Stop()
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					// Snapshot whatever has completed; failures are retried
+					// at the next tick and on interruption.
+					_ = cp.File(string(algorithm), delta, fp).WriteFile(*ckptPath)
+				case <-done:
+					return
+				}
+			}
+		}()
 	}
 
 	start := time.Now()
 	res, err := disc.AsContextMiner(m).MineContext(ctx, db, delta)
 	if err != nil {
+		if cp != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			f := cp.File(string(algorithm), delta, fp)
+			if werr := f.WriteFile(*ckptPath); werr != nil {
+				return fmt.Errorf("interrupted, and writing the checkpoint failed: %v (run error: %w)", werr, err)
+			}
+			fmt.Fprintf(stdout, "interrupted: %d completed partitions checkpointed to %s\n", len(f.Partitions), *ckptPath)
+			return &exitError{code: 2, err: fmt.Errorf("%w; rerun with -resume to continue", err)}
+		}
 		return err
+	}
+	if cp != nil {
+		// The run finished: the checkpoint is obsolete.
+		os.Remove(*ckptPath)
 	}
 	fmt.Fprintf(stdout, "%s: %s in %.3fs (δ=%d)\n", m.Name(), res, time.Since(start).Seconds(), delta)
 
 	if *verify != "" {
-		v, err := minerFor(disc.Algorithm(*verify), *workers)
+		vopts := opts
+		vopts.Checkpoint = nil
+		v, err := minerFor(disc.Algorithm(*verify), vopts)
 		if err != nil {
 			return err
 		}

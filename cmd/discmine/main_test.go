@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/disc-mining/disc"
+	"github.com/disc-mining/disc/internal/faultinject"
 )
 
 func writeDB(t *testing.T) string {
@@ -127,6 +131,143 @@ func TestTimeoutAndCancellation(t *testing.T) {
 	err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-timeout", "1ns"}, &out)
 	if err != context.DeadlineExceeded {
 		t.Errorf("expired -timeout = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCheckpointFlagValidation covers the flag-combination errors.
+func TestCheckpointFlagValidation(t *testing.T) {
+	path := writeDB(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-resume"}, &out); err == nil {
+		t.Error("-resume without -checkpoint must error")
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-algo", "spade", "-checkpoint", ckpt}, &out)
+	if err == nil {
+		t.Error("-checkpoint with a non-disc-all algorithm must error")
+	}
+}
+
+// TestInterruptWritesCheckpointExitCode2: a cancelled checkpointed run
+// writes the checkpoint, reports the completed partition count, and
+// surfaces exit code 2; a fresh -resume run then completes normally and
+// retires the file.
+func TestInterruptWritesCheckpointExitCode2(t *testing.T) {
+	path := writeDB(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{"-in", path, "-minsup", "2", "-checkpoint", ckpt}, &out)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled checkpointed run = %v, want wrapped context.Canceled", err)
+	}
+	var ec interface{ ExitCode() int }
+	if !errors.As(err, &ec) || ec.ExitCode() != 2 {
+		t.Fatalf("err %v does not carry exit code 2", err)
+	}
+	if !strings.Contains(out.String(), "completed partitions checkpointed") {
+		t.Errorf("missing interruption report:\n%s", out.String())
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-checkpoint", ckpt, "-resume"}, &out); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !strings.Contains(out.String(), "resuming:") || !strings.Contains(out.String(), "56 frequent sequences") {
+		t.Errorf("resume output:\n%s", out.String())
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("completed run must retire the checkpoint, stat = %v", err)
+	}
+}
+
+// TestResumeRestoresPartitions: a checkpoint with real completed
+// partitions (produced by an injected mid-run interruption through the
+// library) resumes through the CLI byte-identically to a straight run.
+func TestResumeRestoresPartitions(t *testing.T) {
+	path := writeDB(t)
+	db, err := disc.ReadDatabase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an injection point that interrupts the run after at least one
+	// first-level partition completed: with one worker the partition walk
+	// is deterministic, so scan the boundary index upward.
+	var cp *disc.Checkpointer
+	for n := 2; ; n++ {
+		if n > 64 {
+			t.Fatal("no injection point left a partially completed run")
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := disc.DefaultOptions()
+		opts.Workers = 1
+		cp = disc.NewCheckpointer()
+		opts.Checkpoint = cp
+		inj := faultinject.New(1).
+			Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: n}).
+			OnCancel(cancel)
+		opts.Faults = inj
+		_, err := disc.NewDISCAll(opts).MineContext(ctx, db, 2)
+		cancel()
+		if err != nil && cp.Completed() > 0 {
+			break
+		}
+		if inj.Fired(faultinject.CtxCancel) == 0 {
+			t.Fatal("run finished before any injection point interrupted it")
+		}
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	fp := disc.CheckpointFingerprint(string(disc.DISCAll), disc.DefaultOptions(), 2, db)
+	if err := cp.File(string(disc.DISCAll), 2, fp).WriteFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	var straight, resumed bytes.Buffer
+	outA := filepath.Join(t.TempDir(), "straight.txt")
+	outB := filepath.Join(t.TempDir(), "resumed.txt")
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-o", outA}, &straight); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-checkpoint", ckpt, "-resume", "-o", outB}, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "resuming: restored") {
+		t.Errorf("resume did not restore partitions:\n%s", resumed.String())
+	}
+	a, _ := os.ReadFile(outA)
+	b, _ := os.ReadFile(outB)
+	if !bytes.Equal(a, b) {
+		t.Errorf("resumed pattern output differs from straight run")
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: a checkpoint written by a different
+// job (different δ here) must be rejected, not silently merged.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	path := writeDB(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-in", path, "-minsup", "3", "-checkpoint", ckpt}, &out); err == nil {
+		t.Fatal("expected interruption")
+	}
+	err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-checkpoint", ckpt, "-resume"}, &out)
+	if !errors.Is(err, disc.ErrCheckpointMismatch) {
+		t.Fatalf("foreign checkpoint accepted: %v", err)
+	}
+	// Resuming with no checkpoint file on disk starts fresh.
+	out.Reset()
+	missing := filepath.Join(t.TempDir(), "none.ckpt")
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-checkpoint", missing, "-resume"}, &out); err != nil {
+		t.Fatalf("missing checkpoint must start fresh: %v", err)
+	}
+	if !strings.Contains(out.String(), "starting fresh") {
+		t.Errorf("missing fresh-start notice:\n%s", out.String())
 	}
 }
 

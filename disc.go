@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/disc-mining/disc/internal/checkpoint"
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/gen"
@@ -211,3 +212,51 @@ func Maximal(r *Result) *Result { return r.Maximal() }
 func DescribeDatabase(db Database) string {
 	return data.Describe(db).String()
 }
+
+// Resilience layer: typed failures, checkpoint/resume and input bounds,
+// re-exported from the internal packages.
+type (
+	// InvariantError is a contained engine panic: the partition it came
+	// from, the panic value and the stack. Matches ErrInternalInvariant.
+	InvariantError = mining.InvariantError
+	// BudgetError is a breached resource budget (patterns or memory).
+	// Matches ErrBudgetExceeded.
+	BudgetError = mining.BudgetError
+	// SizeError is an input exceeding the reader bounds. Matches
+	// ErrInputTooLarge.
+	SizeError = data.SizeError
+	// ReadLimits bounds what one input line may cost the reader.
+	ReadLimits = data.Limits
+	// Checkpointer collects completed first-level partitions for
+	// checkpoint/resume (Options.Checkpoint).
+	Checkpointer = core.Checkpointer
+	// CheckpointFile is the encodable snapshot of a checkpointed run.
+	CheckpointFile = checkpoint.File
+)
+
+// Resilience sentinels and constructors.
+var (
+	// ErrInternalInvariant matches every contained engine panic: Mine
+	// returns it instead of crashing the process.
+	ErrInternalInvariant = mining.ErrInternalInvariant
+	// ErrBudgetExceeded matches every resource-budget breach
+	// (ExecOptions.MaxPatterns / MaxMemBytes).
+	ErrBudgetExceeded = mining.ErrBudgetExceeded
+	// ErrInputTooLarge matches every reader size-limit breach.
+	ErrInputTooLarge = data.ErrInputTooLarge
+	// ErrCheckpointMismatch reports a checkpoint written by a different
+	// mining job (algorithm, options, δ or database differ).
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+	// NewCheckpointer returns an empty checkpointer for a fresh
+	// resumable run.
+	NewCheckpointer = core.NewCheckpointer
+	// ResumeCheckpoint seeds a checkpointer from a decoded checkpoint
+	// file; the next run restores its partitions instead of re-mining.
+	ResumeCheckpoint = core.ResumeFrom
+	// CheckpointFingerprint binds a checkpoint to a mining job.
+	CheckpointFingerprint = core.CheckpointFingerprint
+	// ReadCheckpoint decodes and integrity-checks a checkpoint file.
+	ReadCheckpoint = checkpoint.ReadFile
+	// ReadDatabaseLimited loads a database under explicit input bounds.
+	ReadDatabaseLimited = data.ReadLimited
+)

@@ -1,0 +1,395 @@
+// Package checkpoint defines the on-disk snapshot format of an
+// interrupted DISC-all run: the results and statistics of every completed
+// first-level partition, so a resumed run re-executes only the unfinished
+// ones and still produces a result set byte-identical to an uninterrupted
+// run (the engine merges restored and freshly mined partitions in the
+// same ascending key order either way).
+//
+// The encoding is a versioned, checksummed text format:
+//
+//	DISCCKPT v1 crc32=<hex> bytes=<payload length>
+//	algo <miner name>
+//	fingerprint <16 hex digits>
+//	minsup <δ>
+//	partitions <count>
+//	partition <pairs>
+//	stats <Rounds> <FrequentHits> <Skips> <KMSCalls> <CKMSCalls> <Dropped>
+//	levels <count per partitioning level...>
+//	nrr <float64-bits-hex/sample-count pairs per level...>
+//	patterns <count>
+//	<pairs> <support>        × count
+//
+// where <pairs> is a pattern in the paper's (item, transaction-number)
+// representation, one "item:tno" token per pair. The CRC32 (IEEE) covers
+// the payload after the header line; a length or checksum mismatch reads
+// back as ErrCorrupt, an unknown version as ErrVersion, so a torn or
+// truncated write can never silently resume from garbage. NRR means are
+// stored as raw IEEE-754 bits, so restored statistics are bit-exact.
+//
+// The fingerprint binds a checkpoint to the job that produced it — the
+// algorithm, its result-relevant options, δ and the database content.
+// Resuming under a different job is detected by the caller via
+// Fingerprint and rejected with ErrMismatch before any mining happens.
+// The worker count is deliberately excluded: the engine's result is
+// identical at every worker count, so a run may resume on different
+// hardware.
+package checkpoint
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// Version is the current encoding version.
+const Version = 1
+
+// The typed failures of reading a checkpoint.
+var (
+	// ErrCorrupt marks a checkpoint whose checksum, length or structure
+	// does not decode: a torn write, truncation or hand-editing.
+	ErrCorrupt = errors.New("checkpoint: corrupt file")
+	// ErrVersion marks a checkpoint written by an unknown format version.
+	ErrVersion = errors.New("checkpoint: unsupported version")
+	// ErrMismatch marks a checkpoint that decodes but belongs to a
+	// different job (algorithm, options, δ or database changed).
+	ErrMismatch = errors.New("checkpoint: job mismatch")
+)
+
+// PartitionStats is the serializable projection of the engine's
+// per-partition statistics. NRRByLevel and NRRCount run in parallel: the
+// mean observed non-reduction rate per level and the number of samples
+// behind it (needed to merge means exactly as a live run would).
+type PartitionStats struct {
+	Rounds, FrequentHits, Skips, KMSCalls, CKMSCalls, Dropped int
+	PartitionsByLevel                                         []int
+	NRRByLevel                                                []float64
+	NRRCount                                                  []int
+}
+
+// Partition is the completed work of one first-level partition: its key
+// (a frequent 1-sequence), every frequent pattern mined inside it with
+// exact supports, and the statistics of the subtree.
+type Partition struct {
+	Key      seq.Pattern
+	Patterns []mining.PatternCount
+	Stats    PartitionStats
+}
+
+// File is a decoded checkpoint.
+type File struct {
+	Algo        string
+	Fingerprint uint64
+	MinSup      int
+	Partitions  []Partition
+}
+
+// Fingerprint binds a checkpoint to a mining job: the algorithm name, a
+// caller-provided signature of the result-relevant options, δ, and the
+// database content (customer sequences in order; customer ids are
+// excluded because results do not depend on them).
+func Fingerprint(algo, optionsSig string, minSup int, db mining.Database) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00", algo, optionsSig, minSup)
+	for _, cs := range db {
+		io.WriteString(h, cs.Pattern().Key())
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func writePairs(b *strings.Builder, p seq.Pattern) {
+	for i := 0; i < p.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%d:%d", p.ItemAt(i), p.TNoAt(i))
+	}
+}
+
+func parsePairs(fields []string) (seq.Pattern, error) {
+	items := make([]seq.Item, len(fields))
+	tnos := make([]int32, len(fields))
+	for i, f := range fields {
+		c := strings.IndexByte(f, ':')
+		if c < 0 {
+			return seq.Pattern{}, fmt.Errorf("bad pair %q", f)
+		}
+		it, err := strconv.ParseUint(f[:c], 10, 32)
+		if err != nil {
+			return seq.Pattern{}, fmt.Errorf("bad item in pair %q", f)
+		}
+		tn, err := strconv.ParseInt(f[c+1:], 10, 32)
+		if err != nil {
+			return seq.Pattern{}, fmt.Errorf("bad tno in pair %q", f)
+		}
+		items[i], tnos[i] = seq.Item(it), int32(tn)
+	}
+	return seq.PatternFromPairs(items, tnos)
+}
+
+// payload renders everything after the header line.
+func (f *File) payload() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algo %s\n", f.Algo)
+	fmt.Fprintf(&b, "fingerprint %016x\n", f.Fingerprint)
+	fmt.Fprintf(&b, "minsup %d\n", f.MinSup)
+	fmt.Fprintf(&b, "partitions %d\n", len(f.Partitions))
+	for _, p := range f.Partitions {
+		b.WriteString("partition ")
+		writePairs(&b, p.Key)
+		b.WriteByte('\n')
+		s := p.Stats
+		fmt.Fprintf(&b, "stats %d %d %d %d %d %d\n",
+			s.Rounds, s.FrequentHits, s.Skips, s.KMSCalls, s.CKMSCalls, s.Dropped)
+		b.WriteString("levels")
+		for _, n := range s.PartitionsByLevel {
+			fmt.Fprintf(&b, " %d", n)
+		}
+		b.WriteByte('\n')
+		b.WriteString("nrr")
+		for i, v := range s.NRRByLevel {
+			n := 0
+			if i < len(s.NRRCount) {
+				n = s.NRRCount[i]
+			}
+			fmt.Fprintf(&b, " %016x/%d", math.Float64bits(v), n)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "patterns %d\n", len(p.Patterns))
+		for _, pc := range p.Patterns {
+			writePairs(&b, pc.Pattern)
+			fmt.Fprintf(&b, " %d\n", pc.Support)
+		}
+	}
+	return b.String()
+}
+
+// Write renders the checkpoint to w: header line with version, CRC32 and
+// payload length, then the payload.
+func (f *File) Write(w io.Writer) error {
+	payload := f.payload()
+	header := fmt.Sprintf("DISCCKPT v%d crc32=%08x bytes=%d\n",
+		Version, crc32.ChecksumIEEE([]byte(payload)), len(payload))
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, payload)
+	return err
+}
+
+// WriteFile writes the checkpoint atomically: to path+".tmp" first, then
+// renamed over path, so a crash mid-write never leaves a torn checkpoint
+// under the real name.
+func (f *File) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// lineReader walks the payload line by line with context for errors.
+type lineReader struct {
+	lines []string
+	pos   int
+}
+
+func (lr *lineReader) next(prefix string) ([]string, error) {
+	if lr.pos >= len(lr.lines) {
+		return nil, fmt.Errorf("%w: truncated payload, expected %q line", ErrCorrupt, prefix)
+	}
+	line := lr.lines[lr.pos]
+	lr.pos++
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != prefix {
+		return nil, fmt.Errorf("%w: line %d: expected %q, got %q", ErrCorrupt, lr.pos, prefix, line)
+	}
+	return fields[1:], nil
+}
+
+func atoi(s string) (int, error) { return strconv.Atoi(s) }
+
+// Read decodes a checkpoint, verifying version, payload length and
+// checksum before parsing.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCorrupt, err)
+	}
+	var version int
+	var sum uint32
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"),
+		"DISCCKPT v%d crc32=%x bytes=%d", &version, &sum, &n); err != nil {
+		return nil, fmt.Errorf("%w: bad header %q", ErrCorrupt, strings.TrimSpace(header))
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: v%d (this build reads v%d)", ErrVersion, version, Version)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(payload) != n {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCorrupt, len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorrupt, got, sum)
+	}
+	lr := &lineReader{lines: strings.Split(strings.TrimSuffix(string(payload), "\n"), "\n")}
+
+	f := &File{}
+	fields, err := lr.next("algo")
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) != 1 {
+		return nil, fmt.Errorf("%w: bad algo line", ErrCorrupt)
+	}
+	f.Algo = fields[0]
+	if fields, err = lr.next("fingerprint"); err != nil {
+		return nil, err
+	}
+	if len(fields) != 1 {
+		return nil, fmt.Errorf("%w: bad fingerprint line", ErrCorrupt)
+	}
+	if f.Fingerprint, err = strconv.ParseUint(fields[0], 16, 64); err != nil {
+		return nil, fmt.Errorf("%w: bad fingerprint %q", ErrCorrupt, fields[0])
+	}
+	if fields, err = lr.next("minsup"); err != nil {
+		return nil, err
+	}
+	if len(fields) != 1 {
+		return nil, fmt.Errorf("%w: bad minsup line", ErrCorrupt)
+	}
+	if f.MinSup, err = atoi(fields[0]); err != nil {
+		return nil, fmt.Errorf("%w: bad minsup %q", ErrCorrupt, fields[0])
+	}
+	if fields, err = lr.next("partitions"); err != nil {
+		return nil, err
+	}
+	nparts, err := atoi(fields[0])
+	if err != nil || nparts < 0 {
+		return nil, fmt.Errorf("%w: bad partition count", ErrCorrupt)
+	}
+	for i := 0; i < nparts; i++ {
+		p, err := readPartition(lr)
+		if err != nil {
+			return nil, err
+		}
+		f.Partitions = append(f.Partitions, p)
+	}
+	return f, nil
+}
+
+func readPartition(lr *lineReader) (Partition, error) {
+	var p Partition
+	fields, err := lr.next("partition")
+	if err != nil {
+		return p, err
+	}
+	if p.Key, err = parsePairs(fields); err != nil || p.Key.IsEmpty() {
+		return p, fmt.Errorf("%w: bad partition key: %v", ErrCorrupt, err)
+	}
+	if fields, err = lr.next("stats"); err != nil {
+		return p, err
+	}
+	if len(fields) != 6 {
+		return p, fmt.Errorf("%w: stats line has %d fields, want 6", ErrCorrupt, len(fields))
+	}
+	dst := []*int{&p.Stats.Rounds, &p.Stats.FrequentHits, &p.Stats.Skips,
+		&p.Stats.KMSCalls, &p.Stats.CKMSCalls, &p.Stats.Dropped}
+	for i, f := range fields {
+		if *dst[i], err = atoi(f); err != nil {
+			return p, fmt.Errorf("%w: bad stats field %q", ErrCorrupt, f)
+		}
+	}
+	if fields, err = lr.next("levels"); err != nil {
+		return p, err
+	}
+	for _, f := range fields {
+		n, err := atoi(f)
+		if err != nil {
+			return p, fmt.Errorf("%w: bad level count %q", ErrCorrupt, f)
+		}
+		p.Stats.PartitionsByLevel = append(p.Stats.PartitionsByLevel, n)
+	}
+	if fields, err = lr.next("nrr"); err != nil {
+		return p, err
+	}
+	for _, f := range fields {
+		c := strings.IndexByte(f, '/')
+		if c < 0 {
+			return p, fmt.Errorf("%w: bad nrr pair %q", ErrCorrupt, f)
+		}
+		bits, err := strconv.ParseUint(f[:c], 16, 64)
+		if err != nil {
+			return p, fmt.Errorf("%w: bad nrr bits %q", ErrCorrupt, f)
+		}
+		n, err := atoi(f[c+1:])
+		if err != nil {
+			return p, fmt.Errorf("%w: bad nrr count %q", ErrCorrupt, f)
+		}
+		p.Stats.NRRByLevel = append(p.Stats.NRRByLevel, math.Float64frombits(bits))
+		p.Stats.NRRCount = append(p.Stats.NRRCount, n)
+	}
+	if fields, err = lr.next("patterns"); err != nil {
+		return p, err
+	}
+	npat, err := atoi(fields[0])
+	if err != nil || npat < 0 {
+		return p, fmt.Errorf("%w: bad pattern count", ErrCorrupt)
+	}
+	for j := 0; j < npat; j++ {
+		if lr.pos >= len(lr.lines) {
+			return p, fmt.Errorf("%w: truncated pattern list", ErrCorrupt)
+		}
+		line := strings.Fields(lr.lines[lr.pos])
+		lr.pos++
+		if len(line) < 2 {
+			return p, fmt.Errorf("%w: bad pattern line %d", ErrCorrupt, lr.pos)
+		}
+		pat, err := parsePairs(line[:len(line)-1])
+		if err != nil {
+			return p, fmt.Errorf("%w: bad pattern: %v", ErrCorrupt, err)
+		}
+		sup, err := atoi(line[len(line)-1])
+		if err != nil {
+			return p, fmt.Errorf("%w: bad support %q", ErrCorrupt, line[len(line)-1])
+		}
+		p.Patterns = append(p.Patterns, mining.PatternCount{Pattern: pat, Support: sup})
+	}
+	return p, nil
+}
+
+// ReadFile loads a checkpoint from path.
+func ReadFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+func sample() *File {
+	return &File{
+		Algo:        "disc-all",
+		Fingerprint: 0xdeadbeefcafef00d,
+		MinSup:      3,
+		Partitions: []Partition{
+			{
+				Key: seq.MustParsePattern("(2)"),
+				Patterns: []mining.PatternCount{
+					{Pattern: seq.MustParsePattern("(2)(5)"), Support: 4},
+					{Pattern: seq.MustParsePattern("(2 3)"), Support: 3},
+				},
+				Stats: Stats2(),
+			},
+			{
+				Key:      seq.MustParsePattern("(7)"),
+				Patterns: nil, // a partition may complete with no deeper patterns
+				Stats:    PartitionStats{},
+			},
+		},
+	}
+}
+
+func Stats2() PartitionStats {
+	return PartitionStats{
+		Rounds: 12, FrequentHits: 4, Skips: 8, KMSCalls: 20, CKMSCalls: 9, Dropped: 2,
+		PartitionsByLevel: []int{0, 3, 1},
+		NRRByLevel:        []float64{0, 1.0 / 3.0, 0.6250000000000001},
+		NRRCount:          []int{0, 3, 1},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sample()
+	var b strings.Builder
+	if err := f.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\nencoded:\n%s", err, b.String())
+	}
+	if back.Algo != f.Algo || back.Fingerprint != f.Fingerprint || back.MinSup != f.MinSup {
+		t.Fatalf("header round trip: %+v", back)
+	}
+	if len(back.Partitions) != len(f.Partitions) {
+		t.Fatalf("partition count %d, want %d", len(back.Partitions), len(f.Partitions))
+	}
+	for i, p := range f.Partitions {
+		q := back.Partitions[i]
+		if seq.Compare(p.Key, q.Key) != 0 {
+			t.Errorf("partition %d key %s != %s", i, q.Key, p.Key)
+		}
+		if len(p.Patterns) != len(q.Patterns) {
+			t.Fatalf("partition %d pattern count %d, want %d", i, len(q.Patterns), len(p.Patterns))
+		}
+		for j := range p.Patterns {
+			if seq.Compare(p.Patterns[j].Pattern, q.Patterns[j].Pattern) != 0 ||
+				p.Patterns[j].Support != q.Patterns[j].Support {
+				t.Errorf("partition %d pattern %d differs", i, j)
+			}
+		}
+		// NRR means must be bit-exact, not merely approximately equal.
+		for l := range p.Stats.NRRByLevel {
+			if math.Float64bits(p.Stats.NRRByLevel[l]) != math.Float64bits(q.Stats.NRRByLevel[l]) {
+				t.Errorf("partition %d NRR level %d not bit-exact: %x vs %x", i, l,
+					math.Float64bits(p.Stats.NRRByLevel[l]), math.Float64bits(q.Stats.NRRByLevel[l]))
+			}
+		}
+		if p.Stats.Rounds != q.Stats.Rounds || p.Stats.Dropped != q.Stats.Dropped {
+			t.Errorf("partition %d stats counters differ: %+v vs %+v", i, p.Stats, q.Stats)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	f := sample()
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint != f.Fingerprint || len(back.Partitions) != 2 {
+		t.Fatalf("file round trip: %+v", back)
+	}
+}
+
+func encode(t *testing.T, f *File) string {
+	t.Helper()
+	var b strings.Builder
+	if err := f.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	good := encode(t, sample())
+	cases := map[string]string{
+		"empty":             "",
+		"garbage header":    "hello world\n",
+		"flipped byte":      strings.Replace(good, "minsup 3", "minsup 4", 1),
+		"truncated payload": good[:len(good)-10],
+		"extra payload":     good + "trailing\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestVersionRejected(t *testing.T) {
+	bumped := strings.Replace(encode(t, sample()), "DISCCKPT v1", "DISCCKPT v9", 1)
+	if _, err := Read(strings.NewReader(bumped)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestFingerprintBindsJob(t *testing.T) {
+	db := mining.Database{
+		seq.MustParseCustomerSeq(1, "(1 5)(2)"),
+		seq.MustParseCustomerSeq(2, "(2)(3)"),
+	}
+	base := Fingerprint("disc-all", "bilevel=true levels=2", 2, db)
+	if got := Fingerprint("disc-all", "bilevel=true levels=2", 2, db); got != base {
+		t.Error("fingerprint is not deterministic")
+	}
+	for name, got := range map[string]uint64{
+		"algo":    Fingerprint("dynamic-disc-all", "bilevel=true levels=2", 2, db),
+		"options": Fingerprint("disc-all", "bilevel=false levels=2", 2, db),
+		"minsup":  Fingerprint("disc-all", "bilevel=true levels=2", 3, db),
+		"db":      Fingerprint("disc-all", "bilevel=true levels=2", 2, db[:1]),
+	} {
+		if got == base {
+			t.Errorf("fingerprint insensitive to %s", name)
+		}
+	}
+	// CIDs are excluded: renumbering customers must not invalidate a
+	// checkpoint (results do not depend on ids).
+	renum := mining.Database{
+		seq.MustParseCustomerSeq(10, "(1 5)(2)"),
+		seq.MustParseCustomerSeq(20, "(2)(3)"),
+	}
+	if got := Fingerprint("disc-all", "bilevel=true levels=2", 2, renum); got != base {
+		t.Error("fingerprint depends on customer ids")
+	}
+}

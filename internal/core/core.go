@@ -32,6 +32,7 @@ import (
 
 	"github.com/disc-mining/disc/internal/avl"
 	"github.com/disc-mining/disc/internal/counting"
+	"github.com/disc-mining/disc/internal/faultinject"
 	"github.com/disc-mining/disc/internal/kmin"
 	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/seq"
@@ -80,12 +81,36 @@ type Options struct {
 	// scheduled and per completed first-level partition). Callbacks are
 	// serialized but may run on worker goroutines.
 	Progress mining.ProgressFunc
+
+	// MaxPatterns and MaxMemBytes are the soft resource budgets of the
+	// run (see mining.ExecOptions): past 80% of a budget the engine
+	// degrades (single-level partitioning, inline workers — both
+	// result-preserving), past 100% it stops with a *mining.BudgetError.
+	// Zero means unlimited.
+	MaxPatterns int
+	MaxMemBytes int64
+
+	// Checkpoint, when non-nil, enables checkpoint/resume: the engine
+	// records each completed first-level partition into the Checkpointer
+	// and skips partitions it already holds (from ResumeFrom). The mined
+	// result set is byte-identical with or without checkpointing, and a
+	// killed-then-resumed run equals an uninterrupted one.
+	Checkpoint *Checkpointer
+
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// points at partition boundaries (faultinject.WorkerPanic,
+	// faultinject.CtxCancel). Production runs leave it nil; the
+	// resilience tests drive every containment and recovery path
+	// through it.
+	Faults *faultinject.Injector
 }
 
 // WithExec copies the execution-layer settings of x into the options.
 func (o Options) WithExec(x mining.ExecOptions) Options {
 	o.Workers = x.Workers
 	o.Progress = x.Progress
+	o.MaxPatterns = x.MaxPatterns
+	o.MaxMemBytes = x.MaxMemBytes
 	return o
 }
 
@@ -120,7 +145,12 @@ type Stats struct {
 	// NRRByLevel aggregates the observed NRR of partitions per level
 	// (sample mean over partitions where the decision was taken).
 	NRRByLevel []float64
-	nrrCount   []int
+	// Degraded reports that the run crossed a resource-budget
+	// degradation threshold (Options.MaxPatterns / MaxMemBytes) and
+	// finished in the degraded execution shape. The result set is
+	// unaffected.
+	Degraded bool
+	nrrCount []int
 }
 
 func (s *Stats) observeNRR(level int, nrr float64) {
@@ -257,10 +287,13 @@ type engine struct {
 	maxItem seq.Item
 	arrays  []*counting.Array
 	stats   Stats
-	ctx     context.Context  // nil means "never cancelled" (direct engine use in tests)
-	sched   *scheduler       // nil for a serial run
-	pool    *arrayPool       // shared counting-array scratch pool of a parallel run
-	prog    *progressTracker // nil unless Options.Progress is set
+	ctx     context.Context      // nil means "never cancelled" (direct engine use in tests)
+	sched   *scheduler           // nil for a serial run
+	pool    *arrayPool           // shared counting-array scratch pool of a parallel run
+	prog    *progressTracker     // nil unless Options.Progress is set
+	budget  *budgetState         // nil unless a resource budget is set
+	ckpt    *Checkpointer        // nil unless checkpoint/resume is enabled
+	faults  *faultinject.Injector // nil in production runs
 }
 
 func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
@@ -281,15 +314,27 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 	if e.opts.Progress != nil {
 		e.prog = &progressTracker{fn: e.opts.Progress, workers: workers}
 	}
+	e.budget = newBudgetState(e.opts)
+	e.ckpt = e.opts.Checkpoint
+	e.faults = e.opts.Faults
 	if workers > 1 {
 		e.sched = newScheduler(workers)
+		e.sched.degraded = e.budget
 		e.pool = &arrayPool{maxItem: e.maxItem}
 	}
 	members := make([]*member, len(db))
 	for i, cs := range db {
 		members[i] = &member{cs: cs}
 	}
-	if err := e.processPartition(seq.Pattern{}, members, 0); err != nil {
+	// The serial walk (and everything the root goroutine itself executes)
+	// is contained here; worker goroutines are contained at their spawn
+	// sites in parallel.go. Either way a panic surfaces as an
+	// *mining.InvariantError from Mine instead of crashing the process.
+	err := mining.Contain("<root>", func() error {
+		return e.processPartition(seq.Pattern{}, members, 0)
+	})
+	e.stats.Degraded = e.budget.isDegraded()
+	if err != nil {
 		return nil, err
 	}
 	return e.res, nil
@@ -309,6 +354,9 @@ func (e *engine) child() *engine {
 		sched:   e.sched,
 		pool:    e.pool,
 		prog:    e.prog,
+		budget:  e.budget,
+		ckpt:    e.ckpt,
+		faults:  e.faults,
 	}
 }
 
@@ -319,6 +367,25 @@ func (e *engine) cancelled() error {
 		return nil
 	}
 	return e.ctx.Err()
+}
+
+// interrupted returns the first reason the run must stop: a context
+// cancellation / deadline, or an exhausted resource budget. It is the
+// check every cooperative stopping point uses.
+func (e *engine) interrupted() error {
+	if err := e.cancelled(); err != nil {
+		return err
+	}
+	return e.budget.err()
+}
+
+// site names a partition for fault injection and contained-panic
+// reports.
+func site(key seq.Pattern) string {
+	if key.IsEmpty() {
+		return "<root>"
+	}
+	return key.String()
 }
 
 // array returns the counting array for one recursion depth. Parallel runs
@@ -361,9 +428,15 @@ func (e *engine) releaseArrays() {
 // frequent (level+1)-sequences with prefix key, then either splits into
 // child partitions or runs DISC, per the policy.
 func (e *engine) processPartition(key seq.Pattern, members []*member, level int) error {
-	if err := e.cancelled(); err != nil {
+	// Deterministic fault-injection points: a partition boundary is
+	// where an injected worker panic or cancellation lands. Both are
+	// no-ops (one pointer check) without an armed injector.
+	e.faults.Panic(faultinject.WorkerPanic, site(key))
+	e.faults.Cancel(faultinject.CtxCancel, site(key))
+	if err := e.interrupted(); err != nil {
 		return err
 	}
+	e.budget.sampleMem()
 	e.stats.partitionProcessed(level)
 
 	// Step 1: one scan with the counting array finds the frequent
@@ -372,6 +445,7 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 	for i, p := range listNext {
 		e.res.Add(p, supports[i])
 	}
+	e.budget.notePatterns(len(listNext))
 	if len(listNext) == 0 {
 		return nil
 	}
@@ -396,8 +470,17 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 		}
 	}
 
-	if e.policy(level, nrr) {
-		if e.sched != nil && level < parallelSplitDepth && len(listNext) > 1 {
+	// The degradation ladder's first rung: past the soft-budget
+	// threshold, deeper partitions switch straight to DISC (the Levels=1
+	// shape) — fewer live child partitions and scratch trees, with a
+	// result set proven identical by the differential harness.
+	if e.policy(level, nrr) && !(level >= 1 && e.budget.isDegraded()) {
+		// The eager (scheduled) split handles level-0 and level-1 splits
+		// of a parallel run; a checkpointed run uses it at level 0 even
+		// serially, because it isolates each first-level partition's
+		// result for recording.
+		if len(listNext) > 1 && (e.sched != nil && level < parallelSplitDepth ||
+			level == 0 && e.ckpt != nil) {
 			return e.splitParallel(key, members, listNext, level)
 		}
 		return e.split(key, members, listNext, level)
@@ -421,7 +504,7 @@ func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, l
 		}
 	}
 	for tree.Size() > 0 {
-		if err := e.cancelled(); err != nil {
+		if err := e.interrupted(); err != nil {
 			return err
 		}
 		pkey, bucket, _ := tree.PopMin()

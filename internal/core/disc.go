@@ -26,7 +26,7 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 	members = append([]*member(nil), members...)
 	k := startK
 	for len(listPrev) > 0 && len(members) >= e.minSup {
-		if err := e.cancelled(); err != nil {
+		if err := e.interrupted(); err != nil {
 			return err
 		}
 		listK, listK1 := e.discover(members, listPrev, k)
@@ -47,7 +47,7 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 		}
 		members = alive
 	}
-	return e.cancelled()
+	return e.interrupted()
 }
 
 // discover runs the frequent k-sequence discovery procedure of Figure 4 on
@@ -70,7 +70,7 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (listK, listK1 []seq.Pattern) {
 	tree := avl.New[seq.Pattern, discEntry](seq.Compare)
 	for i, mb := range members {
-		if i&cancelCheckMask == cancelCheckMask && e.cancelled() != nil {
+		if i&cancelCheckMask == cancelCheckMask && e.interrupted() != nil {
 			return nil, nil
 		}
 		e.stats.KMSCalls++
@@ -81,10 +81,10 @@ func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (lis
 		}
 	}
 	for tree.Size() >= e.minSup {
-		// Cooperative cancellation, checked one round in 64: the caller
-		// (discLoop) notices the context error and discards the partial
-		// lists returned here.
-		if e.stats.Rounds&cancelCheckMask == 0 && e.cancelled() != nil {
+		// Cooperative stopping point, checked one round in 64: the
+		// caller (discLoop) notices the context or budget error and
+		// discards the partial lists returned here.
+		if e.stats.Rounds&cancelCheckMask == 0 && e.interrupted() != nil {
 			break
 		}
 		e.stats.Rounds++
@@ -95,6 +95,7 @@ func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (lis
 			e.stats.FrequentHits++
 			key, bucket, _ := tree.PopMin()
 			e.res.Add(key, len(bucket))
+			e.budget.notePatterns(1)
 			listK = append(listK, key)
 			if e.opts.BiLevel {
 				listK1 = e.bilevelCount(key, bucket, k, listK1)
@@ -148,5 +149,6 @@ func (e *engine) bilevelCount(key seq.Pattern, bucket []discEntry, k int, listK1
 		e.res.Add(p, sups[i])
 		listK1 = append(listK1, p)
 	}
+	e.budget.notePatterns(len(exts))
 	return listK1
 }

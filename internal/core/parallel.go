@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/disc-mining/disc/internal/checkpoint"
 	"github.com/disc-mining/disc/internal/counting"
 	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/seq"
@@ -43,9 +44,13 @@ const cancelCheckMask = 63
 // fallback of do), so at most `workers` partition jobs run concurrently
 // and submission never blocks — which also makes the nested fan-out
 // (level-1 partitions scheduling level-2 partitions) deadlock-free.
+//
+// A nil *scheduler is valid and runs everything inline — the serial
+// execution path of a checkpointed single-worker run.
 type scheduler struct {
-	workers int
-	sem     chan struct{}
+	workers  int
+	sem      chan struct{}
+	degraded *budgetState // when non-nil and degraded, stop spawning
 }
 
 func newScheduler(workers int) *scheduler {
@@ -54,8 +59,15 @@ func newScheduler(workers int) *scheduler {
 
 // do runs fn on its own goroutine when a worker slot is free, and inline
 // on the caller otherwise. Spawned goroutines are tracked by wg; callers
-// wait on it after submitting a whole batch.
+// wait on it after submitting a whole batch. A degraded run (resource
+// budget nearly exhausted) shrinks the pool by running everything inline
+// from then on: in-flight workers finish, no new goroutines (and none of
+// their private scratch state) are created.
 func (s *scheduler) do(wg *sync.WaitGroup, fn func()) {
+	if s == nil || s.degraded.isDegraded() {
+		fn()
+		return
+	}
 	select {
 	case s.sem <- struct{}{}:
 		wg.Add(1)
@@ -121,15 +133,40 @@ func (p *progressTracker) step() {
 // statistics and scratch state. Children are merged back in ascending
 // key order (list is sorted), so the outcome is deterministic and equal to
 // the serial walk's.
+//
+// It is also the checkpoint boundary: at level 0 with a Checkpointer
+// attached, partitions a prior run completed are restored instead of
+// re-mined, and each freshly completed partition is recorded the moment
+// its worker finishes. Restored and mined partitions interleave in the
+// same ascending-key merge, so a resumed run's result set is
+// byte-identical to a straight run's.
+//
+// Worker closures run under mining.Contain: a panic inside a partition
+// (e.g. the findExtension invariant) surfaces as that partition's error
+// — the run drains cleanly and Mine returns an *mining.InvariantError —
+// instead of killing the process from a goroutine no caller can recover.
 func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pattern, level int) error {
-	buckets := e.eagerBuckets(key, members, list)
+	buckets, err := e.eagerBuckets(key, members, list)
+	if err != nil {
+		return err
+	}
 	if level == 0 && e.prog != nil {
 		e.prog.begin(len(list))
 	}
 	children := make([]*engine, len(list))
+	restored := make([]*checkpoint.Partition, len(list))
 	errs := make([]error, len(list))
 	var wg sync.WaitGroup
 	for i := range list {
+		if level == 0 && e.ckpt != nil {
+			if p, ok := e.ckpt.restore(list[i]); ok {
+				restored[i] = &p
+				if e.prog != nil {
+					e.prog.step()
+				}
+				continue
+			}
+		}
 		if len(buckets[i]) < e.minSup {
 			// Too few members survive reduction to host a frequent
 			// (level+2)-sequence; the partition key itself was already
@@ -143,27 +180,42 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 		child := e.child()
 		children[i] = child
 		e.sched.do(&wg, func() {
-			errs[i] = child.processPartition(list[i], buckets[i], level+1)
+			errs[i] = mining.Contain(site(list[i]), func() error {
+				return child.processPartition(list[i], buckets[i], level+1)
+			})
 			child.releaseArrays()
+			if errs[i] == nil && level == 0 && e.ckpt != nil {
+				e.ckpt.record(list[i], child.res, &child.stats)
+			}
 			if level == 0 && e.prog != nil {
 				e.prog.step()
 			}
 		})
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	// Merge completed children and restored partitions in ascending key
+	// order before reporting any error: an interrupted run keeps the
+	// statistics of the work that did finish, and the merged order is
+	// identical whether a partition was mined now or restored.
+	var firstErr error
+	for i := range list {
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
 		}
-	}
-	for _, child := range children {
-		if child == nil {
+		if p := restored[i]; p != nil {
+			for _, pc := range p.Patterns {
+				e.res.Add(pc.Pattern, pc.Support)
+			}
+			st := statsFromCheckpoint(&p.Stats)
+			e.stats.merge(&st)
 			continue
 		}
-		e.stats.merge(&child.stats)
-		e.res.Merge(child.res)
+		if child := children[i]; child != nil && errs[i] == nil {
+			e.stats.merge(&child.stats)
+			e.res.Merge(child.res)
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // eagerBuckets assigns every member to the bucket of each frequent
@@ -172,8 +224,10 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 // concurrently. Bucket i collects the members containing list[i] in member
 // order, making each scheduled partition's input (and hence the merged
 // output) independent of scheduling order. The closure walk is itself
-// chunked across the pool; chunk results are concatenated in member order.
-func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern) [][]*member {
+// chunked across the pool; chunk results are concatenated in member
+// order. Chunk goroutines run under mining.Contain — the findExtension
+// invariant panic comes back as an error, never as a process crash.
+func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern) ([][]*member, error) {
 	freqI, freqS := extensionFlags(key, list, e.maxItem)
 	assign := func(members []*member, buckets [][]*member) {
 		for _, mb := range members {
@@ -188,8 +242,10 @@ func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pat
 	const chunkMin = 256 // below this, chunking overhead beats the win
 	if len(members) < chunkMin || e.sched == nil {
 		buckets := make([][]*member, len(list))
+		// Inline on the submitting goroutine: a panic here is contained
+		// by the enclosing Contain of the worker (or of run itself).
 		assign(members, buckets)
-		return buckets
+		return buckets, nil
 	}
 	chunks := e.sched.workers
 	if max := len(members) / chunkMin; chunks > max {
@@ -197,8 +253,10 @@ func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pat
 	}
 	per := (len(members) + chunks - 1) / chunks
 	parts := make([][][]*member, chunks)
+	errs := make([]error, chunks)
 	var wg sync.WaitGroup
 	for c := 0; c < chunks; c++ {
+		c := c
 		lo := c * per
 		hi := lo + per
 		if hi > len(members) {
@@ -206,21 +264,38 @@ func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pat
 		}
 		part := make([][]*member, len(list))
 		parts[c] = part
-		e.sched.do(&wg, func() { assign(members[lo:hi], part) })
+		e.sched.do(&wg, func() {
+			errs[c] = mining.Contain(site(key), func() error {
+				assign(members[lo:hi], part)
+				return nil
+			})
+		})
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	buckets := parts[0]
 	for c := 1; c < chunks; c++ {
 		for i := range buckets {
 			buckets[i] = append(buckets[i], parts[c][i]...)
 		}
 	}
-	return buckets
+	return buckets, nil
 }
 
 // findExtension locates the extension pair (x, no) in the ascending
 // frequent extension list. All entries share the same prefix, so the
 // comparative order reduces to ComparePair on the last pair.
+//
+// A pair outside the list violates the closure invariant the scheduler
+// is built on — a bug, reported by panicking. The panic is contained by
+// the mining.Contain wrapper every execution path runs under (worker
+// closures and the root walk), so it surfaces from Mine as an
+// *mining.InvariantError carrying this message and the stack instead of
+// crashing the process from a worker goroutine.
 func findExtension(list []seq.Pattern, x seq.Item, no int32) int {
 	i := sort.Search(len(list), func(i int) bool {
 		return seq.ComparePair(list[i].LastItem(), list[i].LastTNo(), x, no) >= 0

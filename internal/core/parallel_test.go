@@ -227,7 +227,10 @@ func TestEagerBucketsMatchLazySplit(t *testing.T) {
 			members = append(members, &member{cs: cs})
 		}
 		list, _ := e.frequentExtensions(seq.Pattern{}, members, 0)
-		buckets := e.eagerBuckets(seq.Pattern{}, members, list)
+		buckets, err := e.eagerBuckets(seq.Pattern{}, members, list)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for b, key := range list {
 			var want []*member
 			for _, mb := range members {

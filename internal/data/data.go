@@ -33,10 +33,28 @@ const (
 	SPMF
 )
 
-// Read parses a database from r, auto-detecting the format when f is Auto.
+// Read parses a database from r, auto-detecting the format when f is
+// Auto, under DefaultLimits.
 func Read(r io.Reader, f Format) (mining.Database, error) {
+	return ReadLimited(r, f, Limits{})
+}
+
+// ReadLimited is Read under explicit input bounds: a line longer than
+// lim.MaxLineBytes or carrying more than lim.MaxTokens tokens fails
+// with a *SizeError matching ErrInputTooLarge before the parser
+// materializes it.
+func ReadLimited(r io.Reader, f Format, lim Limits) (mining.Database, error) {
+	lim = lim.withDefaults()
+	maxBuf := lim.MaxLineBytes
+	if maxBuf < 0 {
+		maxBuf = int(^uint(0) >> 2) // bound disabled: cap only by the scanner
+	}
+	initBuf := 1 << 20
+	if initBuf > maxBuf {
+		initBuf = maxBuf
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 0, initBuf), maxBuf)
 	var db mining.Database
 	lineNo := 0
 	for sc.Scan() {
@@ -58,8 +76,14 @@ func Read(r io.Reader, f Format) (mining.Database, error) {
 			if err != nil {
 				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
 			}
+			if lim.MaxTokens > 0 && cs.Len() > lim.MaxTokens {
+				return nil, &SizeError{Line: lineNo, What: "tokens", Limit: lim.MaxTokens}
+			}
 			db = append(db, cs)
 		case SPMF:
+			if lim.MaxTokens > 0 && countTokens(line) > lim.MaxTokens {
+				return nil, &SizeError{Line: lineNo, What: "tokens", Limit: lim.MaxTokens}
+			}
 			css, err := parseSPMF(line, len(db)+1)
 			if err != nil {
 				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
@@ -68,7 +92,7 @@ func Read(r io.Reader, f Format) (mining.Database, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("data: %w", err)
+		return nil, sizeOverflow(err, lim)
 	}
 	return db, nil
 }

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -39,6 +40,36 @@ func FuzzRead(f *testing.F) {
 			if seq.Compare(back[i].Pattern(), db[i].Pattern()) != 0 {
 				t.Fatalf("round trip changed customer %d", i)
 			}
+		}
+	})
+}
+
+// FuzzReadLimited throws arbitrary text at the bounded reader with tight
+// limits: it must never panic, anything it rejects for size must match
+// ErrInputTooLarge, and anything it accepts must also be accepted by the
+// unbounded reader with the same customers.
+func FuzzReadLimited(f *testing.F) {
+	f.Add("1: (1 5)(2)")
+	f.Add("1 5 -1 2 -1 -2")
+	f.Add(strings.Repeat("1 ", 40) + "-2")
+	f.Add("1: (" + strings.Repeat("7 ", 40) + "8)")
+	f.Add(strings.Repeat("x", 200))
+	f.Fuzz(func(t *testing.T, input string) {
+		lim := Limits{MaxLineBytes: 64, MaxTokens: 16}
+		db, err := ReadLimited(strings.NewReader(input), Auto, lim)
+		if err != nil {
+			var se *SizeError
+			if errors.As(err, &se) && !errors.Is(err, ErrInputTooLarge) {
+				t.Fatalf("SizeError %v does not match ErrInputTooLarge", se)
+			}
+			return
+		}
+		full, err := Read(strings.NewReader(input), Auto)
+		if err != nil {
+			t.Fatalf("bounded reader accepted what the unbounded rejects: %v", err)
+		}
+		if len(full) != len(db) {
+			t.Fatalf("bounded %d customers vs unbounded %d", len(db), len(full))
 		}
 	})
 }

@@ -1,0 +1,173 @@
+// Input bounds and transient-failure retry for the dataset readers.
+//
+// Limits protect the process from hostile or corrupt input: a single
+// line (native) or sequence line (SPMF) is bounded in bytes and in
+// token count, so a malformed multi-gigabyte line fails fast with a
+// typed *SizeError instead of exhausting memory inside the scanner or
+// the parser. ReadRetry layers deterministic retry with backoff over a
+// reader whose underlying medium can fail transiently (network mounts,
+// the fault-injection harness); only errors declaring themselves
+// Transient() are retried.
+package data
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// ErrInputTooLarge is the sentinel every *SizeError matches: the input
+// exceeded a configured bound of Limits.
+var ErrInputTooLarge = errors.New("data: input exceeds configured limit")
+
+// SizeError reports which bound an input line broke.
+type SizeError struct {
+	Line  int    // 1-based line number, 0 when unknown (scanner overflow)
+	What  string // "line bytes" or "tokens"
+	Limit int
+}
+
+// Error implements error.
+func (e *SizeError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("data: line %d: %s exceed limit %d", e.Line, e.What, e.Limit)
+	}
+	return fmt.Sprintf("data: %s exceed limit %d", e.What, e.Limit)
+}
+
+// Is makes every SizeError match ErrInputTooLarge.
+func (e *SizeError) Is(target error) bool { return target == ErrInputTooLarge }
+
+// Limits bounds what a single input line may cost. The zero value means
+// "use the default"; a negative value disables that bound.
+type Limits struct {
+	// MaxLineBytes caps one physical line. Default 1<<24 (16 MiB) — the
+	// historical scanner buffer ceiling.
+	MaxLineBytes int
+	// MaxTokens caps the parsed tokens of one line: items plus
+	// delimiters for SPMF, items for native. Default 1<<20.
+	MaxTokens int
+}
+
+// DefaultLimits returns the bounds Read applies.
+func DefaultLimits() Limits {
+	return Limits{MaxLineBytes: 1 << 24, MaxTokens: 1 << 20}
+}
+
+// withDefaults resolves zero fields to the defaults and negative fields
+// to "unbounded".
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxLineBytes == 0 {
+		l.MaxLineBytes = d.MaxLineBytes
+	}
+	if l.MaxTokens == 0 {
+		l.MaxTokens = d.MaxTokens
+	}
+	return l
+}
+
+// countTokens counts whitespace-separated fields without allocating —
+// the pre-parse guard for SPMF lines (strings.Fields on an unbounded
+// line would allocate proportionally to the attack).
+func countTokens(s string) int {
+	n := 0
+	in := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\r', '\n', '\v', '\f':
+			in = false
+		default:
+			if !in {
+				n++
+				in = true
+			}
+		}
+	}
+	return n
+}
+
+// RetryOptions shapes ReadRetry. The zero value retries transient
+// failures 3 times with 10ms exponential backoff.
+type RetryOptions struct {
+	// Attempts is the total number of tries (default 3).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles per
+	// attempt (default 10ms).
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Transient reports whether err declares itself retryable via a
+// `Transient() bool` method anywhere in its chain (the contract of
+// faultinject.TransientError and of network-backed readers).
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// ReadRetry parses a database from a re-openable source, retrying the
+// whole read when it fails with a transient error. Parsing always
+// restarts from a fresh reader — a transient failure mid-stream cannot
+// corrupt or duplicate customers. Non-transient errors (syntax, size
+// limits) fail immediately.
+func ReadRetry(open func() (io.ReadCloser, error), f Format, lim Limits, ro RetryOptions) (mining.Database, error) {
+	ro = ro.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < ro.Attempts; attempt++ {
+		if attempt > 0 {
+			ro.Sleep(ro.Backoff << (attempt - 1))
+		}
+		r, err := open()
+		if err != nil {
+			if Transient(err) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		db, err := ReadLimited(r, f, lim)
+		r.Close()
+		if err == nil {
+			return db, nil
+		}
+		if !Transient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("data: giving up after %d attempts: %w", ro.Attempts, lastErr)
+}
+
+// ReadFileRetry is ReadRetry over a file path with auto-detection.
+func ReadFileRetry(path string, lim Limits, ro RetryOptions) (mining.Database, error) {
+	return ReadRetry(func() (io.ReadCloser, error) { return os.Open(path) }, Auto, lim, ro)
+}
+
+// sizeOverflow translates the scanner's token-too-long failure into the
+// typed limit error.
+func sizeOverflow(err error, lim Limits) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return &SizeError{What: "line bytes", Limit: lim.MaxLineBytes}
+	}
+	return fmt.Errorf("data: %w", err)
+}

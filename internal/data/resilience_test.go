@@ -1,0 +1,196 @@
+package data
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/seq"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+func TestLineByteLimit(t *testing.T) {
+	long := "1: (" + strings.Repeat("1 ", 4000) + "2)"
+	if _, err := ReadLimited(strings.NewReader(long), Auto, Limits{MaxLineBytes: 64}); !errors.Is(err, ErrInputTooLarge) {
+		t.Fatalf("err = %v, want ErrInputTooLarge", err)
+	}
+	var se *SizeError
+	_, err := ReadLimited(strings.NewReader(long), Auto, Limits{MaxLineBytes: 64})
+	if !errors.As(err, &se) || se.What != "line bytes" || se.Limit != 64 {
+		t.Fatalf("SizeError = %+v", se)
+	}
+	// The same line passes when the bound allows it.
+	if _, err := ReadLimited(strings.NewReader(long), Auto, Limits{MaxLineBytes: 1 << 16}); err != nil {
+		t.Fatalf("within bound: %v", err)
+	}
+}
+
+func TestTokenLimitSPMF(t *testing.T) {
+	line := strings.Repeat("1 -1 ", 50) + "-2" // 101 tokens
+	if _, err := ReadLimited(strings.NewReader(line), SPMF, Limits{MaxTokens: 100}); !errors.Is(err, ErrInputTooLarge) {
+		t.Fatalf("err should match ErrInputTooLarge")
+	}
+	var se *SizeError
+	_, err := ReadLimited(strings.NewReader("1 -1 -2\n"+line), SPMF, Limits{MaxTokens: 100})
+	if !errors.As(err, &se) || se.What != "tokens" || se.Line != 2 {
+		t.Fatalf("SizeError = %+v, want tokens at line 2", se)
+	}
+	if _, err := ReadLimited(strings.NewReader(line), SPMF, Limits{MaxTokens: 101}); err != nil {
+		t.Fatalf("at bound: %v", err)
+	}
+}
+
+func TestTokenLimitNative(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("1: (")
+	for i := 1; i <= 20; i++ { // 20 distinct items
+		if i > 1 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", i)
+	}
+	b.WriteByte(')')
+	line := b.String()
+	if _, err := ReadLimited(strings.NewReader(line), Auto, Limits{MaxTokens: 19}); !errors.Is(err, ErrInputTooLarge) {
+		t.Fatal("err should match ErrInputTooLarge")
+	}
+	if _, err := ReadLimited(strings.NewReader(line), Auto, Limits{MaxTokens: 20}); err != nil {
+		t.Fatalf("at bound: %v", err)
+	}
+}
+
+func TestLimitsDefaultsAndDisable(t *testing.T) {
+	in := "1: (1 2)(3)"
+	// Zero-value Limits resolve to the defaults; negative disables.
+	for _, lim := range []Limits{{}, {MaxLineBytes: -1, MaxTokens: -1}} {
+		db, err := ReadLimited(strings.NewReader(in), Auto, lim)
+		if err != nil || len(db) != 1 {
+			t.Fatalf("lim %+v: (%d customers, %v)", lim, len(db), err)
+		}
+	}
+	if d := DefaultLimits(); d.MaxLineBytes != 1<<24 || d.MaxTokens != 1<<20 {
+		t.Fatalf("DefaultLimits = %+v", d)
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+	}{{"", 0}, {"   ", 0}, {"1", 1}, {"1 -1 -2", 3}, {"  a\tb \r\n c ", 3}} {
+		if got := countTokens(tc.in); got != tc.want {
+			t.Errorf("countTokens(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// openFlaky returns an open function whose readers fail with injected
+// transient errors according to the armed DataRead point.
+func openFlaky(inj *faultinject.Injector, content string) func() (io.ReadCloser, error) {
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(inj.FlakyReader(strings.NewReader(content))), nil
+	}
+}
+
+func TestReadRetryRecoversTransient(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testutil.Table1(), Native); err != nil {
+		t.Fatal(err)
+	}
+	// First Read call of the stream fails; the retry re-opens and wins.
+	inj := faultinject.New(1).Arm(faultinject.DataRead, faultinject.Spec{AfterN: 1})
+	var slept []time.Duration
+	db, err := ReadRetry(openFlaky(inj, buf.String()), Auto, Limits{},
+		RetryOptions{Sleep: func(d time.Duration) { slept = append(slept, d) }})
+	if err != nil {
+		t.Fatalf("ReadRetry: %v", err)
+	}
+	if len(db) != len(testutil.Table1()) {
+		t.Fatalf("got %d customers", len(db))
+	}
+	for i, cs := range testutil.Table1() {
+		if seq.Compare(db[i].Pattern(), cs.Pattern()) != 0 {
+			t.Fatalf("customer %d differs after retry", i)
+		}
+	}
+	if len(slept) != 1 || slept[0] != 10*time.Millisecond {
+		t.Errorf("backoff sleeps = %v, want one 10ms sleep", slept)
+	}
+}
+
+func TestReadRetryExhaustsAttempts(t *testing.T) {
+	// Every stream's first read fails: all attempts burn out.
+	inj := faultinject.New(2).Arm(faultinject.DataRead, faultinject.Spec{Prob: 1})
+	var slept []time.Duration
+	_, err := ReadRetry(openFlaky(inj, "1: (1)"), Auto, Limits{},
+		RetryOptions{Attempts: 3, Backoff: time.Millisecond,
+			Sleep: func(d time.Duration) { slept = append(slept, d) }})
+	if err == nil || !Transient(err) {
+		t.Fatalf("err = %v, want wrapped transient failure", err)
+	}
+	var te *faultinject.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("cause not preserved: %v", err)
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Errorf("backoff sleeps = %v", slept)
+	}
+}
+
+func TestReadRetryNonTransientFailsFast(t *testing.T) {
+	opens := 0
+	open := func() (io.ReadCloser, error) {
+		opens++
+		return io.NopCloser(strings.NewReader("1: (")), nil // syntax error
+	}
+	_, err := ReadRetry(open, Auto, Limits{}, RetryOptions{})
+	if err == nil || Transient(err) {
+		t.Fatalf("err = %v, want permanent parse error", err)
+	}
+	if opens != 1 {
+		t.Errorf("opened %d times, want 1 (no retry on permanent errors)", opens)
+	}
+	// Size-limit breaches are permanent too.
+	_, err = ReadRetry(func() (io.ReadCloser, error) {
+		opens++
+		return io.NopCloser(strings.NewReader("1: (1 2 3)")), nil
+	}, Auto, Limits{MaxTokens: 2}, RetryOptions{})
+	if !errors.Is(err, ErrInputTooLarge) {
+		t.Fatalf("err = %v, want ErrInputTooLarge", err)
+	}
+}
+
+func TestReadFileRetry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.txt")
+	if err := WriteFile(path, testutil.Table1(), Native); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadFileRetry(path, Limits{}, RetryOptions{})
+	if err != nil || len(db) != 4 {
+		t.Fatalf("ReadFileRetry = (%d, %v)", len(db), err)
+	}
+	if _, err := ReadFileRetry(filepath.Join(dir, "missing.txt"), Limits{}, RetryOptions{}); err == nil {
+		t.Error("missing file should fail without retries")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if Transient(errors.New("plain")) {
+		t.Error("plain errors are not transient")
+	}
+	if !Transient(&faultinject.TransientError{Call: 1}) {
+		t.Error("TransientError must be transient")
+	}
+	wrapped := &SizeError{Line: 1, What: "tokens", Limit: 2}
+	if Transient(wrapped) {
+		t.Error("SizeError is permanent")
+	}
+}

@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/gen"
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// faultGrid samples the differential grid for the fault-injection
+// checks: every resilience run mines each database many times (engine
+// configurations × probabilities × kill points), so a stride keeps the
+// full sweep affordable under -race while still crossing every generator
+// shape. Short mode strides harder.
+func faultGrid(t *testing.T) []Case {
+	cases := Grid()
+	stride := 4
+	if testing.Short() {
+		stride = 16
+	}
+	sampled := make([]Case, 0, len(cases)/stride+1)
+	for i := 0; i < len(cases); i += stride {
+		sampled = append(sampled, cases[i])
+	}
+	if !testing.Short() && len(sampled) < 16 {
+		t.Fatalf("fault grid has %d databases, want at least 16", len(sampled))
+	}
+	return sampled
+}
+
+func gridDB(t *testing.T, c Case) (mining.Database, int) {
+	t.Helper()
+	db, err := gen.Generate(c.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mutate {
+		db = gen.Mutate(rand.New(rand.NewSource(c.Config.Seed)), db)
+	}
+	if len(db) == 0 {
+		t.Skip("mutated to empty")
+	}
+	return db, mining.AbsSupport(c.Frac, len(db))
+}
+
+// TestFaultInjectionPanicGrid: across the sampled grid, injected worker
+// panics always surface as ErrInternalInvariant errors — the process
+// never crashes — and runs the injection misses stay byte-identical to
+// the reference. This is the `make faultinject` harness; CI runs it
+// under -race.
+func TestFaultInjectionPanicGrid(t *testing.T) {
+	for _, c := range faultGrid(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			db, minSup := gridDB(t, c)
+			if err := CheckPanicContainment(db, minSup, c.Config.Seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFaultInjectionKillResumeGrid: across the sampled grid, a run
+// killed at an injected partition boundary, checkpointed through the
+// versioned encoding and resumed, is byte-identical to a straight run —
+// for DISC-all and Dynamic DISC-all at one and many workers.
+func TestFaultInjectionKillResumeGrid(t *testing.T) {
+	for _, c := range faultGrid(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			db, minSup := gridDB(t, c)
+			if err := CheckKillResume(db, minSup, 3*c.Config.Seed+1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+// Package faultinject provides seed-driven deterministic fault injection
+// for the resilience tests: the engine and the readers expose named
+// injection points, and an Injector armed with a seed decides — purely as
+// a function of (seed, point, site) — whether a fault fires there. The
+// same seed always injects the same faults at the same sites, so every
+// resilience failure found by the differential grid is reproducible.
+//
+// The production code paths carry a nil *Injector; every method is
+// nil-receiver safe and compiles to a single pointer check there, so the
+// injection points cost nothing when disarmed.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Point names one fault-injection site class.
+type Point string
+
+// The injection points wired into the repository.
+const (
+	// WorkerPanic panics inside a partition worker at a partition
+	// boundary — exercising the engine's panic-containment path.
+	WorkerPanic Point = "worker-panic"
+	// CtxCancel invokes the injector's registered cancel function at a
+	// partition boundary — simulating a timeout or SIGINT landing at a
+	// random point of the run.
+	CtxCancel Point = "ctx-cancel"
+	// DataRead makes a wrapped dataset reader return a transient error —
+	// exercising the retry/backoff path of internal/data.
+	DataRead Point = "data-read"
+)
+
+// Spec arms one point. Exactly one trigger mode is used:
+//
+//   - Prob > 0: the point fires at a given site with probability Prob,
+//     decided by hashing (seed, point, site) — fully deterministic and
+//     independent of scheduling order.
+//   - AfterN > 0: the point fires exactly once, on its AfterN-th hit.
+//     The count is deterministic, but under parallel execution the site
+//     receiving the N-th hit may vary between runs.
+type Spec struct {
+	Prob   float64
+	AfterN int
+}
+
+type arm struct {
+	spec  Spec
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// Injector decides, deterministically from its seed, which armed points
+// fire at which sites. A nil Injector is valid and never fires.
+type Injector struct {
+	seed     int64
+	mu       sync.Mutex
+	arms     map[Point]*arm
+	onCancel func()
+}
+
+// New returns an injector with no armed points.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, arms: map[Point]*arm{}}
+}
+
+// Arm arms a point and returns the injector for chaining. Re-arming a
+// point replaces its spec and resets its counters.
+func (in *Injector) Arm(p Point, s Spec) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.arms[p] = &arm{spec: s}
+	return in
+}
+
+// OnCancel registers the function the CtxCancel point invokes (typically
+// the context.CancelFunc of the run under test).
+func (in *Injector) OnCancel(fn func()) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.onCancel = fn
+	return in
+}
+
+func (in *Injector) lookup(p Point) *arm {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.arms[p]
+}
+
+// Fire reports whether point p fires at site. Nil injectors and disarmed
+// points never fire.
+func (in *Injector) Fire(p Point, site string) bool {
+	if in == nil {
+		return false
+	}
+	a := in.lookup(p)
+	if a == nil {
+		return false
+	}
+	if n := a.spec.AfterN; n > 0 {
+		if a.hits.Add(1) != int64(n) {
+			return false
+		}
+		a.fired.Add(1)
+		return true
+	}
+	if a.spec.Prob <= 0 {
+		return false
+	}
+	a.hits.Add(1)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%s", in.seed, p, site)
+	if float64(h.Sum64()%1_000_000)/1_000_000 >= a.spec.Prob {
+		return false
+	}
+	a.fired.Add(1)
+	return true
+}
+
+// Fired returns how many times point p has fired.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	a := in.lookup(p)
+	if a == nil {
+		return 0
+	}
+	return int(a.fired.Load())
+}
+
+// Fault is the panic value thrown by Panic, carrying the point and site
+// so contained-panic errors identify the injection.
+type Fault struct {
+	Point Point
+	Site  string
+}
+
+// Error makes a Fault readable when it surfaces inside a contained-panic
+// error message.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected %s at %q", f.Point, f.Site)
+}
+
+// Panic panics with a *Fault when point p fires at site, and is a no-op
+// otherwise.
+func (in *Injector) Panic(p Point, site string) {
+	if in.Fire(p, site) {
+		panic(&Fault{Point: p, Site: site})
+	}
+}
+
+// Cancel invokes the registered cancel function when point p fires at
+// site (no-op without a registered function), and reports whether it
+// fired.
+func (in *Injector) Cancel(p Point, site string) bool {
+	if !in.Fire(p, site) {
+		return false
+	}
+	in.mu.Lock()
+	fn := in.onCancel
+	in.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// TransientError is the injected dataset-read error. It implements the
+// Transient() contract internal/data retries on.
+type TransientError struct {
+	Call int // 1-based Read call number that failed
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: injected transient read error (call %d)", e.Call)
+}
+
+// Transient marks the error as retryable for internal/data.
+func (e *TransientError) Transient() bool { return true }
+
+// flakyReader injects TransientErrors into an io.Reader's Read calls via
+// the DataRead point, the call number serving as the site.
+type flakyReader struct {
+	in    *Injector
+	r     io.Reader
+	calls int
+}
+
+// FlakyReader wraps r so that Read calls chosen by the DataRead point
+// fail with a *TransientError. With a nil injector it returns r
+// unchanged.
+func (in *Injector) FlakyReader(r io.Reader) io.Reader {
+	if in == nil {
+		return r
+	}
+	return &flakyReader{in: in, r: r}
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	f.calls++
+	if f.in.Fire(DataRead, fmt.Sprintf("read-%d", f.calls)) {
+		return 0, &TransientError{Call: f.calls}
+	}
+	return f.r.Read(p)
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire(WorkerPanic, "x") {
+		t.Error("nil injector fired")
+	}
+	if in.Fired(WorkerPanic) != 0 {
+		t.Error("nil injector counted fires")
+	}
+	in.Panic(WorkerPanic, "x") // must not panic
+	if in.Cancel(CtxCancel, "x") {
+		t.Error("nil injector cancelled")
+	}
+	r := strings.NewReader("abc")
+	if in.FlakyReader(r) != io.Reader(r) {
+		t.Error("nil injector wrapped the reader")
+	}
+}
+
+func TestDisarmedPointNeverFires(t *testing.T) {
+	in := New(1).Arm(WorkerPanic, Spec{Prob: 1})
+	if in.Fire(CtxCancel, "x") {
+		t.Error("disarmed point fired")
+	}
+	if !in.Fire(WorkerPanic, "x") {
+		t.Error("armed Prob=1 point did not fire")
+	}
+}
+
+// TestProbDeterminism: the same (seed, point, site) always decides the
+// same way, and different seeds decide differently somewhere.
+func TestProbDeterminism(t *testing.T) {
+	sites := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	decide := func(seed int64) []bool {
+		in := New(seed).Arm(WorkerPanic, Spec{Prob: 0.5})
+		out := make([]bool, len(sites))
+		for i, s := range sites {
+			out[i] = in.Fire(WorkerPanic, s)
+		}
+		return out
+	}
+	a, b := decide(42), decide(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed decided differently at site %q", sites[i])
+		}
+	}
+	diff := false
+	other := decide(43)
+	for i := range a {
+		if a[i] != other[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("seeds 42 and 43 produced identical decisions over 10 sites (suspicious hash)")
+	}
+}
+
+func TestProbBounds(t *testing.T) {
+	in := New(7).Arm(WorkerPanic, Spec{Prob: 1})
+	for _, s := range []string{"x", "y", "z"} {
+		if !in.Fire(WorkerPanic, s) {
+			t.Errorf("Prob=1 did not fire at %q", s)
+		}
+	}
+	in = New(7).Arm(WorkerPanic, Spec{Prob: 0})
+	for _, s := range []string{"x", "y", "z"} {
+		if in.Fire(WorkerPanic, s) {
+			t.Errorf("Prob=0 fired at %q", s)
+		}
+	}
+}
+
+func TestAfterNFiresExactlyOnce(t *testing.T) {
+	in := New(1).Arm(CtxCancel, Spec{AfterN: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(CtxCancel, "site") {
+			fired++
+			if i != 2 {
+				t.Errorf("fired on hit %d, want hit 3", i+1)
+			}
+		}
+	}
+	if fired != 1 || in.Fired(CtxCancel) != 1 {
+		t.Errorf("fired %d times (counter %d), want exactly once", fired, in.Fired(CtxCancel))
+	}
+}
+
+func TestPanicThrowsFault(t *testing.T) {
+	in := New(1).Arm(WorkerPanic, Spec{AfterN: 1})
+	defer func() {
+		v := recover()
+		f, ok := v.(*Fault)
+		if !ok || f.Point != WorkerPanic || f.Site != "p" {
+			t.Errorf("recovered %#v, want *Fault{WorkerPanic, p}", v)
+		}
+	}()
+	in.Panic(WorkerPanic, "p")
+	t.Fatal("Panic did not panic")
+}
+
+func TestCancelInvokesCallback(t *testing.T) {
+	called := 0
+	in := New(1).Arm(CtxCancel, Spec{AfterN: 1}).OnCancel(func() { called++ })
+	if !in.Cancel(CtxCancel, "s") {
+		t.Fatal("AfterN=1 did not fire")
+	}
+	if in.Cancel(CtxCancel, "s") {
+		t.Fatal("fired twice")
+	}
+	if called != 1 {
+		t.Fatalf("cancel callback ran %d times", called)
+	}
+}
+
+func TestFlakyReader(t *testing.T) {
+	in := New(1).Arm(DataRead, Spec{AfterN: 2})
+	r := in.FlakyReader(strings.NewReader("hello"))
+	buf := make([]byte, 2)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read failed: %v", err)
+	}
+	_, err := r.Read(buf)
+	var te *TransientError
+	if !errors.As(err, &te) || !te.Transient() || te.Call != 2 {
+		t.Fatalf("second read err = %v, want TransientError{Call: 2}", err)
+	}
+	// Subsequent reads pass through again.
+	rest, err := io.ReadAll(r)
+	if err != nil || string(buf[:0])+"llo" != "llo" || !strings.HasSuffix("hello", string(rest)) {
+		t.Fatalf("post-fault reads: %q, %v", rest, err)
+	}
+}

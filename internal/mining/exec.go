@@ -8,7 +8,10 @@ package mining
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 )
 
 // StagePartitions is the ProgressEvent stage reporting first-level
@@ -35,9 +38,10 @@ type ProgressEvent struct {
 type ProgressFunc func(ProgressEvent)
 
 // ExecOptions configures how a mining run executes, independently of the
-// algorithm: how many workers may run concurrently and where progress is
-// reported. The zero value selects a serial-equivalent default
-// (GOMAXPROCS workers, no progress reporting).
+// algorithm: how many workers may run concurrently, where progress is
+// reported, and the soft resource budgets of the run. The zero value
+// selects a serial-equivalent default (GOMAXPROCS workers, no progress
+// reporting, no budgets).
 type ExecOptions struct {
 	// Workers bounds the number of concurrently running workers. 0 selects
 	// runtime.GOMAXPROCS(0); 1 forces a serial run. Engines guarantee that
@@ -45,6 +49,21 @@ type ExecOptions struct {
 	Workers int
 	// Progress, when non-nil, receives execution progress events.
 	Progress ProgressFunc
+	// MaxPatterns is a soft budget on the number of frequent patterns a
+	// run may produce; 0 means unlimited. When a run crosses the
+	// degradation threshold (BudgetDegradeFraction of the budget) the
+	// engine degrades — it stops multi-level partitioning below the first
+	// level and shrinks the worker pool, both result-preserving — and on
+	// reaching the budget itself it stops with a *BudgetError (matching
+	// ErrBudgetExceeded). Statistics of the work completed before the
+	// stop remain available through LastStats.
+	MaxPatterns int
+	// MaxMemBytes is a soft budget on the process heap (runtime
+	// HeapAlloc), sampled at partition boundaries; 0 means unlimited. The
+	// degradation ladder is the same as MaxPatterns'. Because heap size
+	// depends on the collector, breaching is not deterministic — set it
+	// as an operational guard, not as a correctness knob.
+	MaxMemBytes int64
 }
 
 // EffectiveWorkers resolves the Workers field: values below 1 select
@@ -108,6 +127,87 @@ func (a *contextAdapter) MineContext(ctx context.Context, db Database, minSup in
 		return o.res, o.err
 	}
 }
+
+// BudgetDegradeFraction is the point of the resource budgets at which an
+// engine degrades before failing: at 80% of MaxPatterns or MaxMemBytes
+// it switches to its cheapest execution shape (single-level
+// partitioning, inline workers), and only at 100% does it stop with a
+// *BudgetError. Degradation never changes the mined result set — only
+// how (and how fast) it is computed.
+const BudgetDegradeFraction = 0.8
+
+// ErrInternalInvariant is matched (via errors.Is) by the error a mining
+// run returns when an internal invariant violation — a bug — was caught
+// by the engine's panic containment instead of crashing the process.
+var ErrInternalInvariant = errors.New("mining: internal invariant violated")
+
+// InvariantError is the concrete contained-panic error: the partition
+// the panic fired in, the recovered value and the goroutine stack. It
+// matches ErrInternalInvariant.
+type InvariantError struct {
+	// Partition identifies where the panic fired (a partition key, or
+	// "<root>" for the top-level walk).
+	Partition string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("mining: internal invariant violated in partition %s: %v\n%s",
+		e.Partition, e.Value, e.Stack)
+}
+
+// Is matches ErrInternalInvariant.
+func (e *InvariantError) Is(target error) bool { return target == ErrInternalInvariant }
+
+// Unwrap exposes a panic value that was itself an error (e.g. an
+// injected fault), so errors.As reaches it.
+func (e *InvariantError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Contain runs fn, converting a panic into a returned *InvariantError so
+// that a bug inside a partition worker surfaces as an error from Mine
+// instead of crashing the process. Every goroutine the engine spawns
+// runs under it: a panic on a worker goroutine is uncatchable by the
+// caller of Mine, so this is the only boundary that can keep the
+// process alive.
+func Contain(partition string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &InvariantError{Partition: partition, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// ErrBudgetExceeded is matched (via errors.Is) by the error a run
+// returns when it exhausts one of the ExecOptions soft budgets after
+// degrading.
+var ErrBudgetExceeded = errors.New("mining: resource budget exceeded")
+
+// BudgetError reports which budget a stopped run exhausted. It matches
+// ErrBudgetExceeded. Statistics of the completed work remain available
+// through the miner's LastStats.
+type BudgetError struct {
+	Resource    string // "patterns" or "memory"
+	Limit, Used int64
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("mining: %s budget exceeded (%d used, limit %d) after degraded execution",
+		e.Resource, e.Used, e.Limit)
+}
+
+// Is matches ErrBudgetExceeded.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
 
 // Merge adds every pattern of o into r, preserving o's insertion order.
 // The two pattern sets must be disjoint (Add panics on duplicates); the

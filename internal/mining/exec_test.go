@@ -124,3 +124,48 @@ func TestResultMerge(t *testing.T) {
 		t.Errorf("merged support = %d,%v", sup, ok)
 	}
 }
+
+// TestContain pins the panic-containment contract: fn's error passes
+// through untouched, a panic becomes an *InvariantError carrying the
+// partition, value and stack, and error panic values stay unwrappable.
+func TestContain(t *testing.T) {
+	if err := Contain("p", func() error { return nil }); err != nil {
+		t.Fatalf("clean fn: %v", err)
+	}
+	want := errors.New("boom")
+	if err := Contain("p", func() error { return want }); err != want {
+		t.Fatalf("error fn: %v, want pass-through", err)
+	}
+	err := Contain("<root>", func() error { panic("invariant dead") })
+	if !errors.Is(err, ErrInternalInvariant) {
+		t.Fatalf("panic fn: %v does not match ErrInternalInvariant", err)
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("panic fn: %T is not *InvariantError", err)
+	}
+	if ie.Partition != "<root>" || len(ie.Stack) == 0 {
+		t.Errorf("InvariantError = %+v, missing partition or stack", ie)
+	}
+	cause := errors.New("typed panic")
+	err = Contain("p", func() error { panic(cause) })
+	if !errors.Is(err, cause) {
+		t.Errorf("error panic value not unwrapped: %v", err)
+	}
+}
+
+// TestBudgetError: typed budget failures match the sentinel and carry
+// the breached resource.
+func TestBudgetError(t *testing.T) {
+	err := error(&BudgetError{Resource: "patterns", Limit: 10, Used: 11})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatal("BudgetError does not match ErrBudgetExceeded")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "patterns" || be.Limit != 10 || be.Used != 11 {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	if be.Error() == "" || !errors.Is(err, err) {
+		t.Error("BudgetError must render and self-match")
+	}
+}
