@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench check difftest faultinject fuzz
+.PHONY: all build vet test race bench check difftest faultinject fuzz soak
 
 all: check
 
@@ -40,6 +40,18 @@ difftest:
 faultinject:
 	$(GO) test -race -run 'TestFaultInjection' -count=1 ./internal/difftest
 	$(GO) test -race -run 'TestWorkerPanicContained|TestPanicContainedEverySite|TestCheckpointResumeByteIdentical|TestProgressNeverConcurrent' -count=1 ./internal/core
+	$(GO) test -race -run 'TestInjectedPanic|TestKillRestartResubmit|TestResubmitSameManager|TestPeriodicSnapshots|TestConcurrent' -count=1 ./internal/jobs
+	$(GO) test -race -run 'TestWorkerPanicTypedPayload|TestInjectedCancel|TestFlakyRequestBody' -count=1 ./cmd/discserve
+
+# End-to-end soak of the discserve binary as a real process: build it,
+# drive the operational contract over HTTP (413 on oversized input, 429
+# with Retry-After under overload, dedup, cancel), kill -9 it mid-job,
+# restart over the same checkpoint dir and require the resumed result to
+# be byte-identical to a discmine run, then SIGTERM for a clean drain
+# with exit code 0. Opt-in via the DISC_SOAK gate because it builds
+# binaries and mines a deliberately slow job.
+soak:
+	DISC_SOAK=1 $(GO) test -race -run TestServiceSoak -count=1 -v -timeout 600s ./cmd/discserve
 
 # Coverage-guided fuzzing smoke pass: Go allows one -fuzz pattern per
 # invocation, so each target gets its own run.

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/disc-mining/disc"
+	"github.com/disc-mining/disc/internal/cliutil"
 )
 
 // exitError carries a specific process exit code out of run.
@@ -84,9 +85,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "write patterns to this file instead of stdout")
 	ckptPath := fs.String("checkpoint", "", "write a resumable checkpoint here when the run is interrupted (disc-all variants)")
 	resume := fs.Bool("resume", false, "restore completed partitions from the -checkpoint file, if it exists")
-	ckptEvery := fs.Duration("checkpoint-interval", 0, "additionally snapshot the checkpoint at this interval (0 = only on interruption)")
-	maxPatterns := fs.Int("max-patterns", 0, "soft budget on discovered patterns; the run degrades near it and fails past it (0 = unbounded)")
-	maxMem := fs.Int64("max-mem-bytes", 0, "soft heap budget in bytes with the same degradation ladder (0 = unbounded)")
+	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,8 +111,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	algorithm := disc.Algorithm(*algo)
 	opts := disc.DefaultOptions()
 	opts.Workers = *workers
-	opts.MaxPatterns = *maxPatterns
-	opts.MaxMemBytes = *maxMem
+	shared.Apply(&opts)
 
 	// Checkpoint/resume wiring. The fingerprint binds the checkpoint file
 	// to this exact job (algorithm, options, δ, database content), so a
@@ -149,8 +147,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
-	if cp != nil && *ckptEvery > 0 {
-		tick := time.NewTicker(*ckptEvery)
+	if cp != nil && shared.CheckpointInterval > 0 {
+		tick := time.NewTicker(shared.CheckpointInterval)
 		done := make(chan struct{})
 		defer close(done)
 		defer tick.Stop()

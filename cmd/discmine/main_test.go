@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/disc-mining/disc"
+	"github.com/disc-mining/disc/internal/cliutil"
 	"github.com/disc-mining/disc/internal/faultinject"
 )
 
@@ -282,5 +283,19 @@ func TestVerifyFlag(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-verify", "bogus"}, &out); err == nil {
 		t.Error("unknown verify algorithm must error")
+	}
+}
+
+// TestSharedFlagsAccepted is the drift regression for the budget and
+// checkpoint flag set shared with discserve: every name cliutil exports
+// must parse here too. Reaching the "-in is required" error proves the
+// flag vector itself was accepted.
+func TestSharedFlagsAccepted(t *testing.T) {
+	for _, name := range cliutil.SharedFlagNames() {
+		var out bytes.Buffer
+		err := run(context.Background(), []string{"-" + name + "=0"}, &out)
+		if err == nil || err.Error() != "-in is required" {
+			t.Errorf("shared flag -%s rejected: %v", name, err)
+		}
 	}
 }

@@ -1,0 +1,158 @@
+// Command discserve runs the DISC mining engine as a hardened HTTP
+// service: a bounded job queue with admission control and load
+// shedding, per-job deadlines and resource budgets, panic containment,
+// fingerprint-keyed job deduplication (identical submissions attach to
+// the in-flight job or hit the result cache), checkpoint/resume across
+// restarts, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	discserve -addr :8375 [-jobs 2] [-queue 16] [-checkpoint-dir /var/lib/discserve] [-max-patterns N] [-max-mem-bytes N]
+//
+// Endpoints:
+//
+//	POST   /jobs?minsup=0.01[&algo=disc-all&workers=4&timeout=30s&wait=1]  (body: database, native or SPMF)
+//	GET    /jobs/{id}          status (typed error payload on failures)
+//	GET    /jobs/{id}/result   patterns, text/plain, canonical order
+//	DELETE /jobs/{id}          cancel (progress is checkpointed)
+//	GET    /healthz            liveness + metrics
+//	GET    /readyz             admission readiness (503 while draining)
+//
+// Overload answers 429 with Retry-After; oversized inputs answer 413;
+// SIGTERM stops admission, finishes (or checkpoints) the backlog within
+// -drain-timeout, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/disc-mining/disc/internal/cliutil"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+
+	// Imported for their miner registrations: the service accepts every
+	// algorithm name the registry knows.
+	_ "github.com/disc-mining/disc"
+)
+
+// serveConfig is everything the flags decide, factored out so tests can
+// parse a flag vector without starting a server.
+type serveConfig struct {
+	addr         string
+	jobs         jobs.Config
+	limits       data.Limits
+	maxBodyBytes int64
+	workers      int
+	drainTimeout time.Duration
+}
+
+// parseFlags maps the command line onto a serveConfig. The budget and
+// checkpoint flags are the shared cliutil set, so discmine and discserve
+// cannot drift apart.
+func parseFlags(args []string) (serveConfig, error) {
+	fs := flag.NewFlagSet("discserve", flag.ContinueOnError)
+	var cfg serveConfig
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8375", "listen address (host:port; port 0 picks a free port)")
+	fs.IntVar(&cfg.jobs.Workers, "jobs", 2, "jobs mined concurrently")
+	fs.IntVar(&cfg.jobs.QueueDepth, "queue", 16, "admitted-but-not-running backlog bound; beyond it submissions are shed with 429")
+	fs.IntVar(&cfg.workers, "workers", 0, "default per-job partition worker pool size (0 = one per CPU)")
+	fs.DurationVar(&cfg.jobs.JobTimeout, "job-timeout", 0, "per-job deadline (0 = none)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "SIGTERM grace: in-flight jobs past it are canceled and checkpointed")
+	fs.StringVar(&cfg.jobs.CheckpointDir, "checkpoint-dir", "", "persist per-job checkpoints here; interrupted jobs resume on resubmission")
+	fs.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 64<<20, "reject request bodies larger than this with 413")
+	fs.IntVar(&cfg.limits.MaxLineBytes, "max-line-bytes", 0, "per-line input size limit (0 = default)")
+	fs.IntVar(&cfg.limits.MaxTokens, "max-tokens", 0, "per-line token count limit (0 = default)")
+	fs.IntVar(&cfg.jobs.CacheJobs, "cache", 64, "terminal jobs retained for result caching and idempotent retries")
+	fs.DurationVar(&cfg.jobs.RetryAfter, "retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	seed := fs.Int64("fault-seed", 0, "fault injection seed (testing/drills)")
+	panicN := fs.Int("fault-panic-after", 0, "inject a worker panic on the N-th partition (testing/drills)")
+	cancelN := fs.Int("fault-cancel-after", 0, "inject a cancellation on the N-th partition (testing/drills)")
+	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.jobs.MaxPatterns = shared.MaxPatterns
+	cfg.jobs.MaxMemBytes = shared.MaxMemBytes
+	cfg.jobs.CheckpointInterval = shared.CheckpointInterval
+	if *panicN > 0 || *cancelN > 0 {
+		inj := faultinject.New(*seed)
+		if *panicN > 0 {
+			inj.Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: *panicN})
+		}
+		if *cancelN > 0 {
+			inj.Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: *cancelN})
+		}
+		cfg.jobs.Faults = inj
+	}
+	return cfg, nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "discserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
+	cfg.jobs.Logf = logf
+
+	mgr := jobs.NewManager(cfg.jobs)
+	srv := newServer(mgr, cfg.limits, cfg.maxBodyBytes, cfg.workers, logf)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// The bound address line is the startup contract scripts key on
+	// (port 0 resolves to a real port here).
+	fmt.Fprintf(stdout, "discserve: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		logf("discserve: %v: draining (grace %s)", s, cfg.drainTimeout)
+	}
+	signal.Stop(sig)
+
+	// Graceful drain: stop admitting (readyz flips to 503), let queued
+	// and running jobs finish; past the grace they are canceled and
+	// their progress checkpointed. Only then stop the HTTP listener, so
+	// clients can poll job status for the whole drain.
+	srv.ready.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		logf("discserve: drain: %v", err)
+	}
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logf("discserve: drained, exiting")
+	return nil
+}

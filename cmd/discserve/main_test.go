@@ -1,0 +1,72 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/cliutil"
+	"github.com/disc-mining/disc/internal/faultinject"
+)
+
+// TestSharedFlagsAccepted is the drift regression for the budget and
+// checkpoint flag set shared with discmine: every name cliutil exports
+// must parse here, so the two binaries cannot diverge.
+func TestSharedFlagsAccepted(t *testing.T) {
+	for _, name := range cliutil.SharedFlagNames() {
+		if _, err := parseFlags([]string{"-" + name + "=0"}); err != nil {
+			t.Errorf("shared flag -%s rejected: %v", name, err)
+		}
+	}
+}
+
+func TestParseFlagsMapping(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0",
+		"-jobs", "3", "-queue", "5", "-workers", "4",
+		"-job-timeout", "90s", "-drain-timeout", "11s",
+		"-checkpoint-dir", "/tmp/ckpt", "-checkpoint-interval", "2s",
+		"-max-patterns", "1000", "-max-mem-bytes", "4096",
+		"-max-body-bytes", "2048", "-max-line-bytes", "512", "-max-tokens", "64",
+		"-cache", "9", "-retry-after", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:0" || cfg.jobs.Workers != 3 || cfg.jobs.QueueDepth != 5 ||
+		cfg.workers != 4 || cfg.jobs.JobTimeout != 90*time.Second ||
+		cfg.drainTimeout != 11*time.Second || cfg.jobs.CheckpointDir != "/tmp/ckpt" ||
+		cfg.jobs.CheckpointInterval != 2*time.Second {
+		t.Errorf("service flags misrouted: %+v", cfg)
+	}
+	// The shared budget flags must land on the manager's job budgets —
+	// this is the plumbing that keeps discmine and discserve enforcing
+	// the same limits.
+	if cfg.jobs.MaxPatterns != 1000 || cfg.jobs.MaxMemBytes != 4096 {
+		t.Errorf("shared budget flags misrouted: %+v", cfg.jobs)
+	}
+	if cfg.maxBodyBytes != 2048 || cfg.limits.MaxLineBytes != 512 || cfg.limits.MaxTokens != 64 {
+		t.Errorf("input limit flags misrouted: %+v", cfg)
+	}
+	if cfg.jobs.CacheJobs != 9 || cfg.jobs.RetryAfter != 3*time.Second {
+		t.Errorf("cache/retry flags misrouted: %+v", cfg.jobs)
+	}
+	if cfg.jobs.Faults != nil {
+		t.Error("fault injector armed without fault flags")
+	}
+}
+
+func TestParseFlagsFaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-fault-seed", "7", "-fault-panic-after", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.jobs.Faults == nil {
+		t.Fatal("fault flags did not arm an injector")
+	}
+	if cfg.jobs.Faults.Fired(faultinject.WorkerPanic) != 0 {
+		t.Error("injector fired before any work")
+	}
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/gen"
+)
+
+// TestServiceSoak exercises the deployed binary end to end: build it,
+// run it as a real process, and walk the operational contract — 413 on
+// oversized input, 429 with Retry-After under overload, dedup, cancel,
+// kill -9 mid-job with checkpoint resume to a byte-identical result,
+// and a clean SIGTERM drain with exit code 0.
+//
+// It is opt-in (set DISC_SOAK=1; `make soak` does) because it builds
+// binaries and mines a deliberately slow job.
+func TestServiceSoak(t *testing.T) {
+	if os.Getenv("DISC_SOAK") == "" {
+		t.Skip("set DISC_SOAK=1 (or run `make soak`) to run the service soak test")
+	}
+
+	bin := t.TempDir()
+	serveBin := filepath.Join(bin, "discserve")
+	mineBin := filepath.Join(bin, "discmine")
+	for path, pkg := range map[string]string{serveBin: ".", mineBin: "../discmine"} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	// A database dense enough that mining it takes seconds: the window
+	// for overload, cancellation and the mid-job kill.
+	slowDB, err := gen.Generate(gen.Config{NCust: 300, SLen: 6, TLen: 2.5, NItems: 40, SeqPatLen: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(bin, "db.txt")
+	if err := data.WriteFile(dbPath, slowDB, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	slowBody, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherDB, err := gen.Generate(gen.Config{NCust: 300, SLen: 6, TLen: 2.5, NItems: 40, SeqPatLen: 4, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var otherBody bytes.Buffer
+	if err := data.Write(&otherBody, otherDB, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	const minsup = "3" // absolute δ, same for server and discmine
+
+	ckptDir := filepath.Join(bin, "ckpt")
+	if err := os.Mkdir(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-addr", "127.0.0.1:0", "-jobs", "1", "-queue", "1",
+		"-checkpoint-dir", ckptDir, "-checkpoint-interval", "50ms",
+		"-max-line-bytes", "65536", "-retry-after", "2s",
+		"-drain-timeout", "60s",
+	}
+
+	// startServer launches the binary and returns its base URL. Read the
+	// returned proc's logs only through proc.logs (mutex-guarded: the
+	// stdout drain goroutine writes it concurrently), and wait on
+	// proc.scanDone before asserting on final log content.
+	startServer := func() *serverProc {
+		t.Helper()
+		p := &serverProc{cmd: exec.Command(serveBin, args...), scanDone: make(chan struct{})}
+		stdout, err := p.cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.cmd.Stderr = &p.logs
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		addr := ""
+		for sc.Scan() {
+			line := sc.Text()
+			p.logs.WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "discserve: listening on "); ok {
+				addr = rest
+				break
+			}
+		}
+		if addr == "" {
+			t.Fatalf("no listening line from server; logs:\n%s", p.logs.String())
+		}
+		go func() { // keep draining stdout so the process never blocks on it
+			defer close(p.scanDone)
+			for sc.Scan() {
+				p.logs.WriteString(sc.Text() + "\n")
+			}
+		}()
+		p.base = "http://" + addr
+		return p
+	}
+
+	post := func(url string, body []byte) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(url, "text/plain", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp, out
+	}
+
+	p1 := startServer()
+	cmd, base, logs := p1.cmd, p1.base, &p1.logs
+	defer cmd.Process.Kill()
+
+	// --- 413: a single line past -max-line-bytes.
+	huge := []byte("1:" + strings.Repeat("(1 2)", 40000) + "\n")
+	if resp, out := post(base+"/jobs?minsup="+minsup, huge); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized line = %d: %s", resp.StatusCode, out)
+	}
+
+	// --- submit the slow job and wait until it is running.
+	_, out := post(base+"/jobs?minsup="+minsup, slowBody)
+	id := jsonField(t, out, "id")
+	waitState(t, base, id, "running", 30*time.Second)
+
+	// --- dedup: identical bytes attach to the running job.
+	if _, out := post(base+"/jobs?minsup="+minsup, slowBody); jsonField(t, out, "id") != id {
+		t.Fatalf("identical resubmission got a new job: %s", out)
+	}
+
+	// --- 429 + Retry-After: fill the single queue slot, then overflow.
+	resp, out := post(base+"/jobs?minsup="+minsup, otherBody.Bytes())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit = %d: %s", resp.StatusCode, out)
+	}
+	queuedID := jsonField(t, out, "id")
+	third, err := gen.Generate(gen.Config{NCust: 50, SLen: 4, TLen: 2, NItems: 30, SeqPatLen: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var thirdBody bytes.Buffer
+	if err := data.Write(&thirdBody, third, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	resp, out = post(base+"/jobs?minsup="+minsup, thirdBody.Bytes())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit = %d: %s", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// --- cancel the queued job.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+queuedID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel queued job: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+	waitState(t, base, queuedID, "canceled", 30*time.Second)
+
+	// --- kill -9 mid-job once a periodic checkpoint has content.
+	ckptPath := filepath.Join(ckptDir, id+".ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if fi, err := os.Stat(ckptPath); err == nil && fi.Size() > 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint with content appeared at %s; logs:\n%s", ckptPath, logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// --- restart over the same checkpoint dir; the identical submission
+	// resumes and the result is byte-identical to an offline CLI run.
+	p2 := startServer()
+	cmd2, base2, logs2 := p2.cmd, p2.base, &p2.logs
+	defer cmd2.Process.Kill()
+	resp, out = post(base2+"/jobs?minsup="+minsup+"&wait=1", slowBody)
+	if resp.StatusCode != http.StatusOK || jsonField(t, out, "state") != "done" {
+		t.Fatalf("post-kill resubmit = %d: %s\nlogs:\n%s", resp.StatusCode, out, logs2.String())
+	}
+	if jsonField(t, out, "id") != id {
+		t.Fatalf("job identity changed across restart: %s", out)
+	}
+	if !strings.Contains(logs2.String(), "resuming from checkpoint") {
+		t.Errorf("restarted server did not resume from the checkpoint; logs:\n%s", logs2.String())
+	}
+	respRes, err := http.Get(base2 + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverResult, _ := io.ReadAll(respRes.Body)
+	respRes.Body.Close()
+
+	cliOut := filepath.Join(bin, "cli-patterns.txt")
+	if msg, err := exec.Command(mineBin, "-in", dbPath, "-minsup", minsup, "-o", cliOut).CombinedOutput(); err != nil {
+		t.Fatalf("discmine reference run: %v\n%s", err, msg)
+	}
+	cliResult, err := os.ReadFile(cliOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serverResult, cliResult) {
+		t.Errorf("service result (%d bytes) != discmine result (%d bytes) for the same job",
+			len(serverResult), len(cliResult))
+	}
+
+	// --- SIGTERM: graceful drain, exit code 0.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v\nlogs:\n%s", err, logs2.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("server did not drain after SIGTERM; logs:\n%s", logs2.String())
+	}
+	<-p2.scanDone // the drain goroutine has flushed the final log lines
+	if !strings.Contains(logs2.String(), "drained, exiting") {
+		t.Errorf("missing drain completion line; logs:\n%s", logs2.String())
+	}
+}
+
+// serverProc is one running discserve binary under test.
+type serverProc struct {
+	cmd      *exec.Cmd
+	base     string
+	logs     syncBuf
+	scanDone chan struct{}
+}
+
+// syncBuf is a mutex-guarded log buffer: the process writes (via the
+// stdout drain goroutine and stderr), the test reads.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) WriteString(x string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.WriteString(x)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// jsonField plucks a top-level string field out of a JSON object without
+// committing to the full schema.
+func jsonField(t *testing.T, body []byte, key string) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("bad JSON %q: %v", body, err)
+	}
+	v, _ := m[key].(string)
+	return v
+}
+
+func waitState(t *testing.T, base, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if jsonField(t, body, "state") == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s: %s", id, want, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+

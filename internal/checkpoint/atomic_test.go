@@ -1,0 +1,89 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteFileSurvivesTornTemp simulates a crash mid-write: a partial
+// .tmp file left behind by a killed process must never be visible at the
+// final path, must not disturb an existing good checkpoint, and must be
+// rejected by the CRC check if read directly.
+func TestWriteFileSurvivesTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	f := sample()
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A later write crashes after emitting only part of the payload.
+	torn := encode(t, f)[:20]
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The final path still carries the intact previous checkpoint.
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("good checkpoint unreadable after torn temp: %v", err)
+	}
+	if back.Fingerprint != f.Fingerprint {
+		t.Fatalf("checkpoint content changed: %+v", back)
+	}
+	// The torn temp itself never decodes.
+	if _, err := ReadFile(tmp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn temp read = %v, want ErrCorrupt", err)
+	}
+
+	// The next successful write replaces both the leftover temp and the
+	// final file, and retires the temp name.
+	f.MinSup = 9
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if back, err = ReadFile(path); err != nil || back.MinSup != 9 {
+		t.Fatalf("rewrite: (%+v, %v)", back, err)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file still visible after successful write: %v", err)
+	}
+}
+
+// TestTruncatedFileRejected covers every truncation point of the encoded
+// file: whatever prefix a torn write leaves, Read must fail with a typed
+// error, never decode garbage.
+func TestTruncatedFileRejected(t *testing.T) {
+	good := encode(t, sample())
+	for _, frac := range []int{0, 1, len(good) / 4, len(good) / 2, len(good) - 1} {
+		if _, err := Read(strings.NewReader(good[:frac])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated at %d: err = %v, want ErrCorrupt", frac, err)
+		}
+	}
+}
+
+// TestWriteFileFailurePaths verifies failed writes clean up their temp
+// file instead of leaving debris for the next attempt to trip on.
+func TestWriteFileFailurePaths(t *testing.T) {
+	dir := t.TempDir()
+	// Creating the temp file in a missing directory fails outright.
+	if err := sample().WriteFile(filepath.Join(dir, "missing", "run.ckpt")); err == nil {
+		t.Fatal("WriteFile into a missing directory should fail")
+	}
+	// A successful write leaves exactly the checkpoint behind.
+	path := filepath.Join(dir, "run.ckpt")
+	if err := sample().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		t.Fatalf("directory contents = %v, want only run.ckpt", entries)
+	}
+}

@@ -44,8 +44,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/seq"
@@ -188,9 +190,12 @@ func (f *File) Write(w io.Writer) error {
 	return err
 }
 
-// WriteFile writes the checkpoint atomically: to path+".tmp" first, then
-// renamed over path, so a crash mid-write never leaves a torn checkpoint
-// under the real name.
+// WriteFile writes the checkpoint atomically and durably: to path+".tmp"
+// first, fsynced before the rename over path, with the parent directory
+// fsynced after — so a crash (or kill -9) at any point leaves either the
+// previous checkpoint or the new one under the real name, never a torn
+// file. A leftover .tmp from a crash mid-write is invisible to readers
+// and overwritten by the next attempt.
 func (f *File) WriteFile(path string) error {
 	tmp := path + ".tmp"
 	out, err := os.Create(tmp)
@@ -202,11 +207,41 @@ func (f *File) WriteFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	// Flush the content to stable storage before the rename: a rename
+	// can be durable while the data it points at is not, which would
+	// surface after a power loss as a truncated file under the final
+	// name (caught by the CRC, but the previous checkpoint is lost).
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := out.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Persist the rename itself: the directory entry is metadata of the
+	// parent directory, not of the file.
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory. Filesystems that cannot sync a directory
+// handle (reporting EINVAL or ENOTSUP) keep the rename's atomicity, just
+// not its durability ordering, so those errors are not fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // lineReader walks the payload line by line with context for errors.

@@ -1,0 +1,50 @@
+// Package cliutil holds the flag plumbing shared by the mining binaries
+// (discmine and discserve): the resource-budget and checkpoint-cadence
+// knobs are registered through one function with one set of names,
+// defaults and help strings, so the two binaries cannot drift apart.
+package cliutil
+
+import (
+	"flag"
+	"time"
+
+	"github.com/disc-mining/disc/internal/core"
+)
+
+// SharedFlags are the budget/checkpoint settings every mining binary
+// exposes under identical flag names.
+type SharedFlags struct {
+	// MaxPatterns is the soft budget on discovered patterns (-max-patterns).
+	MaxPatterns int
+	// MaxMemBytes is the soft heap budget in bytes (-max-mem-bytes).
+	MaxMemBytes int64
+	// CheckpointInterval is the periodic checkpoint snapshot cadence
+	// (-checkpoint-interval); 0 snapshots only on interruption.
+	CheckpointInterval time.Duration
+}
+
+// RegisterShared registers the shared flags on fs and returns the struct
+// their parsed values land in.
+func RegisterShared(fs *flag.FlagSet) *SharedFlags {
+	s := &SharedFlags{}
+	fs.IntVar(&s.MaxPatterns, "max-patterns", 0,
+		"soft budget on discovered patterns; the run degrades near it and fails past it (0 = unbounded)")
+	fs.Int64Var(&s.MaxMemBytes, "max-mem-bytes", 0,
+		"soft heap budget in bytes with the same degradation ladder (0 = unbounded)")
+	fs.DurationVar(&s.CheckpointInterval, "checkpoint-interval", 0,
+		"additionally snapshot the checkpoint at this interval (0 = only on interruption)")
+	return s
+}
+
+// Apply copies the budget settings into engine options.
+func (s *SharedFlags) Apply(o *core.Options) {
+	o.MaxPatterns = s.MaxPatterns
+	o.MaxMemBytes = s.MaxMemBytes
+}
+
+// SharedFlagNames lists the names RegisterShared defines. The regression
+// tests of both binaries iterate it to prove each binary accepts every
+// shared flag.
+func SharedFlagNames() []string {
+	return []string{"max-patterns", "max-mem-bytes", "checkpoint-interval"}
+}

@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/core"
+)
+
+func TestRegisterSharedDefinesEveryName(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	RegisterShared(fs)
+	for _, name := range SharedFlagNames() {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	// SharedFlagNames must be exhaustive, too: a flag added to
+	// RegisterShared without a name entry would escape the binaries'
+	// drift regression tests.
+	n := 0
+	fs.VisitAll(func(*flag.Flag) { n++ })
+	if n != len(SharedFlagNames()) {
+		t.Errorf("RegisterShared defines %d flags, SharedFlagNames lists %d", n, len(SharedFlagNames()))
+	}
+}
+
+func TestSharedFlagsParseAndApply(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	s := RegisterShared(fs)
+	err := fs.Parse([]string{"-max-patterns", "7", "-max-mem-bytes", "1024", "-checkpoint-interval", "250ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxPatterns != 7 || s.MaxMemBytes != 1024 || s.CheckpointInterval != 250*time.Millisecond {
+		t.Fatalf("parsed = %+v", s)
+	}
+	var o core.Options
+	s.Apply(&o)
+	if o.MaxPatterns != 7 || o.MaxMemBytes != 1024 {
+		t.Fatalf("applied options = %+v", o)
+	}
+}
+
+func TestSharedFlagsDefaultsUnbounded(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	s := RegisterShared(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxPatterns != 0 || s.MaxMemBytes != 0 || s.CheckpointInterval != 0 {
+		t.Fatalf("defaults = %+v, want all zero (unbounded)", s)
+	}
+}

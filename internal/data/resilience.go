@@ -12,9 +12,11 @@ package data
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"time"
 
@@ -93,14 +95,26 @@ func countTokens(s string) int {
 }
 
 // RetryOptions shapes ReadRetry. The zero value retries transient
-// failures 3 times with 10ms exponential backoff.
+// failures 3 times with 10ms exponential backoff, jittered by up to
+// half of each delay.
 type RetryOptions struct {
 	// Attempts is the total number of tries (default 3).
 	Attempts int
 	// Backoff is the sleep before the first retry; it doubles per
 	// attempt (default 10ms).
 	Backoff time.Duration
-	// Sleep replaces time.Sleep in tests. Nil means time.Sleep.
+	// Jitter is the fraction of each backoff delay randomized away: the
+	// actual sleep is uniform in [d·(1−Jitter), d]. Jitter decorrelates a
+	// fleet of jobs retrying against the same failed medium, so they do
+	// not thunder back in lockstep. Zero selects the default 0.5;
+	// negative disables jitter (exact exponential delays).
+	Jitter float64
+	// Rand replaces the jitter's randomness source in tests: a function
+	// returning values in [0, 1). Nil means math/rand.
+	Rand func() float64
+	// Sleep replaces the interruptible wait in tests. When set, it is
+	// called with the jittered delay and the context is only checked
+	// between attempts, not during the sleep itself.
 	Sleep func(time.Duration)
 }
 
@@ -111,10 +125,44 @@ func (o RetryOptions) withDefaults() RetryOptions {
 	if o.Backoff <= 0 {
 		o.Backoff = 10 * time.Millisecond
 	}
-	if o.Sleep == nil {
-		o.Sleep = time.Sleep
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	} else if o.Jitter < 0 {
+		o.Jitter = 0
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
 	}
 	return o
+}
+
+// delay computes the jittered exponential backoff before retry attempt
+// (1-based): Backoff·2^(attempt−1), shrunk by a random fraction of up to
+// Jitter.
+func (o RetryOptions) delay(attempt int) time.Duration {
+	d := o.Backoff << (attempt - 1)
+	if o.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 - o.Jitter*o.Rand()))
+	}
+	return d
+}
+
+// wait sleeps for d or until ctx is done, whichever comes first. The
+// Sleep test hook, when set, is not interruptible; ReadRetryContext
+// still observes cancellation before the next attempt.
+func (o RetryOptions) wait(ctx context.Context, d time.Duration) error {
+	if o.Sleep != nil {
+		o.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Transient reports whether err declares itself retryable via a
@@ -131,11 +179,25 @@ func Transient(err error) bool {
 // corrupt or duplicate customers. Non-transient errors (syntax, size
 // limits) fail immediately.
 func ReadRetry(open func() (io.ReadCloser, error), f Format, lim Limits, ro RetryOptions) (mining.Database, error) {
+	return ReadRetryContext(context.Background(), open, f, lim, ro)
+}
+
+// ReadRetryContext is ReadRetry honouring ctx: a cancellation or
+// deadline interrupts the backoff sleep and stops further attempts,
+// returning the context's error (wrapped with the last transient
+// failure, when one was seen). The read in flight is not interrupted —
+// cancellation granularity is the attempt boundary.
+func ReadRetryContext(ctx context.Context, open func() (io.ReadCloser, error), f Format, lim Limits, ro RetryOptions) (mining.Database, error) {
 	ro = ro.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < ro.Attempts; attempt++ {
 		if attempt > 0 {
-			ro.Sleep(ro.Backoff << (attempt - 1))
+			if err := ro.wait(ctx, ro.delay(attempt)); err != nil {
+				return nil, fmt.Errorf("data: read canceled after %d attempts: %w (last transient error: %w)",
+					attempt, err, lastErr)
+			}
+		} else if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("data: read canceled: %w", err)
 		}
 		r, err := open()
 		if err != nil {

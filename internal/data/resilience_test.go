@@ -2,6 +2,7 @@ package data
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -107,7 +108,8 @@ func TestReadRetryRecoversTransient(t *testing.T) {
 	inj := faultinject.New(1).Arm(faultinject.DataRead, faultinject.Spec{AfterN: 1})
 	var slept []time.Duration
 	db, err := ReadRetry(openFlaky(inj, buf.String()), Auto, Limits{},
-		RetryOptions{Sleep: func(d time.Duration) { slept = append(slept, d) }})
+		RetryOptions{Rand: func() float64 { return 0 }, // no jitter: exact exponential delays
+			Sleep: func(d time.Duration) { slept = append(slept, d) }})
 	if err != nil {
 		t.Fatalf("ReadRetry: %v", err)
 	}
@@ -130,6 +132,7 @@ func TestReadRetryExhaustsAttempts(t *testing.T) {
 	var slept []time.Duration
 	_, err := ReadRetry(openFlaky(inj, "1: (1)"), Auto, Limits{},
 		RetryOptions{Attempts: 3, Backoff: time.Millisecond,
+			Rand:  func() float64 { return 0 },
 			Sleep: func(d time.Duration) { slept = append(slept, d) }})
 	if err == nil || !Transient(err) {
 		t.Fatalf("err = %v, want wrapped transient failure", err)
@@ -179,6 +182,90 @@ func TestReadFileRetry(t *testing.T) {
 	}
 	if _, err := ReadFileRetry(filepath.Join(dir, "missing.txt"), Limits{}, RetryOptions{}); err == nil {
 		t.Error("missing file should fail without retries")
+	}
+}
+
+func TestReadRetryJitter(t *testing.T) {
+	// A fixed randomness sequence pins the jittered delays exactly:
+	// delay = backoff·2^(attempt−1)·(1 − Jitter·r).
+	rands := []float64{0.5, 1}
+	i := 0
+	inj := faultinject.New(3).Arm(faultinject.DataRead, faultinject.Spec{Prob: 1})
+	var slept []time.Duration
+	_, err := ReadRetry(openFlaky(inj, "1: (1)"), Auto, Limits{},
+		RetryOptions{Attempts: 3, Backoff: 8 * time.Millisecond,
+			Rand:  func() float64 { r := rands[i]; i++; return r },
+			Sleep: func(d time.Duration) { slept = append(slept, d) }})
+	if err == nil || !Transient(err) {
+		t.Fatalf("err = %v, want transient exhaustion", err)
+	}
+	// Default jitter 0.5: 8ms·(1−0.5·0.5)=6ms, then 16ms·(1−0.5·1)=8ms.
+	if len(slept) != 2 || slept[0] != 6*time.Millisecond || slept[1] != 8*time.Millisecond {
+		t.Errorf("jittered sleeps = %v, want [6ms 8ms]", slept)
+	}
+
+	// Negative Jitter disables: exact exponential delays regardless of
+	// the randomness source.
+	inj = faultinject.New(4).Arm(faultinject.DataRead, faultinject.Spec{Prob: 1})
+	slept = nil
+	_, _ = ReadRetry(openFlaky(inj, "1: (1)"), Auto, Limits{},
+		RetryOptions{Attempts: 3, Backoff: 8 * time.Millisecond, Jitter: -1,
+			Rand:  func() float64 { return 1 },
+			Sleep: func(d time.Duration) { slept = append(slept, d) }})
+	if len(slept) != 2 || slept[0] != 8*time.Millisecond || slept[1] != 16*time.Millisecond {
+		t.Errorf("unjittered sleeps = %v, want [8ms 16ms]", slept)
+	}
+}
+
+func TestReadRetryHonorsContext(t *testing.T) {
+	// Cancellation before the first attempt stops without opening.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opens := 0
+	open := func() (io.ReadCloser, error) {
+		opens++
+		return io.NopCloser(strings.NewReader("1: (1)")), nil
+	}
+	_, err := ReadRetryContext(ctx, open, Auto, Limits{}, RetryOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if opens != 0 {
+		t.Errorf("opened %d times after pre-canceled context, want 0", opens)
+	}
+
+	// Cancellation during the backoff wait stops between attempts: the
+	// Sleep hook cancels, so attempt 2 never opens. The error carries
+	// both the cancellation and the last transient failure.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultinject.New(5).Arm(faultinject.DataRead, faultinject.Spec{Prob: 1})
+	_, err = ReadRetryContext(ctx, openFlaky(inj, "1: (1)"), Auto, Limits{},
+		RetryOptions{Attempts: 5, Sleep: func(time.Duration) { cancel() }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var te *faultinject.TransientError
+	if !errors.As(err, &te) {
+		t.Errorf("cancellation error should carry the last transient failure: %v", err)
+	}
+	if got := inj.Fired(faultinject.DataRead); got != 1 {
+		t.Errorf("attempts after mid-backoff cancel = %d, want 1", got)
+	}
+
+	// A deadline expiring during a real (timer-based) wait interrupts
+	// the sleep instead of running it to completion.
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	inj = faultinject.New(6).Arm(faultinject.DataRead, faultinject.Spec{Prob: 1})
+	start := time.Now()
+	_, err = ReadRetryContext(ctx, openFlaky(inj, "1: (1)"), Auto, Limits{},
+		RetryOptions{Attempts: 3, Backoff: time.Hour})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline did not interrupt the backoff sleep (%v elapsed)", elapsed)
 	}
 }
 

@@ -1,0 +1,230 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// TestConcurrentLifecycle hammers one manager from many goroutines —
+// submitting, polling and canceling the same and distinct fingerprints
+// — and asserts the two service invariants under -race:
+//
+//   - no duplicate execution: an identical job submitted N times mines
+//     at most once;
+//   - no lost cancellation: every job a Cancel landed on before release
+//     terminates canceled, never done.
+//
+// The mining function is stubbed with a gate so every job is still
+// in-flight (queued or blocked running) when the cancellations land,
+// making the expected terminal states deterministic.
+func TestConcurrentLifecycle(t *testing.T) {
+	const (
+		distinct   = 8 // distinct fingerprints
+		submitters = 8 // concurrent submitters per fingerprint
+	)
+	release := make(chan struct{})
+	m := NewManager(Config{Workers: 4, QueueDepth: distinct * submitters, CacheJobs: 2 * distinct})
+	m.mine = func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return mining.NewResult(), nil
+		}
+	}
+
+	// Phase 1: everyone submits concurrently; identical requests must
+	// collapse onto one shared job.
+	jobsByKey := make([][]*Job, distinct)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for k := 0; k < distinct; k++ {
+		for s := 0; s < submitters; s++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				j, err := m.Submit(reqFor(smallDB(k+1), 2))
+				if err != nil {
+					t.Errorf("submit %d: %v", k, err)
+					return
+				}
+				// Poll while in flight: must never observe an invalid state.
+				switch st := j.Status(); st.State {
+				case StateQueued, StateRunning, StateDone, StateCanceled:
+				default:
+					t.Errorf("job %s in unexpected state %q", j.ID(), st.State)
+				}
+				mu.Lock()
+				jobsByKey[k] = append(jobsByKey[k], j)
+				mu.Unlock()
+			}(k)
+		}
+	}
+	wg.Wait()
+	for k, js := range jobsByKey {
+		if len(js) != submitters {
+			t.Fatalf("fingerprint %d: %d submissions survived, want %d", k, len(js), submitters)
+		}
+		for _, j := range js[1:] {
+			if j != js[0] {
+				t.Fatalf("fingerprint %d: identical submissions returned distinct jobs", k)
+			}
+		}
+	}
+
+	// Phase 2: cancel half the fingerprints from many goroutines at once
+	// (every cancel is concurrent with the workers dequeuing).
+	canceled := map[string]bool{}
+	for k := 0; k < distinct; k += 2 {
+		canceled[jobsByKey[k][0].ID()] = true
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if _, err := m.Cancel(id); err != nil {
+					t.Errorf("cancel %s: %v", id, err)
+				}
+			}(jobsByKey[k][0].ID())
+		}
+	}
+	wg.Wait()
+
+	// Phase 3: release the gate and wait for every job to terminate.
+	close(release)
+	for _, js := range jobsByKey {
+		waitTerminal(t, js[0])
+	}
+
+	for k, js := range jobsByKey {
+		j := js[0]
+		st := j.Status()
+		if canceled[j.ID()] {
+			if st.State != StateCanceled {
+				t.Errorf("fingerprint %d: cancellation lost, state = %s", k, st.State)
+			}
+		} else if st.State != StateDone {
+			t.Errorf("fingerprint %d: state = %s (err=%v), want done", k, st.State, st.Err)
+		}
+		if n := m.ExecCount(j.ID()); n > 1 {
+			t.Errorf("fingerprint %d executed %d times, want at most 1", k, n)
+		}
+		if st.State == StateDone && m.ExecCount(j.ID()) != 1 {
+			t.Errorf("fingerprint %d done without exactly one execution", k)
+		}
+	}
+
+	met := m.Metrics()
+	if met.Submitted != distinct {
+		t.Errorf("Submitted = %d, want %d (one per fingerprint)", met.Submitted, distinct)
+	}
+	if met.Deduped != distinct*(submitters-1) {
+		t.Errorf("Deduped = %d, want %d", met.Deduped, distinct*(submitters-1))
+	}
+	if met.Done+met.Canceled != distinct {
+		t.Errorf("Done+Canceled = %d+%d, want %d", met.Done, met.Canceled, distinct)
+	}
+	drain(t, m)
+}
+
+// TestConcurrentSubmitAfterTerminal re-admits terminal (failed/canceled)
+// fingerprints from many goroutines: exactly one fresh incarnation per
+// re-admission wave may run, and the job map never hands out a stale
+// pointer for a re-admitted id.
+func TestConcurrentSubmitAfterTerminal(t *testing.T) {
+	m := NewManager(Config{Workers: 2, QueueDepth: 8})
+	defer drain(t, m)
+
+	req := reqFor(smallDB(1), 2)
+	j, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, j)
+	if j.State() != StateCanceled {
+		t.Fatalf("seed job state = %s, want canceled", j.State())
+	}
+
+	// Concurrent resubmission of the canceled fingerprint: all callers
+	// must land on the same fresh incarnation.
+	var wg sync.WaitGroup
+	fresh := make([]*Job, 8)
+	for i := range fresh {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nj, err := m.Submit(req)
+			if err != nil && !errors.Is(err, ErrQueueFull) {
+				t.Errorf("resubmit: %v", err)
+				return
+			}
+			fresh[i] = nj
+		}(i)
+	}
+	wg.Wait()
+	var incarnation *Job
+	for _, nj := range fresh {
+		if nj == nil {
+			continue
+		}
+		if nj == j {
+			t.Fatal("resubmission returned the canceled incarnation")
+		}
+		if incarnation == nil {
+			incarnation = nj
+		} else if nj != incarnation {
+			t.Fatal("concurrent resubmissions created distinct incarnations")
+		}
+	}
+	if incarnation == nil {
+		t.Fatal("no resubmission was admitted")
+	}
+	if st := waitTerminal(t, incarnation); st.State != StateDone {
+		t.Fatalf("re-admitted job = %+v, want done", st)
+	}
+	if n := m.ExecCount(incarnation.ID()); n != 1 {
+		t.Fatalf("re-admitted fingerprint executed %d times, want 1", n)
+	}
+	// Polling by id reaches the fresh incarnation.
+	got, err := m.Get(incarnation.ID())
+	if err != nil || got != incarnation {
+		t.Fatalf("Get after re-admission = (%v, %v)", got, err)
+	}
+}
+
+// TestCancelRunningJobCheckpointsProgress cancels a genuinely running
+// mining job and verifies it ends canceled with the context error, fast.
+func TestCancelRunningJobCheckpointsProgress(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer drain(t, m)
+	started := make(chan struct{})
+	m.mine = func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	j, err := m.Submit(reqFor(smallDB(1), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never started")
+	}
+	if _, err := m.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateCanceled || !errors.Is(st.Err, context.Canceled) {
+		t.Fatalf("status = %+v, want canceled with context.Canceled", st)
+	}
+}

@@ -1,0 +1,515 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// Config shapes a Manager. The zero value is usable: a queue of 16, one
+// worker, no deadline, no checkpointing, no budgets.
+type Config struct {
+	// QueueDepth bounds the backlog of admitted-but-not-yet-running
+	// jobs; Submit sheds load with ErrQueueFull beyond it (default 16).
+	QueueDepth int
+	// Workers is the number of jobs mined concurrently (default 1).
+	// Each job additionally parallelizes internally through its own
+	// Opts.Workers partition pool.
+	Workers int
+	// JobTimeout is the per-job deadline (0 = none). A job hitting it
+	// fails with context.DeadlineExceeded after checkpointing.
+	JobTimeout time.Duration
+	// MaxPatterns and MaxMemBytes are the per-job resource budgets
+	// (core.Options semantics: degrade at 80%, stop with a typed
+	// *mining.BudgetError at 100%). They override whatever the request
+	// carries, so one tenant cannot opt out of the service's limits.
+	MaxPatterns int
+	MaxMemBytes int64
+	// CheckpointDir, when set, persists each disc-all-family job's
+	// completed first-level partitions to <dir>/<id>.ckpt: on
+	// cancellation, deadline or failure immediately, and additionally
+	// every CheckpointInterval while running. Resubmitting an identical
+	// job — same process or after a restart — resumes from the file.
+	CheckpointDir string
+	// CheckpointInterval is the periodic snapshot cadence (0 = only at
+	// job exit). Periodic snapshots are what make kill -9 survivable.
+	CheckpointInterval time.Duration
+	// CacheJobs bounds how many terminal jobs are retained for result
+	// caching and idempotent resubmission (default 64, FIFO eviction).
+	CacheJobs int
+	// RetryAfter is the hint handed to shed clients (default 1s).
+	RetryAfter time.Duration
+	// Faults arms the deterministic fault-injection points on the job
+	// path: WorkerPanic at the job boundary and inside the engine,
+	// CtxCancel at engine partition boundaries (wired to the running
+	// job's cancel). Production managers leave it nil.
+	Faults *faultinject.Injector
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.CacheJobs <= 0 {
+		c.CacheJobs = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Metrics counts what the manager has done since start. Queued and
+// Running are gauges; the rest are monotone counters.
+type Metrics struct {
+	Submitted int // jobs admitted into the queue
+	Deduped   int // submissions attached to an existing queued/running job
+	CacheHits int // submissions served from a completed job
+	Shed      int // submissions rejected with ErrQueueFull
+	Drained   int // submissions rejected with ErrDraining
+	Executed  int // job runs started (≤ Submitted: dedup prevents re-runs)
+	Done      int
+	Failed    int
+	Canceled  int
+	Resumed   int // runs that restored partitions from a checkpoint
+	Queued    int
+	Running   int
+}
+
+// Manager owns the job queue, the worker pool and the completed-job
+// cache. Construct with NewManager; stop with Drain.
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	jobs      map[string]*Job // every known job, keyed by fingerprint id
+	termOrder []string        // terminal jobs in completion order (cache eviction)
+	queue     chan *Job
+	draining  bool
+	met       Metrics
+	execs     map[string]int // job id -> times actually mined
+
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// mine runs one job; replaced by lifecycle tests to control timing.
+	mine func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error)
+}
+
+// NewManager starts a manager with cfg's worker pool running.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		jobs:       map[string]*Job{},
+		queue:      make(chan *Job, cfg.QueueDepth),
+		execs:      map[string]int{},
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	m.mine = m.defaultMine
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// RetryAfter is the backoff hint for clients shed with ErrQueueFull or
+// ErrDraining.
+func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
+
+// Metrics snapshots the manager's counters and gauges.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	met := m.met
+	met.Queued = len(m.queue)
+	met.Running = 0
+	for _, j := range m.jobs {
+		if j.State() == StateRunning {
+			met.Running++
+		}
+	}
+	return met
+}
+
+// ExecCount reports how many times the job's mining actually ran —
+// the deduplication invariant is that identical submissions never push
+// it past 1 per admission.
+func (m *Manager) ExecCount(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.execs[id]
+}
+
+// Submit admits a job. Identical requests (same fingerprint) attach to
+// the already queued or running job, or hit the completed-job cache;
+// either way the returned Job is the shared one and no second execution
+// happens. A previously failed or canceled job is re-admitted — and, if
+// it checkpointed, resumes where it stopped. Submit sheds load with
+// ErrQueueFull when the backlog is at QueueDepth and refuses with
+// ErrDraining during shutdown.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	req = req.normalize()
+	// Reject unknown algorithms at admission, not at execution.
+	if _, err := minerFor(req.Algo, req.Opts); err != nil {
+		return nil, err
+	}
+	fp := req.fingerprint()
+	id := fmt.Sprintf("%016x", fp)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.met.Drained++
+		return nil, ErrDraining
+	}
+	if j, ok := m.jobs[id]; ok {
+		switch j.State() {
+		case StateQueued, StateRunning:
+			m.met.Deduped++
+			return j, nil
+		case StateDone:
+			m.met.CacheHits++
+			return j, nil
+		default: // failed or canceled: re-admit (resumes from checkpoint)
+			m.evictLocked(id)
+		}
+	}
+	j := newJob(id, fp, req)
+	select {
+	case m.queue <- j:
+		m.jobs[id] = j
+		m.met.Submitted++
+		return j, nil
+	default:
+		m.met.Shed++
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a known job by id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel requests cancellation of a job: a queued job terminates
+// immediately, a running one is cut at its next cooperative engine
+// check (checkpointing what completed). Canceling a terminal job is an
+// idempotent no-op.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	j.canceled = true
+	cancel := j.cancel
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	switch {
+	case queued:
+		// The worker that later pops it observes canceled and skips;
+		// finish now so pollers see the terminal state immediately.
+		m.finishJob(j, StateCanceled, nil, context.Canceled)
+	case cancel != nil:
+		cancel()
+	}
+	return j, nil
+}
+
+// Draining reports whether the manager has stopped admitting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain shuts down gracefully: stop admitting, let queued and running
+// jobs finish, then return. If ctx expires first, in-flight jobs are
+// canceled — they checkpoint their completed partitions — and Drain
+// waits for the workers to wind down before returning ctx's error.
+// Either way, no job is left mid-flight without a checkpoint.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return errors.New("jobs: already draining")
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // cancel in-flight jobs; they checkpoint and exit
+		<-done
+		return fmt.Errorf("jobs: drain cut short, in-flight jobs checkpointed: %w", ctx.Err())
+	}
+}
+
+// worker drains the queue until Drain closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// finishJob moves a job to a terminal state and maintains the cache:
+// terminal jobs stay addressable (result cache, idempotent retries)
+// until CacheJobs newer ones evict them.
+func (m *Manager) finishJob(j *Job, s State, res *mining.Result, err error) {
+	j.mu.Lock()
+	already := j.state.Terminal()
+	j.mu.Unlock()
+	if already {
+		return
+	}
+	j.finish(s, res, err)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch j.State() {
+	case StateDone:
+		m.met.Done++
+	case StateFailed:
+		m.met.Failed++
+	case StateCanceled:
+		m.met.Canceled++
+	}
+	m.termOrder = append(m.termOrder, j.id)
+	for len(m.termOrder) > m.cfg.CacheJobs {
+		victim := m.termOrder[0]
+		m.termOrder = m.termOrder[1:]
+		// Only evict if the map entry is still this terminal incarnation
+		// (a re-admitted job reuses the id).
+		if cur, ok := m.jobs[victim]; ok && cur.State().Terminal() {
+			delete(m.jobs, victim)
+			delete(m.execs, victim)
+		}
+	}
+}
+
+// evictLocked removes a terminal job so a fresh incarnation can take its
+// id. Caller holds m.mu.
+func (m *Manager) evictLocked(id string) {
+	delete(m.jobs, id)
+	for i, tid := range m.termOrder {
+		if tid == id {
+			m.termOrder = append(m.termOrder[:i], m.termOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// runJob executes one dequeued job: claim it, arm deadline and faults,
+// restore or create its checkpointer, mine under containment, and map
+// the outcome onto the terminal states — checkpointing on every
+// non-success so the work is never lost.
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued || j.canceled {
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			m.finishJob(j, StateCanceled, nil, context.Canceled)
+		}
+		return
+	}
+	timeout := m.cfg.JobTimeout
+	if j.req.Timeout > 0 && (timeout <= 0 || j.req.Timeout < timeout) {
+		timeout = j.req.Timeout
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	m.mu.Lock()
+	m.met.Executed++
+	m.execs[j.id]++
+	m.mu.Unlock()
+
+	cp, ckptPath := m.checkpointFor(j)
+	stopSnapshots := m.periodicSnapshots(j, cp, ckptPath)
+	if f := m.cfg.Faults; f != nil {
+		f.OnCancel(cancel)
+	}
+
+	res, err := m.mine(ctx, j, cp)
+	stopSnapshots()
+
+	switch {
+	case err == nil:
+		if ckptPath != "" {
+			os.Remove(ckptPath) // the run finished; the checkpoint is obsolete
+		}
+		m.finishJob(j, StateDone, res, nil)
+	case errors.Is(err, context.Canceled):
+		m.writeCheckpoint(j, cp, ckptPath)
+		m.finishJob(j, StateCanceled, nil, err)
+	default:
+		// Deadline, contained panic, budget breach, malformed input:
+		// keep the completed partitions — an identical resubmission
+		// resumes instead of restarting.
+		m.writeCheckpoint(j, cp, ckptPath)
+		m.finishJob(j, StateFailed, nil, err)
+	}
+}
+
+// checkpointable reports whether the algorithm supports partition
+// checkpointing (the disc-all family; the baselines mine monolithically).
+func checkpointable(algo string) bool {
+	return algo == "disc-all" || algo == "dynamic-disc-all"
+}
+
+// checkpointFor returns the job's checkpointer — seeded from a prior
+// run's file when one exists and belongs to this job — and the path its
+// snapshots go to. Returns (nil, "") when checkpointing is off.
+func (m *Manager) checkpointFor(j *Job) (*core.Checkpointer, string) {
+	if m.cfg.CheckpointDir == "" || !checkpointable(j.req.Algo) {
+		return nil, ""
+	}
+	path := filepath.Join(m.cfg.CheckpointDir, j.id+".ckpt")
+	switch f, err := checkpoint.ReadFile(path); {
+	case err == nil && f.Fingerprint == j.fp && f.Algo == j.req.Algo && f.MinSup == j.req.MinSup:
+		j.mu.Lock()
+		j.resumed = len(f.Partitions)
+		j.mu.Unlock()
+		m.mu.Lock()
+		m.met.Resumed++
+		m.mu.Unlock()
+		m.logf("jobs: %s resuming from checkpoint (%d completed partitions)", j.id, len(f.Partitions))
+		return core.ResumeFrom(f), path
+	case err == nil:
+		m.logf("jobs: %s ignoring checkpoint at %s: belongs to a different job", j.id, path)
+	case !errors.Is(err, os.ErrNotExist):
+		// Corrupt or torn: the CRC caught it; mine from scratch.
+		m.logf("jobs: %s ignoring unreadable checkpoint at %s: %v", j.id, path, err)
+	}
+	return core.NewCheckpointer(), path
+}
+
+// periodicSnapshots writes the checkpoint every CheckpointInterval while
+// the job runs, so kill -9 loses at most one interval of work. The
+// returned stop function is idempotent.
+func (m *Manager) periodicSnapshots(j *Job, cp *core.Checkpointer, path string) func() {
+	if cp == nil || path == "" || m.cfg.CheckpointInterval <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(m.cfg.CheckpointInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				m.writeCheckpoint(j, cp, path)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+func (m *Manager) writeCheckpoint(j *Job, cp *core.Checkpointer, path string) {
+	if cp == nil || path == "" {
+		return
+	}
+	if err := cp.File(j.req.Algo, j.req.MinSup, j.fp).WriteFile(path); err != nil {
+		m.logf("jobs: %s checkpoint write failed: %v", j.id, err)
+	}
+}
+
+// minerFor builds the requested algorithm with the job's options (the
+// disc-all family natively; everything else through the registry).
+func minerFor(algo string, opts core.Options) (mining.Miner, error) {
+	switch algo {
+	case "disc-all":
+		return &core.Miner{Opts: opts}, nil
+	case "dynamic-disc-all":
+		return &core.Dynamic{Opts: opts}, nil
+	}
+	return mining.NewRegistered(algo)
+}
+
+// defaultMine runs the job's mining under service-boundary panic
+// containment: a panic anywhere outside the engine's own contained
+// goroutines — option plumbing, miner construction, result handling —
+// still degrades to a typed *mining.InvariantError on this job instead
+// of killing the process.
+func (m *Manager) defaultMine(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error) {
+	var res *mining.Result
+	err := mining.Contain("job:"+j.id, func() error {
+		if f := m.cfg.Faults; f != nil {
+			f.Panic(faultinject.WorkerPanic, "job:"+j.id)
+		}
+		opts := j.req.Opts
+		opts.MaxPatterns = m.cfg.MaxPatterns
+		opts.MaxMemBytes = m.cfg.MaxMemBytes
+		opts.Checkpoint = cp
+		opts.Faults = m.cfg.Faults
+		miner, err := minerFor(j.req.Algo, opts)
+		if err != nil {
+			return err
+		}
+		r, err := mining.AsContextMiner(miner).MineContext(ctx, j.req.DB, j.req.MinSup)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// resumeDB is the same shape the engine's own checkpoint tests use:
+// skewed item frequencies give a mix of deep and shallow first-level
+// partitions, so injected cancellations land at interesting points.
+func resumeDB() mining.Database {
+	return testutil.SkewedRandomDB(rand.New(rand.NewSource(92)), 90, 12, 6, 4)
+}
+
+func render(t *testing.T, res *mining.Result) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteResult(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestKillRestartResubmitByteIdentical is the service acceptance
+// criterion: a job interrupted mid-run is resubmitted to a FRESH manager
+// over the same checkpoint directory. The new manager has no record of
+// the job — only the checkpoint file carries the history, exactly the
+// state a kill -9 leaves behind. The resumed result must render
+// byte-identically to an uninterrupted run, and at least one kill point
+// must demonstrably restore partitions rather than re-mine from scratch.
+func TestKillRestartResubmitByteIdentical(t *testing.T) {
+	db := resumeDB()
+	const minSup = 2
+	req := reqFor(db, minSup)
+
+	// Reference: a straight engine run.
+	ref, err := (&core.Miner{Opts: core.Options{BiLevel: true, Levels: 2, Workers: 2}}).Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, ref)
+	if ref.Len() == 0 {
+		t.Fatal("degenerate reference: no patterns mined")
+	}
+
+	totalRestored := 0
+	// Kill points span the run's life: 1 cancels before any first-level
+	// partition completes (the checkpoint is empty but the restart must
+	// still converge), 50 and 100 leave a genuine partial checkpoint,
+	// 150 may race the natural end of the run (~200 partition entries).
+	for _, n := range []int{1, 50, 100, 150} {
+		dir := t.TempDir()
+
+		// "Process 1": the job is cut down at the n-th partition boundary.
+		inj := faultinject.New(int64(n)).
+			Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: n})
+		m1 := NewManager(Config{Workers: 1, CheckpointDir: dir, Faults: inj})
+		j1, err := m1.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := waitTerminal(t, j1)
+		drain(t, m1)
+		if inj.Fired(faultinject.CtxCancel) == 0 {
+			// The run outpaced the injector and finished — valid, but no
+			// restart to exercise at this kill point.
+			if st.State != StateDone {
+				t.Fatalf("n=%d: uninterrupted job = %+v, want done", n, st)
+			}
+			continue
+		}
+		if st.State != StateCanceled || !errors.Is(st.Err, context.Canceled) {
+			t.Fatalf("n=%d: interrupted job = %+v, want canceled", n, st)
+		}
+		ckpt := filepath.Join(dir, j1.ID()+".ckpt")
+		f, err := checkpoint.ReadFile(ckpt)
+		if err != nil {
+			t.Fatalf("n=%d: interrupted job left no readable checkpoint: %v", n, err)
+		}
+
+		// "Process 2": a fresh manager, same directory, identical request.
+		m2 := NewManager(Config{Workers: 1, CheckpointDir: dir})
+		j2, err := m2.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2 := waitTerminal(t, j2)
+		if st2.State != StateDone {
+			t.Fatalf("n=%d: resumed job = %+v, want done", n, st2)
+		}
+		if st2.Resumed != len(f.Partitions) {
+			t.Errorf("n=%d: restored %d partitions, checkpoint held %d", n, st2.Resumed, len(f.Partitions))
+		}
+		totalRestored += st2.Resumed
+		if j2.ID() != j1.ID() {
+			t.Fatalf("n=%d: identical request changed identity across restart: %s vs %s", n, j1.ID(), j2.ID())
+		}
+		res, ok := j2.Result()
+		if !ok {
+			t.Fatalf("n=%d: done job has no result", n)
+		}
+		if got := render(t, res); got != want {
+			t.Errorf("n=%d: resumed result diverges from straight run:\n%s", n, ref.Diff(res))
+		}
+		// Success retires the checkpoint.
+		if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("n=%d: completed job left its checkpoint behind (err=%v)", n, err)
+		}
+		drain(t, m2)
+	}
+	if totalRestored == 0 {
+		t.Error("no kill point restored any partitions: resume path never exercised")
+	}
+}
+
+// TestResubmitSameManagerResumes covers in-process re-admission: the
+// first incarnation is interrupted, the resubmission (same manager)
+// resumes from its checkpoint and completes byte-identically.
+func TestResubmitSameManagerResumes(t *testing.T) {
+	db := resumeDB()
+	const minSup = 2
+	req := reqFor(db, minSup)
+
+	ref, err := (&core.Miner{Opts: core.Options{BiLevel: true, Levels: 2, Workers: 2}}).Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(t, ref)
+
+	dir := t.TempDir()
+	inj := faultinject.New(60).Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: 60})
+	m := NewManager(Config{Workers: 1, CheckpointDir: dir, Faults: inj})
+	defer drain(t, m)
+
+	j1, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j1); st.State != StateCanceled {
+		t.Fatalf("interrupted job = %+v, want canceled", st)
+	}
+
+	// The injector is one-shot (AfterN already consumed), so the
+	// resubmission runs to completion — seeded from the checkpoint.
+	j2, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 == j1 {
+		t.Fatal("terminal job was not re-admitted as a fresh incarnation")
+	}
+	st2 := waitTerminal(t, j2)
+	if st2.State != StateDone || st2.Resumed == 0 {
+		t.Fatalf("resubmitted job = %+v, want done with restored partitions", st2)
+	}
+	res, _ := j2.Result()
+	if got := render(t, res); got != want {
+		t.Errorf("resumed result diverges:\n%s", ref.Diff(res))
+	}
+	if m.Metrics().Resumed != 1 {
+		t.Errorf("Resumed metric = %d, want 1 (checkpoint not consulted)", m.Metrics().Resumed)
+	}
+}
+
+// TestPeriodicSnapshotsSurviveHardKill simulates the kill -9 window: the
+// job hangs after making progress, never reaching the exit-path
+// checkpoint write, so only the periodic snapshot ticker persists its
+// work. The snapshot bytes captured BEFORE teardown are restored over
+// the checkpoint file (discarding anything the teardown path may have
+// written), and a fresh manager must resume from them.
+func TestPeriodicSnapshotsSurviveHardKill(t *testing.T) {
+	db := resumeDB()
+	const minSup = 2
+	req := reqFor(db, minSup)
+	dir := t.TempDir()
+
+	m1 := NewManager(Config{
+		Workers:            1,
+		CheckpointDir:      dir,
+		CheckpointInterval: 5 * time.Millisecond,
+	})
+	// Mine for real into the job's checkpointer, then hang forever —
+	// only the periodic snapshot goroutine can persist the progress.
+	m1.mine = func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error) {
+		opts := j.req.Opts
+		opts.Checkpoint = cp
+		if _, err := (&core.Miner{Opts: opts}).MineContext(ctx, j.req.DB, j.req.MinSup); err != nil {
+			return nil, err
+		}
+		<-ctx.Done() // "hang" until the process is killed
+		return nil, ctx.Err()
+	}
+	j1, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(dir, j1.ID()+".ckpt")
+	// Wait for a periodic snapshot with content to land on disk, and
+	// capture its bytes: this is the durable state at "kill time".
+	var snapshot []byte
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if f, err := checkpoint.ReadFile(ckpt); err == nil && len(f.Partitions) > 0 {
+			if snapshot, err = os.ReadFile(ckpt); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic snapshot appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Tear the manager down forcibly and reinstate the pre-kill bytes:
+	// whatever the teardown path wrote afterwards did not survive the
+	// simulated kill.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_ = m1.Drain(ctx)
+	if err := os.WriteFile(ckpt, snapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewManager(Config{Workers: 1, CheckpointDir: dir})
+	defer drain(t, m2)
+	j2, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j2)
+	if st.State != StateDone {
+		t.Fatalf("post-kill job = %+v, want done", st)
+	}
+	if st.Resumed == 0 {
+		t.Fatal("post-kill job restored no partitions: periodic snapshot ignored")
+	}
+	ref, err := (&core.Miner{Opts: core.Options{BiLevel: true, Levels: 2, Workers: 2}}).Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := j2.Result()
+	if got, want := render(t, res), render(t, ref); got != want {
+		t.Errorf("post-kill result diverges:\n%s", ref.Diff(res))
+	}
+}
