@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench check difftest faultinject fuzz soak
+.PHONY: all build vet test race bench check difftest faultinject fuzz soak obs
 
 all: check
 
@@ -52,6 +52,18 @@ faultinject:
 # binaries and mines a deliberately slow job.
 soak:
 	DISC_SOAK=1 $(GO) test -race -run TestServiceSoak -count=1 -v -timeout 600s ./cmd/discserve
+
+# The observability suite under the race detector: the registry/tracer
+# package itself (including the 16-goroutine hammer and the exposition
+# golden file), the engine's registry-vs-Stats read-through parity and
+# progress-stream closing contract, the substrate recorders, and the
+# metrics/trace surfaces of both binaries.
+obs:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -run 'TestObs|TestProgressFinal' -count=1 ./internal/core
+	$(GO) test -race -run 'TestRecorder' -count=1 ./internal/avl ./internal/counting
+	$(GO) test -race -run 'TestMetricsEndpoint|TestHealthzKeepsOldKeys' -count=1 ./cmd/discserve
+	$(GO) test -race -run 'TestMetricsOut|TestTraceEmits' -count=1 ./cmd/discmine
 
 # Coverage-guided fuzzing smoke pass: Go allows one -fuzz pattern per
 # invocation, so each target gets its own run.

@@ -28,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
 
 	"github.com/disc-mining/disc"
 	"github.com/disc-mining/disc/internal/cliutil"
+	"github.com/disc-mining/disc/internal/obs"
 )
 
 // exitError carries a specific process exit code out of run.
@@ -85,12 +87,33 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "write patterns to this file instead of stdout")
 	ckptPath := fs.String("checkpoint", "", "write a resumable checkpoint here when the run is interrupted (disc-all variants)")
 	resume := fs.Bool("resume", false, "restore completed partitions from the -checkpoint file, if it exists")
+	metricsOut := fs.String("metrics-out", "", "dump the run's metrics in Prometheus text format to this file on exit (\"-\" = stdout)")
+	trace := fs.Bool("trace", false, "stream mining-stage span records as JSON lines to stderr")
 	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+
+	// Observability: one observer for the whole invocation. The metrics
+	// dump is deferred so an interrupted run (exit code 2) still reports
+	// what it did — the batch counterpart of scraping discserve.
+	var observer *obs.Observer
+	if *metricsOut != "" || *trace {
+		observer = obs.NewObserver()
+		obs.RegisterBuildInfo(observer.Registry)
+		if *trace {
+			observer.Tracer.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		}
+		if *metricsOut != "" {
+			defer func() {
+				if err := dumpMetrics(observer, *metricsOut, stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "discmine: writing metrics:", err)
+				}
+			}()
+		}
 	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -111,6 +134,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	algorithm := disc.Algorithm(*algo)
 	opts := disc.DefaultOptions()
 	opts.Workers = *workers
+	opts.Obs = observer
 	shared.Apply(&opts)
 
 	// Checkpoint/resume wiring. The fingerprint binds the checkpoint file
@@ -158,7 +182,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				case <-tick.C:
 					// Snapshot whatever has completed; failures are retried
 					// at the next tick and on interruption.
-					_ = cp.File(string(algorithm), delta, fp).WriteFile(*ckptPath)
+					_, _ = cp.File(string(algorithm), delta, fp).WriteFile(*ckptPath)
 				case <-done:
 					return
 				}
@@ -171,7 +195,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		if cp != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			f := cp.File(string(algorithm), delta, fp)
-			if werr := f.WriteFile(*ckptPath); werr != nil {
+			if _, werr := f.WriteFile(*ckptPath); werr != nil {
 				return fmt.Errorf("interrupted, and writing the checkpoint failed: %v (run error: %w)", werr, err)
 			}
 			fmt.Fprintf(stdout, "interrupted: %d completed partitions checkpointed to %s\n", len(f.Partitions), *ckptPath)
@@ -232,4 +256,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		printed++
 	}
 	return nil
+}
+
+// dumpMetrics renders the observer's registry in the Prometheus text
+// exposition format to path ("-" selects stdout).
+func dumpMetrics(o *obs.Observer, path string, stdout io.Writer) error {
+	if path == "-" {
+		return o.Registry.WriteText(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.Registry.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -223,7 +223,7 @@ func TestResumeRestoresPartitions(t *testing.T) {
 	}
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
 	fp := disc.CheckpointFingerprint(string(disc.DISCAll), disc.DefaultOptions(), 2, db)
-	if err := cp.File(string(disc.DISCAll), 2, fp).WriteFile(ckpt); err != nil {
+	if _, err := cp.File(string(disc.DISCAll), 2, fp).WriteFile(ckpt); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMetricsOutFile: -metrics-out dumps the run's registry in the
+// Prometheus text format, carrying the same engine families discserve
+// serves at /metrics, plus build identity.
+func TestMetricsOutFile(t *testing.T) {
+	path := writeDB(t)
+	mpath := filepath.Join(t.TempDir(), "metrics.prom")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-metrics-out", mpath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		"# TYPE disc_mine_runs_total counter",
+		"disc_mine_runs_total 1",
+		"disc_rounds_total",
+		"disc_skips_total",
+		"disc_frequent_hits_total",
+		`disc_partitions_total{level="0"}`,
+		`disc_stage_duration_seconds_count{stage="mine"} 1`,
+		"disc_build_info{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics dump lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMetricsOutStdout: "-" selects stdout, after the pattern output.
+func TestMetricsOutStdout(t *testing.T) {
+	path := writeDB(t)
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-in", path, "-minsup", "2", "-metrics-out", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "56 frequent sequences") {
+		t.Fatalf("mining output missing:\n%s", s)
+	}
+	if !strings.Contains(s, "disc_mine_runs_total 1") {
+		t.Fatalf("metrics missing from stdout:\n%s", s)
+	}
+}
+
+// TestTraceEmitsSpanRecords: -trace streams one JSON span record per
+// traced stage to stderr, each with the stage name and a duration.
+func TestTraceEmitsSpanRecords(t *testing.T) {
+	path := writeDB(t)
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	var out bytes.Buffer
+	runErr := run(context.Background(), []string{"-in", path, "-minsup", "2", "-trace"}, &out)
+	os.Stderr = oldStderr
+	w.Close()
+	lines, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	stages := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(lines))
+	for sc.Scan() {
+		var rec struct {
+			Msg   string  `json:"msg"`
+			Stage string  `json:"stage"`
+			Dur   float64 `json:"dur"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("non-JSON trace line %q: %v", sc.Text(), err)
+		}
+		if rec.Msg != "span" || rec.Stage == "" {
+			t.Fatalf("unexpected trace record %q", sc.Text())
+		}
+		stages[rec.Stage] = true
+	}
+	if !stages["mine"] || !stages["partition_l0"] {
+		t.Fatalf("traced stages %v, want at least mine and partition_l0", stages)
+	}
+}

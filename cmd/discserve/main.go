@@ -17,6 +17,12 @@
 //	DELETE /jobs/{id}          cancel (progress is checkpointed)
 //	GET    /healthz            liveness + metrics
 //	GET    /readyz             admission readiness (503 while draining)
+//	GET    /metrics            Prometheus text exposition
+//
+// With -admin-addr, a second listener serves /metrics (and, with
+// -pprof, the /debug/pprof/* profiling surface) away from the job API,
+// so scraping and profiling are never exposed on the tenant-facing
+// port.
 //
 // Overload answers 429 with Retry-After; oversized inputs answer 413;
 // SIGTERM stops admission, finishes (or checkpoints) the backlog within
@@ -31,6 +37,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +47,7 @@ import (
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/faultinject"
 	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/obs"
 
 	// Imported for their miner registrations: the service accepts every
 	// algorithm name the registry knows.
@@ -50,6 +58,8 @@ import (
 // parse a flag vector without starting a server.
 type serveConfig struct {
 	addr         string
+	adminAddr    string
+	pprof        bool
 	jobs         jobs.Config
 	limits       data.Limits
 	maxBodyBytes int64
@@ -64,6 +74,8 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs := flag.NewFlagSet("discserve", flag.ContinueOnError)
 	var cfg serveConfig
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8375", "listen address (host:port; port 0 picks a free port)")
+	fs.StringVar(&cfg.adminAddr, "admin-addr", "", "serve /metrics (and -pprof) on this separate address (empty = disabled)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose /debug/pprof/* on the admin listener (requires -admin-addr)")
 	fs.IntVar(&cfg.jobs.Workers, "jobs", 2, "jobs mined concurrently")
 	fs.IntVar(&cfg.jobs.QueueDepth, "queue", 16, "admitted-but-not-running backlog bound; beyond it submissions are shed with 429")
 	fs.IntVar(&cfg.workers, "workers", 0, "default per-job partition worker pool size (0 = one per CPU)")
@@ -112,6 +124,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
 	cfg.jobs.Logf = logf
+	if cfg.pprof && cfg.adminAddr == "" {
+		return fmt.Errorf("-pprof requires -admin-addr")
+	}
+
+	// One observer for the whole process: the manager counts into it,
+	// both listeners render it, and expvar mirrors it for debug tooling.
+	observer := obs.NewObserver()
+	obs.RegisterBuildInfo(observer.Registry)
+	observer.Registry.MirrorExpvar("disc")
+	cfg.jobs.Obs = observer
 
 	mgr := jobs.NewManager(cfg.jobs)
 	srv := newServer(mgr, cfg.limits, cfg.maxBodyBytes, cfg.workers, logf)
@@ -127,6 +149,30 @@ func run(args []string, stdout io.Writer) error {
 	hs := &http.Server{Handler: srv.routes()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	var admin *http.Server
+	if cfg.adminAddr != "" {
+		adminLn, err := net.Listen("tcp", cfg.adminAddr)
+		if err != nil {
+			return err
+		}
+		amux := http.NewServeMux()
+		amux.Handle("GET /metrics", obs.Handler(observer.Registry))
+		if cfg.pprof {
+			amux.HandleFunc("/debug/pprof/", pprof.Index)
+			amux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			amux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		fmt.Fprintf(stdout, "discserve: admin listening on %s\n", adminLn.Addr())
+		admin = &http.Server{Handler: amux}
+		go func() {
+			if err := admin.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logf("discserve: admin: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -150,6 +196,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shCancel()
+	if admin != nil {
+		if err := admin.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logf("discserve: admin shutdown: %v", err)
+		}
+	}
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

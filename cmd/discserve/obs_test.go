@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/jobs"
+)
+
+// TestMetricsEndpoint: after one mined job, GET /metrics serves the
+// Prometheus text exposition with every required family — the manager's
+// job instruments and the engine families flushed by the run. Families
+// with no samples yet are still present at zero (eager registration),
+// so dashboards can be built against a fresh server.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := testServer(t, jobs.Config{Workers: 1, QueueDepth: 4, CheckpointDir: t.TempDir()}, data.Limits{}, 0)
+	if resp, body := post(t, ts, "/jobs?minsup=2&wait=1", table1Body(t)); resp.StatusCode != 200 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`disc_jobs_submitted_total 1`,
+		`disc_jobs_finished_total{state="done"} 1`,
+		`disc_jobs_queue_depth 0`,
+		`disc_jobs_by_state{state="done"} 1`,
+		`disc_job_duration_seconds_count{state="done"} 1`,
+		`disc_mine_runs_total 1`,
+		`disc_partitions_total{level="0"}`,
+		`disc_rounds_total`,
+		`disc_skips_total`,
+		`disc_frequent_hits_total`,
+		`disc_stage_duration_seconds_count{stage="mine"} 1`,
+		`# TYPE disc_checkpoint_write_seconds histogram`,
+		`# HELP disc_jobs_shed_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
+// TestHealthzKeepsOldKeysAndAddsObservability: /healthz keeps its
+// original ready/draining/metrics contract and adds queue_depth,
+// jobs_by_state and build info sourced from the same registry /metrics
+// renders.
+func TestHealthzKeepsOldKeysAndAddsObservability(t *testing.T) {
+	ts, _ := testServer(t, jobs.Config{Workers: 1, QueueDepth: 4}, data.Limits{}, 0)
+	if resp, body := post(t, ts, "/jobs?minsup=2&wait=1", table1Body(t)); resp.StatusCode != 200 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+	var h struct {
+		Ready       *bool          `json:"ready"`
+		Draining    *bool          `json:"draining"`
+		Metrics     *jobs.Metrics  `json:"metrics"`
+		QueueDepth  *int           `json:"queue_depth"`
+		JobsByState map[string]int `json:"jobs_by_state"`
+		Build       struct {
+			Version string `json:"version"`
+			Go      string `json:"go"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("bad healthz JSON %q: %v", body, err)
+	}
+	switch {
+	case h.Ready == nil || h.Draining == nil || h.Metrics == nil:
+		t.Fatalf("original keys missing from %s", body)
+	case h.QueueDepth == nil:
+		t.Fatalf("queue_depth missing from %s", body)
+	case h.JobsByState["done"] != 1:
+		t.Fatalf("jobs_by_state[done] = %d, want 1 (%s)", h.JobsByState["done"], body)
+	case !strings.HasPrefix(h.Build.Go, "go"):
+		t.Fatalf("build.go = %q, want a Go version (%s)", h.Build.Go, body)
+	}
+	if h.Metrics.Done != 1 || h.Metrics.Submitted != 1 {
+		t.Fatalf("metrics snapshot %+v, want one submitted+done job", h.Metrics)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/jobs"
 	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
 )
 
 // server is the HTTP face of a jobs.Manager. It owns nothing but the
@@ -47,6 +48,7 @@ func newServer(mgr *jobs.Manager, limits data.Limits, maxBody int64, workers int
 //	DELETE /jobs/{id}        cancel
 //	GET    /healthz          liveness + metrics (always 200 while serving)
 //	GET    /readyz           admission readiness (503 while draining)
+//	GET    /metrics          Prometheus text exposition of the shared registry
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -55,6 +57,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", obs.Handler(s.mgr.Registry()))
 	return mux
 }
 
@@ -316,12 +319,34 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is liveness plus the metrics snapshot: it answers 200
 // for as long as the process can serve at all — including during drain.
+// Every number is sourced from the manager's registry instruments (the
+// same ones /metrics renders); ready/draining/metrics are the original
+// keys, kept for compatibility.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	byState := s.mgr.JobsByState()
+	states := make(map[string]int, len(byState))
+	for st, n := range byState {
+		states[string(st)] = n
+	}
+	version, goVersion := obs.BuildVersion()
 	writeJSON(w, http.StatusOK, struct {
-		Ready    bool         `json:"ready"`
-		Draining bool         `json:"draining"`
-		Metrics  jobs.Metrics `json:"metrics"`
-	}{s.ready.Load(), s.mgr.Draining(), s.mgr.Metrics()})
+		Ready       bool           `json:"ready"`
+		Draining    bool           `json:"draining"`
+		Metrics     jobs.Metrics   `json:"metrics"`
+		QueueDepth  int            `json:"queue_depth"`
+		JobsByState map[string]int `json:"jobs_by_state"`
+		Build       struct {
+			Version string `json:"version"`
+			Go      string `json:"go"`
+		} `json:"build"`
+	}{
+		Ready: s.ready.Load(), Draining: s.mgr.Draining(), Metrics: s.mgr.Metrics(),
+		QueueDepth: s.mgr.QueueDepth(), JobsByState: states,
+		Build: struct {
+			Version string `json:"version"`
+			Go      string `json:"go"`
+		}{version, goVersion},
+	})
 }
 
 // handleReadyz is admission readiness: a load balancer stops routing

@@ -313,4 +313,3 @@ func waitState(t *testing.T, base, id, want string, timeout time.Duration) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
-

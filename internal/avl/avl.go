@@ -10,11 +10,29 @@
 // tables.
 package avl
 
+import "sync/atomic"
+
+// Recorder accumulates structural counters for one or more trees. It is
+// deliberately not a registry instrument: hot insert/delete paths count
+// into local atomics and the engine folds the totals into its metrics
+// once per run. A nil *Recorder is valid and costs one pointer check.
+type Recorder struct {
+	// Rotations counts single AVL rotations (a double rotation is two).
+	Rotations atomic.Int64
+}
+
+func (r *Recorder) rotation() {
+	if r != nil {
+		r.Rotations.Add(1)
+	}
+}
+
 // Tree is a locative AVL tree mapping keys to buckets of values. The zero
 // value is not usable; construct with New.
 type Tree[K, V any] struct {
 	cmp  func(a, b K) int
 	root *node[K, V]
+	rec  *Recorder
 }
 
 type node[K, V any] struct {
@@ -29,6 +47,13 @@ type node[K, V any] struct {
 // positive: a>b).
 func New[K, V any](cmp func(a, b K) int) *Tree[K, V] {
 	return &Tree[K, V]{cmp: cmp}
+}
+
+// Observe attaches a rotation recorder (nil detaches) and returns the
+// tree for chaining at construction sites.
+func (t *Tree[K, V]) Observe(r *Recorder) *Tree[K, V] {
+	t.rec = r
+	return t
 }
 
 // Size returns the total number of values stored (with multiplicity).
@@ -61,7 +86,7 @@ func (t *Tree[K, V]) insert(n *node[K, V], k K, v V) *node[K, V] {
 		n.size++
 		return n
 	}
-	return rebalance(n)
+	return t.rebalance(n)
 }
 
 // Min returns the smallest key and its bucket. ok is false on an empty
@@ -83,17 +108,17 @@ func (t *Tree[K, V]) PopMin() (k K, vals []V, ok bool) {
 		return k, nil, false
 	}
 	var out *node[K, V]
-	t.root, out = popMin(t.root)
+	t.root, out = t.popMin(t.root)
 	return out.key, out.vals, true
 }
 
-func popMin[K, V any](n *node[K, V]) (root, removed *node[K, V]) {
+func (t *Tree[K, V]) popMin(n *node[K, V]) (root, removed *node[K, V]) {
 	if n.left == nil {
 		return n.right, n
 	}
 	var out *node[K, V]
-	n.left, out = popMin(n.left)
-	return rebalance(n), out
+	n.left, out = t.popMin(n.left)
+	return t.rebalance(n), out
 }
 
 // Select returns the key at 1-based rank r, counting values with
@@ -178,14 +203,14 @@ func (t *Tree[K, V]) delete(n *node[K, V], k K) (*node[K, V], bool) {
 			return n.left, true
 		}
 		var succ *node[K, V]
-		n.right, succ = popMin(n.right)
+		n.right, succ = t.popMin(n.right)
 		succ.left, succ.right = n.left, n.right
 		n = succ
 	}
 	if !deleted {
 		return n, false
 	}
-	return rebalance(n), true
+	return t.rebalance(n), true
 }
 
 // Ascend visits buckets in ascending key order until fn returns false.
@@ -222,24 +247,25 @@ func (n *node[K, V]) update() {
 	n.size = len(n.vals) + n.left.sizeOf() + n.right.sizeOf()
 }
 
-func rebalance[K, V any](n *node[K, V]) *node[K, V] {
+func (t *Tree[K, V]) rebalance(n *node[K, V]) *node[K, V] {
 	n.update()
 	switch bf := n.left.heightOf() - n.right.heightOf(); {
 	case bf > 1:
 		if n.left.right.heightOf() > n.left.left.heightOf() {
-			n.left = rotateLeft(n.left)
+			n.left = t.rotateLeft(n.left)
 		}
-		return rotateRight(n)
+		return t.rotateRight(n)
 	case bf < -1:
 		if n.right.left.heightOf() > n.right.right.heightOf() {
-			n.right = rotateRight(n.right)
+			n.right = t.rotateRight(n.right)
 		}
-		return rotateLeft(n)
+		return t.rotateLeft(n)
 	}
 	return n
 }
 
-func rotateLeft[K, V any](n *node[K, V]) *node[K, V] {
+func (t *Tree[K, V]) rotateLeft(n *node[K, V]) *node[K, V] {
+	t.rec.rotation()
 	r := n.right
 	n.right = r.left
 	r.left = n
@@ -248,7 +274,8 @@ func rotateLeft[K, V any](n *node[K, V]) *node[K, V] {
 	return r
 }
 
-func rotateRight[K, V any](n *node[K, V]) *node[K, V] {
+func (t *Tree[K, V]) rotateRight(n *node[K, V]) *node[K, V] {
+	t.rec.rotation()
 	l := n.left
 	n.left = l.right
 	l.right = n

@@ -16,7 +16,7 @@ func TestWriteFileSurvivesTornTemp(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.ckpt")
 	f := sample()
-	if err := f.WriteFile(path); err != nil {
+	if _, err := f.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 
@@ -43,7 +43,7 @@ func TestWriteFileSurvivesTornTemp(t *testing.T) {
 	// The next successful write replaces both the leftover temp and the
 	// final file, and retires the temp name.
 	f.MinSup = 9
-	if err := f.WriteFile(path); err != nil {
+	if _, err := f.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 	if back, err = ReadFile(path); err != nil || back.MinSup != 9 {
@@ -71,12 +71,12 @@ func TestTruncatedFileRejected(t *testing.T) {
 func TestWriteFileFailurePaths(t *testing.T) {
 	dir := t.TempDir()
 	// Creating the temp file in a missing directory fails outright.
-	if err := sample().WriteFile(filepath.Join(dir, "missing", "run.ckpt")); err == nil {
+	if _, err := sample().WriteFile(filepath.Join(dir, "missing", "run.ckpt")); err == nil {
 		t.Fatal("WriteFile into a missing directory should fail")
 	}
 	// A successful write leaves exactly the checkpoint behind.
 	path := filepath.Join(dir, "run.ckpt")
-	if err := sample().WriteFile(path); err != nil {
+	if _, err := sample().WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)

@@ -178,16 +178,18 @@ func (f *File) payload() string {
 }
 
 // Write renders the checkpoint to w: header line with version, CRC32 and
-// payload length, then the payload.
-func (f *File) Write(w io.Writer) error {
+// payload length, then the payload. It returns the number of bytes
+// written so callers can observe snapshot sizes.
+func (f *File) Write(w io.Writer) (int, error) {
 	payload := f.payload()
 	header := fmt.Sprintf("DISCCKPT v%d crc32=%08x bytes=%d\n",
 		Version, crc32.ChecksumIEEE([]byte(payload)), len(payload))
-	if _, err := io.WriteString(w, header); err != nil {
-		return err
+	n, err := io.WriteString(w, header)
+	if err != nil {
+		return n, err
 	}
-	_, err := io.WriteString(w, payload)
-	return err
+	m, err := io.WriteString(w, payload)
+	return n + m, err
 }
 
 // WriteFile writes the checkpoint atomically and durably: to path+".tmp"
@@ -195,17 +197,19 @@ func (f *File) Write(w io.Writer) error {
 // fsynced after — so a crash (or kill -9) at any point leaves either the
 // previous checkpoint or the new one under the real name, never a torn
 // file. A leftover .tmp from a crash mid-write is invisible to readers
-// and overwritten by the next attempt.
-func (f *File) WriteFile(path string) error {
+// and overwritten by the next attempt. Returns the snapshot size in
+// bytes.
+func (f *File) WriteFile(path string) (int, error) {
 	tmp := path + ".tmp"
 	out, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if err := f.Write(out); err != nil {
+	n, err := f.Write(out)
+	if err != nil {
 		out.Close()
 		os.Remove(tmp)
-		return err
+		return n, err
 	}
 	// Flush the content to stable storage before the rename: a rename
 	// can be durable while the data it points at is not, which would
@@ -214,19 +218,19 @@ func (f *File) WriteFile(path string) error {
 	if err := out.Sync(); err != nil {
 		out.Close()
 		os.Remove(tmp)
-		return err
+		return n, err
 	}
 	if err := out.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return n, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return n, err
 	}
 	// Persist the rename itself: the directory entry is metadata of the
 	// parent directory, not of the file.
-	return syncDir(filepath.Dir(path))
+	return n, syncDir(filepath.Dir(path))
 }
 
 // syncDir fsyncs a directory. Filesystems that cannot sync a directory

@@ -46,7 +46,7 @@ func Stats2() PartitionStats {
 func TestRoundTrip(t *testing.T) {
 	f := sample()
 	var b strings.Builder
-	if err := f.Write(&b); err != nil {
+	if _, err := f.Write(&b); err != nil {
 		t.Fatal(err)
 	}
 	back, err := Read(strings.NewReader(b.String()))
@@ -89,7 +89,7 @@ func TestRoundTrip(t *testing.T) {
 func TestFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	f := sample()
-	if err := f.WriteFile(path); err != nil {
+	if _, err := f.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
 	back, err := ReadFile(path)
@@ -104,7 +104,7 @@ func TestFileRoundTrip(t *testing.T) {
 func encode(t *testing.T, f *File) string {
 	t.Helper()
 	var b strings.Builder
-	if err := f.Write(&b); err != nil {
+	if _, err := f.Write(&b); err != nil {
 		t.Fatal(err)
 	}
 	return b.String()

@@ -35,6 +35,7 @@ import (
 	"github.com/disc-mining/disc/internal/faultinject"
 	"github.com/disc-mining/disc/internal/kmin"
 	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
 	"github.com/disc-mining/disc/internal/seq"
 )
 
@@ -103,6 +104,14 @@ type Options struct {
 	// resilience tests drive every containment and recovery path
 	// through it.
 	Faults *faultinject.Injector
+
+	// Obs, when non-nil, attaches the observability layer: the run opens
+	// tracing spans around the mine and its shallow partitions, counts
+	// AVL rotations and counting-array dedup hits through nil-safe
+	// recorders, and folds the merged Stats into the observer's registry
+	// when it finishes — /metrics and LastStats read the same numbers.
+	// It does not influence the mined result or the checkpoint identity.
+	Obs *obs.Observer
 }
 
 // WithExec copies the execution-layer settings of x into the options.
@@ -287,13 +296,16 @@ type engine struct {
 	maxItem seq.Item
 	arrays  []*counting.Array
 	stats   Stats
-	ctx     context.Context      // nil means "never cancelled" (direct engine use in tests)
-	sched   *scheduler           // nil for a serial run
-	pool    *arrayPool           // shared counting-array scratch pool of a parallel run
-	prog    *progressTracker     // nil unless Options.Progress is set
-	budget  *budgetState         // nil unless a resource budget is set
-	ckpt    *Checkpointer        // nil unless checkpoint/resume is enabled
+	ctx     context.Context       // nil means "never cancelled" (direct engine use in tests)
+	sched   *scheduler            // nil for a serial run
+	pool    *arrayPool            // shared counting-array scratch pool of a parallel run
+	prog    *progressTracker      // nil unless Options.Progress is set
+	budget  *budgetState          // nil unless a resource budget is set
+	ckpt    *Checkpointer         // nil unless checkpoint/resume is enabled
 	faults  *faultinject.Injector // nil in production runs
+	obs     *obs.Observer         // nil unless Options.Obs is set
+	avlRec  *avl.Recorder         // run-wide rotation recorder; nil without obs
+	cntRec  *counting.Recorder    // run-wide dedup recorder; nil without obs
 }
 
 func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mining.Result, error) {
@@ -317,6 +329,7 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 	e.budget = newBudgetState(e.opts)
 	e.ckpt = e.opts.Checkpoint
 	e.faults = e.opts.Faults
+	e.initObs()
 	if workers > 1 {
 		e.sched = newScheduler(workers)
 		e.sched.degraded = e.budget
@@ -330,10 +343,17 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 	// is contained here; worker goroutines are contained at their spawn
 	// sites in parallel.go. Either way a panic surfaces as an
 	// *mining.InvariantError from Mine instead of crashing the process.
+	sp := e.obs.Span("mine")
 	err := mining.Contain("<root>", func() error {
 		return e.processPartition(seq.Pattern{}, members, 0)
 	})
+	sp.End()
+	// The run is over: close the progress stream (so consumers always see
+	// a final Done == Total event, even on error or cancellation) and fold
+	// the merged statistics into the observer's registry.
+	e.prog.finish()
 	e.stats.Degraded = e.budget.isDegraded()
+	e.flushObs(err)
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +377,9 @@ func (e *engine) child() *engine {
 		budget:  e.budget,
 		ckpt:    e.ckpt,
 		faults:  e.faults,
+		obs:     e.obs,
+		avlRec:  e.avlRec,
+		cntRec:  e.cntRec,
 	}
 }
 
@@ -403,6 +426,9 @@ func (e *engine) array(depth int) *counting.Array {
 		} else {
 			a = counting.New(e.maxItem)
 		}
+		// Pooled arrays migrate between workers; the recorder is run-wide,
+		// so (re)attaching on every draw keeps it correct either way.
+		a.Observe(e.cntRec)
 		e.arrays[depth] = a
 	}
 	a.Reset()
@@ -438,6 +464,8 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 	}
 	e.budget.sampleMem()
 	e.stats.partitionProcessed(level)
+	sp := e.span("partition", level)
+	defer sp.End()
 
 	// Step 1: one scan with the counting array finds the frequent
 	// extensions of key.
@@ -497,7 +525,7 @@ func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, l
 	if level == 0 && e.prog != nil {
 		e.prog.begin(len(list))
 	}
-	tree := avl.New[seq.Pattern, *member](seq.Compare)
+	tree := avl.New[seq.Pattern, *member](seq.Compare).Observe(e.avlRec)
 	for _, mb := range members {
 		if x, no, ok := minFreqExtension(mb.cs, key, freqI, freqS, 0, 0, false); ok {
 			tree.Insert(key.Extend(x, no), mb)

@@ -68,7 +68,7 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 // (k+1)-sequences with k-prefix α₁ (Figure 7), so one scan of the k-sorted
 // database serves two lengths.
 func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (listK, listK1 []seq.Pattern) {
-	tree := avl.New[seq.Pattern, discEntry](seq.Compare)
+	tree := avl.New[seq.Pattern, discEntry](seq.Compare).Observe(e.avlRec)
 	for i, mb := range members {
 		if i&cancelCheckMask == cancelCheckMask && e.interrupted() != nil {
 			return nil, nil

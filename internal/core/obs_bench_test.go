@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// benchDB builds one fixed database for the instrumentation benchmarks.
+func benchDB() mining.Database {
+	return testutil.SkewedRandomDB(rand.New(rand.NewSource(77)), 400, 14, 8, 5)
+}
+
+func mineOnce(b testing.TB, db mining.Database, o *obs.Observer) {
+	m := &Miner{Opts: Options{BiLevel: true, Levels: 2, Obs: o}}
+	if _, err := m.Mine(db, 4); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMine is the no-recorder configuration: Options.Obs is nil, so
+// every instrumentation site in the hot path reduces to a nil check.
+// This is the baseline the overhead guard holds BenchmarkMineInstrumented
+// against.
+func BenchmarkMine(b *testing.B) {
+	db := benchDB()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mineOnce(b, db, nil)
+	}
+}
+
+// BenchmarkMineInstrumented mines the same database with a full observer
+// attached: live AVL/counting recorders, partition spans, and the
+// end-of-run registry flush.
+func BenchmarkMineInstrumented(b *testing.B) {
+	db := benchDB()
+	o := obs.NewObserver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mineOnce(b, db, o)
+	}
+}
+
+// TestInstrumentationOverheadGuard is the CI benchmark guard: mining with
+// the full observer attached must stay within 2% of the no-recorder
+// baseline, which bounds the nil-check cost from above (the nil path
+// does strictly less). Each side takes the best of three measurements to
+// damp scheduler noise; opt-in via DISC_BENCH_GUARD=1 because it runs
+// real benchmarks.
+func TestInstrumentationOverheadGuard(t *testing.T) {
+	if os.Getenv("DISC_BENCH_GUARD") == "" {
+		t.Skip("set DISC_BENCH_GUARD=1 to run the instrumentation overhead guard")
+	}
+	db := benchDB()
+	o := obs.NewObserver()
+	best := func(f func(b *testing.B)) float64 {
+		min := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(f)
+			ns := float64(r.NsPerOp())
+			if min == 0 || ns < min {
+				min = ns
+			}
+		}
+		return min
+	}
+	base := best(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mineOnce(b, db, nil)
+		}
+	})
+	instr := best(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mineOnce(b, db, o)
+		}
+	})
+	overhead := instr/base - 1
+	t.Logf("baseline %.0f ns/op, instrumented %.0f ns/op, overhead %+.2f%%", base, instr, overhead*100)
+	if overhead > 0.02 {
+		t.Fatalf("instrumentation overhead %.2f%% exceeds the 2%% budget", overhead*100)
+	}
+}

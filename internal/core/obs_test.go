@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/obs"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// snapInt reads one counter out of a registry snapshot.
+func snapInt(t *testing.T, snap map[string]any, key string) int64 {
+	t.Helper()
+	v, ok := snap[key]
+	if !ok {
+		t.Fatalf("snapshot has no %q; keys: %v", key, keysOf(snap))
+	}
+	n, ok := v.(int64)
+	if !ok {
+		t.Fatalf("%q is %T, want int64", key, v)
+	}
+	return n
+}
+
+func keysOf(m map[string]any) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TestObsRegistryMatchesStats pins the read-through contract: the
+// registry counters flushed at run end are the same accumulation
+// LastStats reports — the two surfaces cannot disagree.
+func TestObsRegistryMatchesStats(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	db := testutil.SkewedRandomDB(r, 80, 12, 6, 4)
+	for _, workers := range []int{1, 4} {
+		o := obs.NewObserver()
+		m := &Miner{Opts: Options{BiLevel: true, Levels: 2, Workers: workers, Obs: o}}
+		if _, err := m.Mine(db, 3); err != nil {
+			t.Fatal(err)
+		}
+		s := m.LastStats()
+		snap := o.Registry.Snapshot()
+		for key, want := range map[string]int{
+			"disc_mine_runs_total":         1,
+			"disc_rounds_total":            s.Rounds,
+			"disc_frequent_hits_total":     s.FrequentHits,
+			"disc_skips_total":             s.Skips,
+			"disc_kms_calls_total":         s.KMSCalls,
+			"disc_ckms_calls_total":        s.CKMSCalls,
+			"disc_dropped_customers_total": s.Dropped,
+		} {
+			if got := snapInt(t, snap, key); got != int64(want) {
+				t.Errorf("workers=%d: %s = %d, registry has %d", workers, key, want, got)
+			}
+		}
+		for level, n := range s.PartitionsByLevel {
+			key := fmt.Sprintf(`disc_partitions_total{level="%d"}`, level)
+			if got := snapInt(t, snap, key); got != int64(n) {
+				t.Errorf("workers=%d: %s = %d, registry has %d", workers, key, n, got)
+			}
+		}
+		// The substrate recorders fire on real work: a database this size
+		// must rotate AVL nodes and dedup counting-array touches.
+		if snapInt(t, snap, "disc_avl_rotations_total") == 0 {
+			t.Error("disc_avl_rotations_total is zero")
+		}
+		if snapInt(t, snap, "disc_counting_dedup_hits_total") == 0 {
+			t.Error("disc_counting_dedup_hits_total is zero")
+		}
+		// Spans landed in the stage-duration histogram, including the
+		// whole-run "mine" stage and the level-0 partition stage.
+		var text strings.Builder
+		if err := o.Registry.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			`disc_stage_duration_seconds_count{stage="mine"} 1`,
+			`disc_stage_duration_seconds_count{stage="partition_l0"}`,
+		} {
+			if !strings.Contains(text.String(), want) {
+				t.Errorf("workers=%d: exposition lacks %q", workers, want)
+			}
+		}
+	}
+}
+
+// TestObsAccumulatesAcrossRuns: a shared observer (the discserve shape —
+// one registry, many jobs) sums counters across runs instead of
+// overwriting them.
+func TestObsAccumulatesAcrossRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(112))
+	db := testutil.SkewedRandomDB(r, 50, 10, 6, 4)
+	o := obs.NewObserver()
+	var rounds int
+	for i := 0; i < 3; i++ {
+		m := &Miner{Opts: Options{BiLevel: true, Levels: 2, Obs: o}}
+		if _, err := m.Mine(db, 2); err != nil {
+			t.Fatal(err)
+		}
+		rounds += m.LastStats().Rounds
+	}
+	snap := o.Registry.Snapshot()
+	if got := snapInt(t, snap, "disc_mine_runs_total"); got != 3 {
+		t.Fatalf("disc_mine_runs_total = %d, want 3", got)
+	}
+	if got := snapInt(t, snap, "disc_rounds_total"); got != int64(rounds) {
+		t.Fatalf("disc_rounds_total = %d, want %d", got, rounds)
+	}
+}

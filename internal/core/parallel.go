@@ -102,20 +102,29 @@ func (ap *arrayPool) get() *counting.Array {
 func (ap *arrayPool) put(a *counting.Array) { ap.p.Put(a) }
 
 // progressTracker serializes Options.Progress callbacks and counts
-// completed first-level partitions.
+// completed first-level partitions. Its closing contract: consumers see
+// a final Done == Total event exactly once, whether the run completes,
+// a partition errors, or the context is cancelled mid-run — so
+// "finished" is always distinguishable from "abandoned".
 type progressTracker struct {
 	mu      sync.Mutex
 	fn      mining.ProgressFunc
 	done    int
 	total   int
 	workers int
+	begun   bool
+	closed  bool
 }
 
 // begin announces the first-level partition count.
 func (p *progressTracker) begin(total int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
 	p.total = total
+	p.begun = true
 	p.fn(mining.ProgressEvent{Stage: mining.StagePartitions, Done: 0, Total: total, Workers: p.workers})
 }
 
@@ -123,8 +132,34 @@ func (p *progressTracker) begin(total int) {
 func (p *progressTracker) step() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
 	p.done++
 	p.fn(mining.ProgressEvent{Stage: mining.StagePartitions, Done: p.done, Total: p.total, Workers: p.workers})
+}
+
+// finish closes the stream when the run ends. A run that stepped through
+// every partition already emitted its Done == Total event and gets no
+// duplicate; an interrupted run (error, cancellation, or a run that died
+// before begin) gets the final event synthesized here. Idempotent; safe
+// on a nil tracker (no Progress configured). The engine calls it after
+// every worker has stopped, so no step can race in behind it.
+func (p *progressTracker) finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.begun && p.done == p.total {
+		return
+	}
+	p.done = p.total
+	p.fn(mining.ProgressEvent{Stage: mining.StagePartitions, Done: p.total, Total: p.total, Workers: p.workers})
 }
 
 // splitParallel is the scheduled counterpart of split: it computes every
@@ -228,6 +263,9 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 // order. Chunk goroutines run under mining.Contain — the findExtension
 // invariant panic comes back as an error, never as a process crash.
 func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern) ([][]*member, error) {
+	if e.obs != nil {
+		defer e.obs.Span("eager_buckets").End()
+	}
 	freqI, freqS := extensionFlags(key, list, e.maxItem)
 	assign := func(members []*member, buckets [][]*member) {
 		for _, mb := range members {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// collectProgress mines db with the given faults and returns the full
+// event stream plus the run error. The callback needs no locking: the
+// tracker serializes it (see TestProgressNeverConcurrent).
+func collectProgress(t *testing.T, opts Options, db mining.Database, minSup int) ([]mining.ProgressEvent, error) {
+	t.Helper()
+	var events []mining.ProgressEvent
+	opts.Progress = func(ev mining.ProgressEvent) { events = append(events, ev) }
+	m := &Miner{Opts: opts}
+	_, err := m.MineContext(context.Background(), db, minSup)
+	return events, err
+}
+
+// checkFinalExactlyOnce asserts the progressTracker closing contract:
+// the stream ends with Done == Total, that terminal event appears
+// exactly once, and Done never regresses.
+func checkFinalExactlyOnce(t *testing.T, events []mining.ProgressEvent) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("no progress events at all")
+	}
+	last := events[len(events)-1]
+	if last.Done != last.Total {
+		t.Fatalf("last event %d/%d, want Done == Total", last.Done, last.Total)
+	}
+	finals, prev := 0, -1
+	for i, ev := range events {
+		if ev.Done < prev {
+			t.Fatalf("event %d: Done regressed %d -> %d", i, prev, ev.Done)
+		}
+		prev = ev.Done
+		if ev.Total == last.Total && ev.Done == ev.Total && ev.Total > 0 {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("Done == Total emitted %d times, want exactly once:\n%v", finals, events)
+	}
+}
+
+// TestProgressFinalEventOnPartitionError: a run killed by a contained
+// worker panic still closes its progress stream with one final
+// Done == Total event, so consumers can always tell "finished" from
+// "abandoned".
+func TestProgressFinalEventOnPartitionError(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	db := testutil.SkewedRandomDB(r, 90, 12, 6, 4)
+	for _, workers := range []int{1, 4} {
+		inj := faultinject.New(7).Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: 2})
+		opts := Options{BiLevel: true, Levels: 2, Workers: workers, Faults: inj}
+		events, err := collectProgress(t, opts, db, 2)
+		if err == nil {
+			t.Fatalf("workers=%d: injected panic produced no error", workers)
+		}
+		checkFinalExactlyOnce(t, events)
+	}
+}
+
+// TestProgressFinalEventOnCancel: same contract under mid-run context
+// cancellation.
+func TestProgressFinalEventOnCancel(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	db := testutil.SkewedRandomDB(r, 90, 12, 6, 4)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		inj := faultinject.New(3).
+			Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: 2}).
+			OnCancel(cancel)
+		var events []mining.ProgressEvent
+		opts := Options{BiLevel: true, Levels: 2, Workers: workers, Faults: inj}
+		opts.Progress = func(ev mining.ProgressEvent) { events = append(events, ev) }
+		m := &Miner{Opts: opts}
+		_, err := m.MineContext(ctx, db, 2)
+		cancel()
+		if inj.Fired(faultinject.CtxCancel) > 0 && !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		checkFinalExactlyOnce(t, events)
+	}
+}
+
+// TestProgressFinalEventOnSuccess: a clean run's natural last step IS
+// the final event — finish() must not duplicate it.
+func TestProgressFinalEventOnSuccess(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	db := testutil.SkewedRandomDB(r, 60, 10, 6, 4)
+	for _, workers := range []int{1, 4} {
+		events, err := collectProgress(t, Options{BiLevel: true, Levels: 2, Workers: workers}, db, 2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkFinalExactlyOnce(t, events)
+	}
+}

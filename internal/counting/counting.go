@@ -10,9 +10,27 @@ package counting
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"github.com/disc-mining/disc/internal/seq"
 )
+
+// Recorder accumulates counting-array statistics. Like avl.Recorder it
+// is a local atomic sink, not a registry instrument: TouchS/TouchI are
+// the innermost loop of DISC's support counting, so the uninstrumented
+// path must stay a single pointer check. A nil *Recorder is valid.
+type Recorder struct {
+	// DedupHits counts touches suppressed by the last-customer-id check
+	// — repeated occurrences inside one customer sequence that the
+	// Figure 3 mechanism refuses to double count.
+	DedupHits atomic.Int64
+}
+
+func (r *Recorder) dedup() {
+	if r != nil {
+		r.DedupHits.Add(1)
+	}
+}
 
 // Array accumulates support counts for s-form and i-form single-item
 // extensions of a fixed prefix.
@@ -24,6 +42,14 @@ type Array struct {
 	touchedS   []seq.Item
 	touchedI   []seq.Item
 	maxItem    seq.Item
+	rec        *Recorder
+}
+
+// Observe attaches a recorder (nil detaches) and returns the array for
+// chaining. Pooled arrays keep their recorder across Reset.
+func (a *Array) Observe(r *Recorder) *Array {
+	a.rec = r
+	return a
 }
 
 // New returns an array for items in [1, maxItem].
@@ -58,7 +84,9 @@ func (a *Array) TouchS(x seq.Item, cid int32) {
 	if a.cidS[x] != cid {
 		a.cidS[x] = cid
 		a.supS[x]++
+		return
 	}
+	a.rec.dedup()
 }
 
 // TouchI records that customer cid supports the i-form extension with item
@@ -74,7 +102,9 @@ func (a *Array) TouchI(x seq.Item, cid int32) {
 	if a.cidI[x] != cid {
 		a.cidI[x] = cid
 		a.supI[x]++
+		return
 	}
+	a.rec.dedup()
 }
 
 // SupS returns the s-form support of item x.

@@ -1,0 +1,47 @@
+package counting
+
+import (
+	"testing"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// TestRecorderCountsDedupHits checks that only the last-CID-suppressed
+// touches count as dedup hits, that supports are unchanged by
+// observation, and that the nil-recorder path is safe.
+func TestRecorderCountsDedupHits(t *testing.T) {
+	var rec Recorder
+	a := New(5).Observe(&rec)
+
+	a.TouchS(3, 1) // first touch: not a dedup hit
+	a.TouchS(3, 1) // same customer again: dedup hit
+	a.TouchS(3, 1) // and again
+	a.TouchS(3, 2) // new customer: counts
+	a.TouchI(4, 1)
+	a.TouchI(4, 1) // dedup hit
+
+	if got := rec.DedupHits.Load(); got != 3 {
+		t.Errorf("DedupHits = %d, want 3", got)
+	}
+	if got := a.SupS(3); got != 2 {
+		t.Errorf("SupS(3) = %d, want 2", got)
+	}
+	if got := a.SupI(4); got != 1 {
+		t.Errorf("SupI(4) = %d, want 1", got)
+	}
+
+	// Recorder survives Reset (pooled arrays rely on this).
+	a.Reset()
+	a.TouchS(2, 7)
+	a.TouchS(2, 7)
+	if got := rec.DedupHits.Load(); got != 4 {
+		t.Errorf("DedupHits after Reset = %d, want 4", got)
+	}
+
+	plain := New(seq.Item(5))
+	plain.TouchS(1, 1)
+	plain.TouchS(1, 1) // nil recorder must not panic
+	if got := plain.SupS(1); got != 1 {
+		t.Errorf("plain SupS = %d, want 1", got)
+	}
+}

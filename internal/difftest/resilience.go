@@ -149,7 +149,7 @@ func CheckKillResume(db mining.Database, minSup int, seed int64) error {
 			// decode, seed the resumed run.
 			fp := core.CheckpointFingerprint(cfg.name, cfg.opts, minSup, db)
 			var buf bytes.Buffer
-			if err := cp.File(cfg.name, minSup, fp).Write(&buf); err != nil {
+			if _, err := cp.File(cfg.name, minSup, fp).Write(&buf); err != nil {
 				return fmt.Errorf("%s killAt=%d: checkpoint encode: %w", cfg.name, killAt, err)
 			}
 			f, err := checkpoint.Read(&buf)

@@ -91,6 +91,7 @@ func (r Request) normalize() Request {
 	r.Opts.Checkpoint = nil
 	r.Opts.Faults = nil
 	r.Opts.Progress = nil
+	r.Opts.Obs = nil
 	return r
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/faultinject"
 	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
 )
 
 // Config shapes a Manager. The zero value is usable: a queue of 16, one
@@ -55,6 +56,12 @@ type Config struct {
 	Faults *faultinject.Injector
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
+	// Obs is the observability handle shared with the serving binary.
+	// The manager's counters ARE registry instruments (Metrics reads
+	// them back), every job run hands the observer to the engine, and
+	// checkpoint writes observe their latency and size. Nil gets a
+	// private registry so the accounting is identical either way.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -74,7 +81,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Metrics counts what the manager has done since start. Queued and
-// Running are gauges; the rest are monotone counters.
+// Running are gauges; the rest are monotone counters. It is a snapshot
+// read back from the manager's registry instruments — the same numbers
+// /metrics exposes, by construction.
 type Metrics struct {
 	Submitted int // jobs admitted into the queue
 	Deduped   int // submissions attached to an existing queued/running job
@@ -100,12 +109,28 @@ type Manager struct {
 	termOrder []string        // terminal jobs in completion order (cache eviction)
 	queue     chan *Job
 	draining  bool
-	met       Metrics
 	execs     map[string]int // job id -> times actually mined
 
 	wg         sync.WaitGroup
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// The manager's accounting lives in registry instruments; Metrics()
+	// and /metrics both read them, so the two views cannot disagree.
+	// The counters are pre-created here so hot paths (Submit under
+	// m.mu) touch only atomics, never the registry lock.
+	obs       *obs.Observer
+	submitted *obs.Counter
+	deduped   *obs.Counter
+	cacheHits *obs.Counter
+	shed      *obs.Counter
+	drained   *obs.Counter
+	executed  *obs.Counter
+	resumed   *obs.Counter
+	finished  map[State]*obs.Counter
+	jobDur    map[State]*obs.Histogram
+	ckptDur   *obs.Histogram
+	ckptBytes *obs.Histogram
 
 	// mine runs one job; replaced by lifecycle tests to control timing.
 	mine func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error)
@@ -123,12 +148,72 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	m.initObs(cfg.Obs)
 	m.mine = m.defaultMine
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
 	return m
+}
+
+// initObs wires the manager's instruments. Every family is registered
+// eagerly so a scrape of a fresh server already shows them at zero.
+func (m *Manager) initObs(o *obs.Observer) {
+	if o == nil {
+		o = obs.NewObserver()
+	}
+	m.obs = o
+	r := o.Registry
+	m.submitted = r.Counter("disc_jobs_submitted_total", "Jobs admitted into the queue.")
+	m.deduped = r.Counter("disc_jobs_deduped_total", "Submissions attached to an already queued or running identical job.")
+	m.cacheHits = r.Counter("disc_jobs_cache_hits_total", "Submissions served from the completed-job cache.")
+	m.shed = r.Counter("disc_jobs_shed_total", "Submissions rejected by admission control (queue full).")
+	m.drained = r.Counter("disc_jobs_drained_total", "Submissions rejected during graceful drain.")
+	m.executed = r.Counter("disc_jobs_executed_total", "Job runs actually started (dedup keeps this at most one per admission).")
+	m.resumed = r.Counter("disc_jobs_resumed_total", "Job runs that restored completed partitions from a checkpoint.")
+	m.finished = map[State]*obs.Counter{}
+	m.jobDur = map[State]*obs.Histogram{}
+	for _, s := range []State{StateDone, StateFailed, StateCanceled} {
+		m.finished[s] = r.Counter("disc_jobs_finished_total",
+			"Jobs reaching a terminal state, by state.", obs.Label{Key: "state", Value: string(s)})
+		m.jobDur[s] = r.Histogram("disc_job_duration_seconds",
+			"End-to-end job latency (admission to terminal state), by terminal state.",
+			obs.DurationBuckets, obs.Label{Key: "state", Value: string(s)})
+	}
+	m.ckptDur = r.Histogram("disc_checkpoint_write_seconds",
+		"Latency of one atomic checkpoint snapshot write.", obs.DurationBuckets)
+	m.ckptBytes = r.Histogram("disc_checkpoint_bytes",
+		"Size of one checkpoint snapshot.", obs.SizeBuckets)
+	// Live state reads through at render time: the gauges evaluate the
+	// queue and job table when scraped, so they can never go stale.
+	r.GaugeFunc("disc_jobs_queue_depth", "Jobs waiting in the admission queue.",
+		func() float64 { return float64(m.QueueDepth()) })
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		s := s
+		r.GaugeFunc("disc_jobs_by_state", "Known jobs by lifecycle state.",
+			func() float64 { return float64(m.JobsByState()[s]) },
+			obs.Label{Key: "state", Value: string(s)})
+	}
+}
+
+// Registry exposes the registry the manager's instruments live in — the
+// one the serving binary mounts at /metrics.
+func (m *Manager) Registry() *obs.Registry { return m.obs.Registry }
+
+// QueueDepth reports the jobs admitted but not yet claimed by a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// JobsByState counts every known job (including cached terminal ones) by
+// lifecycle state.
+func (m *Manager) JobsByState() map[State]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[State]int{}
+	for _, j := range m.jobs {
+		out[j.State()]++
+	}
+	return out
 }
 
 func (m *Manager) logf(format string, args ...any) {
@@ -141,19 +226,24 @@ func (m *Manager) logf(format string, args ...any) {
 // ErrDraining.
 func (m *Manager) RetryAfter() time.Duration { return m.cfg.RetryAfter }
 
-// Metrics snapshots the manager's counters and gauges.
+// Metrics snapshots the manager's counters and gauges by reading the
+// registry instruments back.
 func (m *Manager) Metrics() Metrics {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	met := m.met
-	met.Queued = len(m.queue)
-	met.Running = 0
-	for _, j := range m.jobs {
-		if j.State() == StateRunning {
-			met.Running++
-		}
+	byState := m.JobsByState()
+	return Metrics{
+		Submitted: int(m.submitted.Value()),
+		Deduped:   int(m.deduped.Value()),
+		CacheHits: int(m.cacheHits.Value()),
+		Shed:      int(m.shed.Value()),
+		Drained:   int(m.drained.Value()),
+		Executed:  int(m.executed.Value()),
+		Done:      int(m.finished[StateDone].Value()),
+		Failed:    int(m.finished[StateFailed].Value()),
+		Canceled:  int(m.finished[StateCanceled].Value()),
+		Resumed:   int(m.resumed.Value()),
+		Queued:    m.QueueDepth(),
+		Running:   byState[StateRunning],
 	}
-	return met
 }
 
 // ExecCount reports how many times the job's mining actually ran —
@@ -184,16 +274,16 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
-		m.met.Drained++
+		m.drained.Inc()
 		return nil, ErrDraining
 	}
 	if j, ok := m.jobs[id]; ok {
 		switch j.State() {
 		case StateQueued, StateRunning:
-			m.met.Deduped++
+			m.deduped.Inc()
 			return j, nil
 		case StateDone:
-			m.met.CacheHits++
+			m.cacheHits.Inc()
 			return j, nil
 		default: // failed or canceled: re-admit (resumes from checkpoint)
 			m.evictLocked(id)
@@ -203,10 +293,10 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	select {
 	case m.queue <- j:
 		m.jobs[id] = j
-		m.met.Submitted++
+		m.submitted.Inc()
 		return j, nil
 	default:
-		m.met.Shed++
+		m.shed.Inc()
 		return nil, ErrQueueFull
 	}
 }
@@ -305,16 +395,20 @@ func (m *Manager) finishJob(j *Job, s State, res *mining.Result, err error) {
 		return
 	}
 	j.finish(s, res, err)
+	// Terminal accounting: the per-state counter and the end-to-end
+	// latency histogram (admission to terminal state).
+	st := j.State()
+	if c, ok := m.finished[st]; ok {
+		c.Inc()
+	}
+	j.mu.Lock()
+	dur := j.finished.Sub(j.created)
+	j.mu.Unlock()
+	if h, ok := m.jobDur[st]; ok && dur > 0 {
+		h.Observe(dur.Seconds())
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	switch j.State() {
-	case StateDone:
-		m.met.Done++
-	case StateFailed:
-		m.met.Failed++
-	case StateCanceled:
-		m.met.Canceled++
-	}
 	m.termOrder = append(m.termOrder, j.id)
 	for len(m.termOrder) > m.cfg.CacheJobs {
 		victim := m.termOrder[0]
@@ -371,8 +465,8 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 	defer cancel()
 
+	m.executed.Inc()
 	m.mu.Lock()
-	m.met.Executed++
 	m.execs[j.id]++
 	m.mu.Unlock()
 
@@ -422,9 +516,7 @@ func (m *Manager) checkpointFor(j *Job) (*core.Checkpointer, string) {
 		j.mu.Lock()
 		j.resumed = len(f.Partitions)
 		j.mu.Unlock()
-		m.mu.Lock()
-		m.met.Resumed++
-		m.mu.Unlock()
+		m.resumed.Inc()
 		m.logf("jobs: %s resuming from checkpoint (%d completed partitions)", j.id, len(f.Partitions))
 		return core.ResumeFrom(f), path
 	case err == nil:
@@ -464,9 +556,14 @@ func (m *Manager) writeCheckpoint(j *Job, cp *core.Checkpointer, path string) {
 	if cp == nil || path == "" {
 		return
 	}
-	if err := cp.File(j.req.Algo, j.req.MinSup, j.fp).WriteFile(path); err != nil {
+	start := time.Now()
+	n, err := cp.File(j.req.Algo, j.req.MinSup, j.fp).WriteFile(path)
+	if err != nil {
 		m.logf("jobs: %s checkpoint write failed: %v", j.id, err)
+		return
 	}
+	m.ckptDur.Observe(time.Since(start).Seconds())
+	m.ckptBytes.Observe(float64(n))
 }
 
 // minerFor builds the requested algorithm with the job's options (the
@@ -497,6 +594,7 @@ func (m *Manager) defaultMine(ctx context.Context, j *Job, cp *core.Checkpointer
 		opts.MaxMemBytes = m.cfg.MaxMemBytes
 		opts.Checkpoint = cp
 		opts.Faults = m.cfg.Faults
+		opts.Obs = m.obs
 		miner, err := minerFor(j.req.Algo, opts)
 		if err != nil {
 			return err

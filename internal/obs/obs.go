@@ -1,0 +1,437 @@
+// Package obs is the repository's observability substrate, built on the
+// standard library alone: a concurrency-safe metrics registry — counters,
+// gauges and histograms with fixed bucket schemas — that renders the
+// Prometheus text exposition format and mirrors into expvar, plus
+// lightweight span tracing (trace.go) that emits structured log/slog JSON
+// and aggregates into per-stage duration histograms.
+//
+// The design contract, shared with every instrumented layer:
+//
+//   - Instruments are get-or-create and identified by (name, label set):
+//     the same call from two goroutines returns the same instrument, so
+//     recording sites never coordinate.
+//   - Recording (Inc/Add/Set/Observe) is a handful of atomic operations,
+//     lock-free and allocation-free; the registry lock is taken only to
+//     look instruments up and to render.
+//   - Hot engine paths (internal/avl, internal/counting) do not talk to
+//     the registry at all: they count into nil-safe local recorders whose
+//     totals the engine folds into registry counters once per run, so the
+//     uninstrumented path costs one pointer check per site.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Instruments with the same name but
+// different label sets are children of one metric family and render under
+// one HELP/TYPE header.
+type Label struct {
+	Key, Value string
+}
+
+// Fixed bucket schemas. Every histogram in the repository uses one of
+// these, so dashboards can compare latencies and sizes across subsystems
+// without per-metric bucket surprises.
+var (
+	// DurationBuckets spans 100µs to 60s in seconds — partition spans,
+	// checkpoint writes and whole-job latencies all fit.
+	DurationBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+	// SizeBuckets spans 256B to 64MiB in bytes — checkpoint snapshots and
+	// result payloads.
+	SizeBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+)
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotone counter. The zero value is usable but normally
+// counters come from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programming error and are dropped to
+// keep the exposition monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with a cumulative Prometheus
+// rendering (_bucket/_sum/_count). Observations are atomic per bucket;
+// the rendered +Inf bucket and _count are derived from the same snapshot
+// of the bucket counts, so the exposition invariants hold even while
+// observations race with a scrape.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	up := append([]float64(nil), buckets...)
+	sort.Float64s(up)
+	return &Histogram{upper: up, counts: make([]atomic.Int64, len(up)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v; len(upper) = +Inf
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// child is one instrument of a family: a concrete label set plus exactly
+// one of the value holders.
+type child struct {
+	labels  []Label // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+type family struct {
+	name, help string
+	kind       kind
+	buckets    []float64
+	children   map[string]*child
+}
+
+// Registry is a concurrency-safe set of metric families. Construct with
+// NewRegistry; instruments are created on first use and shared afterwards.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// canonLabels returns a copy of labels sorted by key — the child identity.
+func canonLabels(labels []Label) ([]Label, string) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('\xff')
+		b.WriteString(l.Value)
+		b.WriteByte('\xfe')
+	}
+	return ls, b.String()
+}
+
+// lookup returns the child for (name, labels), creating family and child
+// as needed. A name registered under a different kind is a programming
+// error and panics with a message naming both kinds.
+func (r *Registry) lookup(name, help string, k kind, buckets []float64, labels []Label) *child {
+	ls, key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, buckets: buckets, children: map[string]*child{}}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: ls}
+		switch k {
+		case counterKind:
+			c.counter = &Counter{}
+		case gaugeKind:
+			c.gauge = &Gauge{}
+		case histogramKind:
+			c.hist = newHistogram(f.buckets)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, counterKind, nil, labels).counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, gaugeKind, nil, labels).gauge
+}
+
+// GaugeFunc registers (or replaces) a gauge whose value is read from fn
+// at render time — the read-through shape: the exposed number is computed
+// from the owning subsystem's live state, so the registry can never
+// disagree with it.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	c := r.lookup(name, help, gaugeKind, nil, labels)
+	r.mu.Lock()
+	c.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use with the given bucket schema (the family's schema is fixed by
+// the first registration).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return r.lookup(name, help, histogramKind, buckets, labels).hist
+}
+
+// escapeHelp escapes a HELP line per the text exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}, with extra appended last (the
+// histogram le label). Empty sets render as nothing.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children by label
+// signature, one HELP/TYPE header per family, cumulative histogram
+// buckets with a +Inf bucket equal to _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := f.children[k]
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(c.labels), c.counter.Value())
+			case gaugeKind:
+				v := 0.0
+				if c.gaugeFn != nil {
+					v = c.gaugeFn()
+				} else {
+					v = c.gauge.Value()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, labelString(c.labels), formatFloat(v))
+			case histogramKind:
+				var cum int64
+				for i, ub := range c.hist.upper {
+					cum += c.hist.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(c.labels, Label{"le", formatFloat(ub)}), cum)
+				}
+				cum += c.hist.counts[len(c.hist.upper)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(c.labels, Label{"le", "+Inf"}), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, labelString(c.labels), formatFloat(c.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, labelString(c.labels), cum)
+			}
+		}
+	}
+	r.mu.RUnlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot flattens the registry into a plain map — the expvar mirror
+// and the JSON surfaces read this. Counter and gauge children map to
+// numbers keyed "name{labels}"; histograms map to {count, sum}.
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.families {
+		for _, c := range f.children {
+			key := f.name + labelString(c.labels)
+			switch f.kind {
+			case counterKind:
+				out[key] = c.counter.Value()
+			case gaugeKind:
+				if c.gaugeFn != nil {
+					out[key] = c.gaugeFn()
+				} else {
+					out[key] = c.gauge.Value()
+				}
+			case histogramKind:
+				out[key] = map[string]any{"count": c.hist.Count(), "sum": c.hist.Sum()}
+			}
+		}
+	}
+	return out
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// expvar publication is process-global and permanent (expvar has no
+// unpublish), so the holder indirection lets a name be re-pointed at a
+// newer registry — a restarted test server reuses the name instead of
+// panicking in expvar.Publish.
+var expvarHolders sync.Map // name -> *atomic.Pointer[Registry]
+
+// MirrorExpvar publishes the registry under name in the process's expvar
+// tree as a Func returning Snapshot(). Calling it again with the same
+// name re-points the existing publication at r.
+func (r *Registry) MirrorExpvar(name string) {
+	p, loaded := expvarHolders.LoadOrStore(name, new(atomic.Pointer[Registry]))
+	holder := p.(*atomic.Pointer[Registry])
+	holder.Store(r)
+	if !loaded {
+		expvar.Publish(name, expvar.Func(func() any {
+			if reg := holder.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return nil
+		}))
+	}
+}
+
+// BuildVersion reports the module version (or "(devel)") and the Go
+// toolchain version of the running binary.
+func BuildVersion() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return version, goVersion
+}
+
+// RegisterBuildInfo exposes the build identity as the conventional
+// constant-1 info gauge disc_build_info{version,goversion}.
+func RegisterBuildInfo(r *Registry) {
+	v, g := BuildVersion()
+	r.Gauge("disc_build_info", "Build identity of the serving binary (constant 1).",
+		Label{"version", v}, Label{"goversion", g}).Set(1)
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteTextGolden renders a registry exercising every instrument
+// kind, label escaping, and histogram bucket emission, and compares the
+// full exposition against testdata/metrics.golden byte for byte.
+// Regenerate with: OBS_UPDATE_GOLDEN=1 go test ./internal/obs -run Golden
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("disc_rounds_total", "DISC rounds executed.").Add(42)
+	r.Counter("disc_partitions_total", "Partitions processed by level.", Label{"level", "0"}).Add(7)
+	r.Counter("disc_partitions_total", "Partitions processed by level.", Label{"level", "1"}).Add(19)
+	r.Gauge("disc_jobs_queue_depth", "Jobs waiting in the admission queue.").Set(3)
+	r.GaugeFunc("disc_live", "A read-through gauge.", func() float64 { return 2.5 })
+	r.Counter("disc_escapes_total", `Help with a \ backslash
+and a newline.`, Label{"path", `a\b"c` + "\nd"}).Inc()
+	h := r.Histogram("disc_stage_duration_seconds", "Duration of mining stages by span.",
+		[]float64{0.01, 0.1, 1}, Label{"stage", "mine"})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if update() {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func update() bool { return os.Getenv("OBS_UPDATE_GOLDEN") != "" }
+
+// TestHistogramInvariants checks the exposition-level contract:
+// cumulative buckets are non-decreasing, the +Inf bucket equals _count,
+// and _sum matches the observed total.
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	vals := []float64{0.5, 1, 1.5, 3, 100}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if got := h.Count(); got != int64(len(vals)) {
+		t.Errorf("Count = %d, want %d", got, len(vals))
+	}
+	if got := h.Sum(); math.Abs(got-sum) > 1e-9 {
+		t.Errorf("Sum = %g, want %g", got, sum)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Upper-bound membership: values exactly on a boundary land in that
+	// bucket (le is inclusive), so cum counts are 2, 3, 4, 5.
+	wantLines := []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="4"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+		`lat_sum 106`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// The +Inf bucket must equal _count on every render.
+	var inf, count int64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `lat_bucket{le="+Inf"} `) {
+			fmt.Sscanf(line, `lat_bucket{le="+Inf"} %d`, &inf)
+		}
+		if strings.HasPrefix(line, "lat_count ") {
+			fmt.Sscanf(line, "lat_count %d", &count)
+		}
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %d != _count %d", inf, count)
+	}
+}
+
+// TestLabelEscaping covers the three escapes the text format requires in
+// label values and the two in HELP text.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help \\ and\nnewline", Label{"l", "q\"b\\s\nn"}).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP m help \\ and\nnewline`+"\n") {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `m{l="q\"b\\s\nn"} 1`+"\n") {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+// TestSameInstrumentSharedAndKindMismatchPanics pins the get-or-create
+// identity contract.
+func TestSameInstrumentSharedAndKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", Label{"x", "1"}, Label{"y", "2"})
+	b := r.Counter("c", "h", Label{"y", "2"}, Label{"x", "1"}) // order-insensitive
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("c", "h")
+}
+
+// TestRegistryRace hammers a shared registry from 16 goroutines mixing
+// instrument creation, recording on all three kinds, and concurrent
+// renders. Run under -race (make obs does).
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("race_total", "h", Label{"g", fmt.Sprint(g % 4)}).Inc()
+				r.Gauge("race_gauge", "h").Set(float64(i))
+				r.Histogram("race_hist", "h", DurationBuckets).Observe(float64(i) / 1000)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WriteText(&b); err != nil {
+						t.Errorf("WriteText: %v", err)
+					}
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total int64
+	for g := 0; g < 4; g++ {
+		total += r.Counter("race_total", "h", Label{"g", fmt.Sprint(g)}).Value()
+	}
+	if want := int64(goroutines * iters); total != want {
+		t.Errorf("counter total = %d, want %d", total, want)
+	}
+	if got := r.Histogram("race_hist", "h", DurationBuckets).Count(); got != int64(goroutines*iters) {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+// TestHandler checks the scrape endpoint's content type and body.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("one_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1\n") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+// TestMirrorExpvar publishes, re-points, and reads back through the
+// expvar tree. Re-pointing must not panic (expvar.Publish would on a
+// duplicate name).
+func TestMirrorExpvar(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("ev_total", "h").Add(5)
+	r1.MirrorExpvar("test_mirror")
+	v := expvar.Get("test_mirror")
+	if v == nil {
+		t.Fatal("expvar name not published")
+	}
+	if !strings.Contains(v.String(), `"ev_total":5`) {
+		t.Errorf("expvar snapshot = %s", v.String())
+	}
+
+	r2 := NewRegistry()
+	r2.Counter("ev_total", "h").Add(9)
+	r2.MirrorExpvar("test_mirror") // must re-point, not panic
+	if !strings.Contains(expvar.Get("test_mirror").String(), `"ev_total":9`) {
+		t.Errorf("expvar not re-pointed: %s", expvar.Get("test_mirror").String())
+	}
+}
+
+func TestCounterDropsNegative(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(-4)
+	if got := c.Value(); got != 10 {
+		t.Errorf("Value = %d, want 10 (negative Add must be dropped)", got)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "disc_build_info{") {
+		t.Errorf("exposition missing disc_build_info:\n%s", b.String())
+	}
+}

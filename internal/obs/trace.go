@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// StageDurationMetric is the histogram family every span aggregates
+// into, labeled by stage. Spans are how per-stage timings reach
+// /metrics without any log processing.
+const StageDurationMetric = "disc_stage_duration_seconds"
+
+// Tracer hands out Spans around mining stages (whole runs, first-level
+// partitions, eager bucket closures, jobs). Ending a span does two
+// independent things, each optional:
+//
+//   - observes the duration into the registry's per-stage histogram
+//     (StageDurationMetric), when a Registry is set;
+//   - emits one structured log/slog record carrying the stage, the
+//     duration and the caller's attributes, when a Logger is set — the
+//     stream discmine -trace prints as JSON.
+//
+// A nil *Tracer returns a zero Span whose End is a no-op, so call sites
+// never branch.
+type Tracer struct {
+	Registry *Registry
+	Logger   *slog.Logger
+}
+
+// Span is one timed region. It is a value type: starting and ending a
+// span allocates nothing beyond what slog itself needs when a Logger is
+// configured.
+type Span struct {
+	t     *Tracer
+	stage string
+	attrs []slog.Attr
+	start time.Time
+}
+
+// Start begins a span for stage. The attrs ride along to the log record
+// at End; they do not become histogram labels (per-stage cardinality
+// stays fixed).
+func (t *Tracer) Start(stage string, attrs ...slog.Attr) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: stage, attrs: attrs, start: time.Now()}
+}
+
+// End closes the span, recording its duration. Safe on the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if r := s.t.Registry; r != nil {
+		r.Histogram(StageDurationMetric, "Duration of mining stages by span.",
+			DurationBuckets, Label{"stage", s.stage}).Observe(d.Seconds())
+	}
+	if l := s.t.Logger; l != nil {
+		attrs := make([]slog.Attr, 0, len(s.attrs)+2)
+		attrs = append(attrs, slog.String("stage", s.stage), slog.Duration("dur", d))
+		attrs = append(attrs, s.attrs...)
+		l.LogAttrs(context.Background(), slog.LevelInfo, "span", attrs...)
+	}
+}
+
+// Observer bundles the two halves of the observability substrate — the
+// metrics registry and the span tracer — into the single handle that
+// Options-style structs carry. A nil *Observer is fully inert.
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// NewObserver returns an observer over a fresh registry whose tracer
+// aggregates spans into that same registry. Attach a Logger to the
+// Tracer afterwards to also stream span JSON.
+func NewObserver() *Observer {
+	r := NewRegistry()
+	return &Observer{Registry: r, Tracer: &Tracer{Registry: r}}
+}
+
+// Span starts a span on the observer's tracer; nil-safe.
+func (o *Observer) Span(stage string, attrs ...slog.Attr) Span {
+	if o == nil {
+		return Span{}
+	}
+	return o.Tracer.Start(stage, attrs...)
+}
+
+// Counter returns the named counter from the observer's registry, or a
+// detached throwaway counter when the observer (or its registry) is nil
+// so call sites stay branch-free.
+func (o *Observer) Counter(name, help string, labels ...Label) *Counter {
+	if o == nil || o.Registry == nil {
+		return &Counter{}
+	}
+	return o.Registry.Counter(name, help, labels...)
+}
+
+// Gauge returns the named gauge from the observer's registry, or a
+// detached throwaway gauge when the observer (or its registry) is nil.
+func (o *Observer) Gauge(name, help string, labels ...Label) *Gauge {
+	if o == nil || o.Registry == nil {
+		return &Gauge{}
+	}
+	return o.Registry.Gauge(name, help, labels...)
+}
+
+// Histogram returns the named histogram from the observer's registry,
+// or a detached throwaway histogram when the observer (or its registry)
+// is nil.
+func (o *Observer) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if o == nil || o.Registry == nil {
+		return newHistogram(buckets)
+	}
+	return o.Registry.Histogram(name, help, buckets, labels...)
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestNilTracerAndObserverInert pins the nil-safety contract: every
+// entry point on a nil tracer/observer is a usable no-op.
+func TestNilTracerAndObserverInert(t *testing.T) {
+	var tr *Tracer
+	tr.Start("mine").End() // must not panic
+
+	var o *Observer
+	o.Span("mine").End()
+	o.Counter("c", "h").Inc()
+	o.Gauge("g", "h").Set(1)
+	o.Histogram("h", "h", DurationBuckets).Observe(1)
+}
+
+// TestSpanAggregatesIntoHistogram checks the span → per-stage histogram
+// path that feeds /metrics.
+func TestSpanAggregatesIntoHistogram(t *testing.T) {
+	o := NewObserver()
+	o.Span("partition", slog.Int("level", 0)).End()
+	o.Span("partition").End()
+	o.Span("mine").End()
+
+	h := o.Registry.Histogram(StageDurationMetric, "", DurationBuckets, Label{"stage", "partition"})
+	if got := h.Count(); got != 2 {
+		t.Errorf("partition span count = %d, want 2", got)
+	}
+	if got := o.Registry.Histogram(StageDurationMetric, "", DurationBuckets, Label{"stage", "mine"}).Count(); got != 1 {
+		t.Errorf("mine span count = %d, want 1", got)
+	}
+	var b strings.Builder
+	if err := o.Registry.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `disc_stage_duration_seconds_count{stage="partition"} 2`) {
+		t.Errorf("exposition missing stage histogram:\n%s", b.String())
+	}
+}
+
+// TestSpanLogsJSON checks the slog emission half: one JSON record per
+// span carrying stage, duration, and the caller's attributes.
+func TestSpanLogsJSON(t *testing.T) {
+	var buf strings.Builder
+	o := NewObserver()
+	o.Tracer.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+
+	o.Span("eager_buckets", slog.Int("level", 2), slog.String("key", "7")).End()
+
+	line := strings.TrimSpace(buf.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("span record is not JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "span" || rec["stage"] != "eager_buckets" {
+		t.Errorf("record = %v", rec)
+	}
+	if rec["level"] == nil || rec["key"] != "7" {
+		t.Errorf("caller attrs missing: %v", rec)
+	}
+	if _, ok := rec["dur"]; !ok {
+		t.Errorf("duration missing: %v", rec)
+	}
+}
