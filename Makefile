@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench check difftest faultinject fuzz soak obs
+.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs
 
 all: check
 
@@ -24,6 +24,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Record the benchmark trajectory: BenchmarkMine at three database
+# scales for both tree engines (slab default vs the seed pointer tree
+# behind Options.PointerTree), written as BENCH_pr6.json at the repo
+# root. Format documented in EXPERIMENTS.md. Set DISC_BENCH_SUMMARY to
+# also append a markdown comparison table (CI points it at
+# $$GITHUB_STEP_SUMMARY) and DISC_BENCH_ENFORCE=1 to fail unless the
+# slab engine cuts allocs/op by >= 25% and improves ns/op at the medium
+# and large scales.
+BENCH_RECORD ?= BENCH_pr6.json
+bench-record:
+	DISC_BENCH_RECORD=$(BENCH_RECORD) $(GO) test -run TestBenchRecord -count=1 -v -timeout 1800s .
 
 # The full differential grid (128 generated/mutated databases × every
 # miner and DISC option combination) under the race detector. The plain

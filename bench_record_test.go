@@ -1,0 +1,232 @@
+// The recorded benchmark trajectory. BenchmarkMine is the canonical
+// engine benchmark at three database scales; TestBenchRecord runs it
+// programmatically for both tree engines (the slab default and the seed
+// pointer oracle behind Options.PointerTree) and writes the measurements
+// to a BENCH_*.json file at the repo root — the machine-readable perf
+// history every engine PR appends to. See EXPERIMENTS.md ("Recorded
+// benchmark trajectory") for the file format.
+//
+//	make bench-record            # writes BENCH_pr6.json
+//	go test -bench BenchmarkMine # just the default engine, human-readable
+package disc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// benchScale is one point of the trajectory: an engine-dominated skewed
+// workload (small item alphabet, deep partition recursion, many DISC
+// rounds — the same family as the instrumentation-overhead guard) at a
+// fixed customer count. The paper-figure workloads in bench_test.go
+// measure end-to-end mining where result-set construction dominates;
+// this trajectory isolates the engine core, which is what the slab tree
+// and round arenas change.
+type benchScale struct {
+	Name  string
+	NCust int
+}
+
+var benchScales = []benchScale{
+	{"small", 200},
+	{"medium", 400},
+	{"large", 600},
+}
+
+const scaleMinSup = 4
+
+var (
+	scaleOnce sync.Once
+	scaleDBs  map[string]Database
+)
+
+func scaleWorkloads(tb testing.TB) map[string]Database {
+	tb.Helper()
+	scaleOnce.Do(func() {
+		scaleDBs = make(map[string]Database, len(benchScales))
+		for _, sc := range benchScales {
+			r := rand.New(rand.NewSource(77))
+			scaleDBs[sc.Name] = Database(testutil.SkewedRandomDB(r, sc.NCust, 14, 8, 5))
+		}
+	})
+	return scaleDBs
+}
+
+// BenchmarkMine measures the default engine (slab tree + round arenas)
+// at the three trajectory scales.
+func BenchmarkMine(b *testing.B) {
+	dbs := scaleWorkloads(b)
+	for _, sc := range benchScales {
+		db := dbs[sc.Name]
+		b.Run(sc.Name, func(b *testing.B) {
+			benchMiner(b, NewDISCAll(DefaultOptions()), db, scaleMinSup)
+		})
+	}
+}
+
+// engineMeasure is one (scale, engine) cell of the recorded trajectory.
+type engineMeasure struct {
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	Patterns       int     `json:"patterns"`
+	PatternsPerSec float64 `json:"patterns_per_sec"`
+}
+
+// scaleRecord is one scale's measurements plus the slab-vs-pointer delta
+// (negative percentages are improvements of the slab engine).
+type scaleRecord struct {
+	Scale    string                   `json:"scale"`
+	NCust    int                      `json:"ncust"`
+	MinSup   int                      `json:"minsup"`
+	Engines  map[string]engineMeasure `json:"engines"`
+	DeltaPct map[string]float64       `json:"delta_pct"`
+}
+
+// benchFile is the BENCH_*.json schema (documented in EXPERIMENTS.md).
+type benchFile struct {
+	PR        int           `json:"pr"`
+	Benchmark string        `json:"benchmark"`
+	Workload  string        `json:"workload"`
+	Go        string        `json:"go"`
+	MaxProcs  int           `json:"gomaxprocs"`
+	Scales    []scaleRecord `json:"scales"`
+}
+
+// TestBenchRecord runs BenchmarkMine for both tree engines at every
+// trajectory scale and writes the JSON record to the path named by
+// DISC_BENCH_RECORD. DISC_BENCH_SUMMARY additionally writes a markdown
+// comparison table (the CI job points it at $GITHUB_STEP_SUMMARY), and
+// DISC_BENCH_ENFORCE=1 turns the PR-6 acceptance thresholds into test
+// failures: at the medium and large scales the slab engine must cut
+// allocs/op by at least 25% and improve ns/op versus the pointer engine.
+func TestBenchRecord(t *testing.T) {
+	outPath := os.Getenv("DISC_BENCH_RECORD")
+	if outPath == "" {
+		t.Skip("set DISC_BENCH_RECORD=<path> to record the benchmark trajectory")
+	}
+	dbs := scaleWorkloads(t)
+	record := benchFile{
+		PR:        6,
+		Benchmark: "BenchmarkMine",
+		Workload:  "testutil.SkewedRandomDB, seed 77, nitems 14, minsup 4",
+		Go:        runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	for _, sc := range benchScales {
+		db := dbs[sc.Name]
+		minSup := scaleMinSup
+		engines := map[string]engineMeasure{}
+		for _, eng := range []struct {
+			name    string
+			pointer bool
+		}{{"slab", false}, {"pointer", true}} {
+			opts := DefaultOptions()
+			opts.PointerTree = eng.pointer
+			var patterns int
+			// Best of three: at these op times a single testing.Benchmark
+			// run measures one iteration, so the clock reading carries
+			// scheduler noise; the minimum damps it. allocs/op and B/op are
+			// deterministic — any run reports the same figures.
+			var m engineMeasure
+			for rep := 0; rep < 3; rep++ {
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						res, err := NewDISCAll(opts).Mine(db, minSup)
+						if err != nil {
+							b.Fatal(err)
+						}
+						patterns = res.Len()
+					}
+				})
+				if m.NsPerOp == 0 || r.NsPerOp() < m.NsPerOp {
+					m.NsPerOp = r.NsPerOp()
+					m.AllocsPerOp = r.AllocsPerOp()
+					m.BytesPerOp = r.AllocedBytesPerOp()
+				}
+			}
+			m.Patterns = patterns
+			if m.NsPerOp > 0 {
+				m.PatternsPerSec = float64(patterns) / (float64(m.NsPerOp) / 1e9)
+			}
+			engines[eng.name] = m
+			t.Logf("%s/%s: %d ns/op, %d allocs/op, %d B/op, %d patterns",
+				sc.Name, eng.name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, patterns)
+		}
+		slab, ptr := engines["slab"], engines["pointer"]
+		if slab.Patterns != ptr.Patterns {
+			t.Fatalf("%s: engines disagree on pattern count: slab=%d pointer=%d",
+				sc.Name, slab.Patterns, ptr.Patterns)
+		}
+		rec := scaleRecord{
+			Scale: sc.Name, NCust: sc.NCust, MinSup: minSup, Engines: engines,
+			DeltaPct: map[string]float64{
+				"ns":     pctDelta(slab.NsPerOp, ptr.NsPerOp),
+				"allocs": pctDelta(slab.AllocsPerOp, ptr.AllocsPerOp),
+				"bytes":  pctDelta(slab.BytesPerOp, ptr.BytesPerOp),
+			},
+		}
+		record.Scales = append(record.Scales, rec)
+		if os.Getenv("DISC_BENCH_ENFORCE") != "" && sc.Name != "small" {
+			if d := rec.DeltaPct["allocs"]; d > -25 {
+				t.Errorf("%s: slab engine cuts allocs/op by %.1f%%, acceptance requires >= 25%%", sc.Name, -d)
+			}
+			if d := rec.DeltaPct["ns"]; d >= 0 {
+				t.Errorf("%s: slab engine ns/op delta %+.1f%%, acceptance requires an improvement", sc.Name, d)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(&record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", outPath)
+	if sumPath := os.Getenv("DISC_BENCH_SUMMARY"); sumPath != "" {
+		if err := writeBenchSummary(sumPath, &record); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func pctDelta(newV, oldV int64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (float64(newV)/float64(oldV) - 1) * 100
+}
+
+// writeBenchSummary appends a markdown slab-vs-pointer comparison table
+// to path (the benchstat-style delta step of the CI bench job).
+func writeBenchSummary(path string, rec *benchFile) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "## %s: slab tree vs seed pointer tree\n\n", rec.Benchmark)
+	fmt.Fprintf(f, "Workload: %s (%s, GOMAXPROCS=%d)\n\n", rec.Workload, rec.Go, rec.MaxProcs)
+	fmt.Fprintln(f, "| scale | engine | ns/op | allocs/op | B/op | patterns/s |")
+	fmt.Fprintln(f, "|---|---|---:|---:|---:|---:|")
+	for _, sc := range rec.Scales {
+		for _, eng := range []string{"pointer", "slab"} {
+			m := sc.Engines[eng]
+			fmt.Fprintf(f, "| %s | %s | %d | %d | %d | %.0f |\n",
+				sc.Scale, eng, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.PatternsPerSec)
+		}
+		fmt.Fprintf(f, "| %s | **delta** | %+.1f%% | %+.1f%% | %+.1f%% | |\n",
+			sc.Scale, sc.DeltaPct["ns"], sc.DeltaPct["allocs"], sc.DeltaPct["bytes"])
+	}
+	fmt.Fprintln(f)
+	return nil
+}

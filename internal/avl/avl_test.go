@@ -160,31 +160,35 @@ func TestAscendOrderAndEarlyStop(t *testing.T) {
 	}
 }
 
-// checkInvariants verifies the AVL balance factor, the subtree sizes, and
-// the key ordering.
+// checkInvariants verifies the AVL balance factor, the subtree sizes, the
+// key ordering, and that the sentinel slot stays pristine.
 func checkInvariants(t *testing.T, tr *Tree[int, int]) {
 	t.Helper()
-	var rec func(n *node[int, int]) (h, sz int)
-	rec = func(n *node[int, int]) (int, int) {
-		if n == nil {
+	if len(tr.nodes) > 0 && tr.nodes[0] != (node{}) {
+		t.Fatalf("sentinel slot corrupted: %+v", tr.nodes[0])
+	}
+	var rec func(i int32) (h, sz int32)
+	rec = func(i int32) (int32, int32) {
+		if i == 0 {
 			return 0, 0
 		}
+		n := tr.nodes[i]
 		lh, ls := rec(n.left)
 		rh, rs := rec(n.right)
 		if d := lh - rh; d < -1 || d > 1 {
-			t.Fatalf("unbalanced node key=%d: %d vs %d", n.key, lh, rh)
+			t.Fatalf("unbalanced node key=%d: %d vs %d", tr.keys[i], lh, rh)
 		}
 		if n.height != 1+max(lh, rh) {
-			t.Fatalf("bad height at key=%d", n.key)
+			t.Fatalf("bad height at key=%d", tr.keys[i])
 		}
-		if n.size != len(n.vals)+ls+rs {
-			t.Fatalf("bad size at key=%d: %d != %d+%d+%d", n.key, n.size, len(n.vals), ls, rs)
+		if n.size != int32(len(tr.vals[i]))+ls+rs {
+			t.Fatalf("bad size at key=%d: %d != %d+%d+%d", tr.keys[i], n.size, len(tr.vals[i]), ls, rs)
 		}
-		if n.left != nil && n.left.key >= n.key {
-			t.Fatalf("order violation at key=%d", n.key)
+		if n.left != 0 && tr.keys[n.left] >= tr.keys[i] {
+			t.Fatalf("order violation at key=%d", tr.keys[i])
 		}
-		if n.right != nil && n.right.key <= n.key {
-			t.Fatalf("order violation at key=%d", n.key)
+		if n.right != 0 && tr.keys[n.right] <= tr.keys[i] {
+			t.Fatalf("order violation at key=%d", tr.keys[i])
 		}
 		return n.height, n.size
 	}

@@ -1,0 +1,286 @@
+// The seed pointer-per-node AVL tree, retained verbatim (renamed Tree →
+// Pointer) as the differential oracle for the slab Tree: the property
+// tests in this package drive both implementations through identical
+// operation sequences, and the engine can be forced onto it with
+// core.Options.PointerTree so the differential harness proves the slab
+// tree byte-identical across the full grid. It allocates one node per
+// key and is scheduled for removal once the slab tree has survived a
+// release cycle as the default engine.
+package avl
+
+// Pointer is the seed locative AVL tree mapping keys to buckets of
+// values. The zero value is not usable; construct with NewPointer.
+type Pointer[K, V any] struct {
+	cmp  func(a, b K) int
+	root *pnode[K, V]
+	rec  *Recorder
+}
+
+type pnode[K, V any] struct {
+	key         K
+	vals        []V
+	left, right *pnode[K, V]
+	height      int
+	size        int // total number of values in this subtree
+}
+
+// NewPointer returns an empty pointer tree ordered by cmp (negative:
+// a<b, zero: equal, positive: a>b).
+func NewPointer[K, V any](cmp func(a, b K) int) *Pointer[K, V] {
+	return &Pointer[K, V]{cmp: cmp}
+}
+
+// Observe attaches a rotation recorder (nil detaches) and returns the
+// tree for chaining at construction sites.
+func (t *Pointer[K, V]) Observe(r *Recorder) *Pointer[K, V] {
+	t.rec = r
+	return t
+}
+
+// Reset empties the tree. The pointer implementation has no slabs to
+// retain: every node is released to the garbage collector.
+func (t *Pointer[K, V]) Reset() { t.root = nil }
+
+// MemBytes estimates the heap footprint of the tree's nodes. The pointer
+// implementation cannot account exactly without a full walk, so it
+// reports a per-node estimate; the slab Tree reports exact slab sizes.
+func (t *Pointer[K, V]) MemBytes() int64 {
+	n := 0
+	t.Ascend(func(K, []V) bool { n++; return true })
+	return int64(n) * pointerNodeEstimate[K, V]()
+}
+
+// pointerNodeEstimate approximates the bytes one pointer node costs:
+// the node struct plus one bucket slot.
+func pointerNodeEstimate[K, V any]() int64 {
+	var k K
+	var v V
+	return int64(sizeOfValue(k)) + int64(sizeOfValue(v)) + 48
+}
+
+// Size returns the total number of values stored (with multiplicity).
+func (t *Pointer[K, V]) Size() int { return t.root.sizeOf() }
+
+// NumKeys returns the number of distinct keys.
+func (t *Pointer[K, V]) NumKeys() int {
+	n := 0
+	t.Ascend(func(K, []V) bool { n++; return true })
+	return n
+}
+
+// Insert adds the value v under the key k, creating the key's bucket if
+// needed.
+func (t *Pointer[K, V]) Insert(k K, v V) {
+	t.root = t.insert(t.root, k, v)
+}
+
+func (t *Pointer[K, V]) insert(n *pnode[K, V], k K, v V) *pnode[K, V] {
+	if n == nil {
+		return &pnode[K, V]{key: k, vals: []V{v}, height: 1, size: 1}
+	}
+	switch c := t.cmp(k, n.key); {
+	case c < 0:
+		n.left = t.insert(n.left, k, v)
+	case c > 0:
+		n.right = t.insert(n.right, k, v)
+	default:
+		n.vals = append(n.vals, v)
+		n.size++
+		return n
+	}
+	return t.rebalance(n)
+}
+
+// Min returns the smallest key and its bucket. ok is false on an empty
+// tree. The returned bucket slice is owned by the tree; do not mutate.
+func (t *Pointer[K, V]) Min() (k K, vals []V, ok bool) {
+	n := t.root
+	if n == nil {
+		return k, nil, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.vals, true
+}
+
+// PopMin removes the smallest key's entire bucket and returns it.
+func (t *Pointer[K, V]) PopMin() (k K, vals []V, ok bool) {
+	if t.root == nil {
+		return k, nil, false
+	}
+	var out *pnode[K, V]
+	t.root, out = t.popMin(t.root)
+	return out.key, out.vals, true
+}
+
+func (t *Pointer[K, V]) popMin(n *pnode[K, V]) (root, removed *pnode[K, V]) {
+	if n.left == nil {
+		return n.right, n
+	}
+	var out *pnode[K, V]
+	n.left, out = t.popMin(n.left)
+	return t.rebalance(n), out
+}
+
+// Select returns the key at 1-based rank r, counting values with
+// multiplicity: rank 1 is the first value of the minimum key. ok is false
+// when r is out of range.
+func (t *Pointer[K, V]) Select(r int) (k K, ok bool) {
+	n := t.root
+	if n == nil || r < 1 || r > n.size {
+		return k, false
+	}
+	for {
+		ls := n.left.sizeOf()
+		switch {
+		case r <= ls:
+			n = n.left
+		case r <= ls+len(n.vals):
+			return n.key, true
+		default:
+			r -= ls + len(n.vals)
+			n = n.right
+		}
+	}
+}
+
+// Rank returns the number of values with keys strictly smaller than k.
+func (t *Pointer[K, V]) Rank(k K) int {
+	r := 0
+	n := t.root
+	for n != nil {
+		switch c := t.cmp(k, n.key); {
+		case c <= 0:
+			n = n.left
+		default:
+			r += n.left.sizeOf() + len(n.vals)
+			n = n.right
+		}
+	}
+	return r
+}
+
+// Get returns the bucket stored under k, or ok=false.
+func (t *Pointer[K, V]) Get(k K) (vals []V, ok bool) {
+	n := t.root
+	for n != nil {
+		switch c := t.cmp(k, n.key); {
+		case c < 0:
+			n = n.left
+		case c > 0:
+			n = n.right
+		default:
+			return n.vals, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes the entire bucket stored under k; it reports whether the
+// key was present.
+func (t *Pointer[K, V]) Delete(k K) bool {
+	var deleted bool
+	t.root, deleted = t.delete(t.root, k)
+	return deleted
+}
+
+func (t *Pointer[K, V]) delete(n *pnode[K, V], k K) (*pnode[K, V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch c := t.cmp(k, n.key); {
+	case c < 0:
+		n.left, deleted = t.delete(n.left, k)
+	case c > 0:
+		n.right, deleted = t.delete(n.right, k)
+	default:
+		deleted = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		var succ *pnode[K, V]
+		n.right, succ = t.popMin(n.right)
+		succ.left, succ.right = n.left, n.right
+		n = succ
+	}
+	if !deleted {
+		return n, false
+	}
+	return t.rebalance(n), true
+}
+
+// Ascend visits buckets in ascending key order until fn returns false.
+func (t *Pointer[K, V]) Ascend(fn func(k K, vals []V) bool) {
+	pascend(t.root, fn)
+}
+
+func pascend[K, V any](n *pnode[K, V], fn func(K, []V) bool) bool {
+	if n == nil {
+		return true
+	}
+	return pascend(n.left, fn) && fn(n.key, n.vals) && pascend(n.right, fn)
+}
+
+// Height returns the tree height (0 for empty); exposed for balance tests.
+func (t *Pointer[K, V]) Height() int { return t.root.heightOf() }
+
+func (n *pnode[K, V]) sizeOf() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *pnode[K, V]) heightOf() int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func (n *pnode[K, V]) update() {
+	n.height = 1 + max(n.left.heightOf(), n.right.heightOf())
+	n.size = len(n.vals) + n.left.sizeOf() + n.right.sizeOf()
+}
+
+func (t *Pointer[K, V]) rebalance(n *pnode[K, V]) *pnode[K, V] {
+	n.update()
+	switch bf := n.left.heightOf() - n.right.heightOf(); {
+	case bf > 1:
+		if n.left.right.heightOf() > n.left.left.heightOf() {
+			n.left = t.rotateLeft(n.left)
+		}
+		return t.rotateRight(n)
+	case bf < -1:
+		if n.right.left.heightOf() > n.right.right.heightOf() {
+			n.right = t.rotateRight(n.right)
+		}
+		return t.rotateLeft(n)
+	}
+	return n
+}
+
+func (t *Pointer[K, V]) rotateLeft(n *pnode[K, V]) *pnode[K, V] {
+	t.rec.rotation()
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+func (t *Pointer[K, V]) rotateRight(n *pnode[K, V]) *pnode[K, V] {
+	t.rec.rotation()
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}

@@ -1,0 +1,224 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestSlabMatchesPointerAndOracle is the differential property test for the
+// slab tree: a random mix of insert / delete / pop-min / reset operations is
+// applied to the slab Tree, the seed Pointer tree, and a sorted-slice
+// oracle, and after every operation the three must agree on Size, Min,
+// Select at every rank, Rank at probe keys, and Get buckets.
+func TestSlabMatchesPointerAndOracle(t *testing.T) {
+	cmp := func(a, b int) int { return a - b }
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slab := New[int, int](cmp)
+		ptr := NewPointer[int, int](cmp)
+		var model []int // sorted multiset of keys
+		agree := func() bool {
+			if slab.Size() != len(model) || ptr.Size() != len(model) {
+				return false
+			}
+			sk, sv, sok := slab.Min()
+			pk, pv, pok := ptr.Min()
+			if sok != pok || (sok && (sk != pk || len(sv) != len(pv))) {
+				return false
+			}
+			for rk := 1; rk <= len(model); rk++ {
+				a, aok := slab.Select(rk)
+				b, bok := ptr.Select(rk)
+				if !aok || !bok || a != b || a != model[rk-1] {
+					return false
+				}
+			}
+			for probe := -1; probe < 42; probe += 7 {
+				if slab.Rank(probe) != ptr.Rank(probe) {
+					return false
+				}
+				sv, sok := slab.Get(probe)
+				pv, pok := ptr.Get(probe)
+				if sok != pok || len(sv) != len(pv) {
+					return false
+				}
+				for i := range sv {
+					if sv[i] != pv[i] {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for op := 0; op < 400; op++ {
+			switch r.Intn(8) {
+			case 0, 1, 2, 3: // insert
+				k := r.Intn(40)
+				slab.Insert(k, op)
+				ptr.Insert(k, op)
+				i := sort.SearchInts(model, k)
+				model = append(model, 0)
+				copy(model[i+1:], model[i:])
+				model[i] = k
+			case 4, 5: // pop min bucket, compare contents
+				sk, sv, sok := slab.PopMin()
+				pk, pv, pok := ptr.PopMin()
+				if sok != pok {
+					return false
+				}
+				if !sok {
+					continue
+				}
+				if sk != pk || len(sv) != len(pv) {
+					return false
+				}
+				for i := range sv {
+					if sv[i] != pv[i] {
+						return false
+					}
+				}
+				cnt := 0
+				for cnt < len(model) && model[cnt] == sk {
+					cnt++
+				}
+				if len(sv) != cnt {
+					return false
+				}
+				model = model[cnt:]
+			case 6: // delete random key
+				if len(model) == 0 {
+					continue
+				}
+				k := model[r.Intn(len(model))]
+				if !slab.Delete(k) || !ptr.Delete(k) {
+					return false
+				}
+				lo := sort.SearchInts(model, k)
+				hi := lo
+				for hi < len(model) && model[hi] == k {
+					hi++
+				}
+				model = append(model[:lo], model[hi:]...)
+			case 7: // occasional full reset: exercises slab reuse
+				if r.Intn(10) == 0 {
+					slab.Reset()
+					ptr.Reset()
+					model = model[:0]
+				}
+			}
+			if !agree() {
+				return false
+			}
+		}
+		checkInvariants(t, slab)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPopMinBucketSurvivesInserts pins the ownership contract the DISC
+// round loop relies on: the bucket returned by PopMin must remain intact
+// while the caller re-Inserts into the same tree, and may only be recycled
+// by the next PopMin/Delete/Reset.
+func TestPopMinBucketSurvivesInserts(t *testing.T) {
+	tr := New[int, int](func(a, b int) int { return a - b })
+	for i := 0; i < 8; i++ {
+		tr.Insert(1, 100+i)
+	}
+	for k := 2; k < 40; k++ {
+		tr.Insert(k, k)
+	}
+	_, vals, ok := tr.PopMin()
+	if !ok || len(vals) != 8 {
+		t.Fatalf("PopMin bucket = %v %v", vals, ok)
+	}
+	// Re-insert aggressively while holding the popped bucket, mimicking the
+	// discover loop (pop bucket, CKMS each member, insert under new keys).
+	for i, v := range vals {
+		if v != 100+i {
+			t.Fatalf("bucket corrupted before inserts: %v", vals)
+		}
+		tr.Insert(50+i, v)
+	}
+	for i, v := range vals {
+		if v != 100+i {
+			t.Fatalf("bucket corrupted by inserts during iteration: index %d = %d", i, v)
+		}
+	}
+	checkInvariants(t, tr)
+}
+
+// TestResetReusesSlabs proves the arena property: after Reset, refilling a
+// tree of the same shape performs zero heap allocations and zero slab
+// growth events.
+func TestResetReusesSlabs(t *testing.T) {
+	var rec Recorder
+	tr := New[int, int](func(a, b int) int { return a - b }).Observe(&rec)
+	fill := func() {
+		for i := 0; i < 256; i++ {
+			tr.Insert(i%37, i)
+		}
+		for {
+			if _, _, ok := tr.PopMin(); !ok {
+				break
+			}
+		}
+		for i := 0; i < 256; i++ {
+			tr.Insert(i%37, i)
+		}
+	}
+	fill()
+	grows := rec.SlabGrows.Load()
+	if grows == 0 {
+		t.Fatal("cold fill recorded no slab growth")
+	}
+	tr.Reset()
+	allocs := testing.AllocsPerRun(10, func() {
+		fill()
+		tr.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm refill allocated %.0f times per run, want 0", allocs)
+	}
+	if got := rec.SlabGrows.Load(); got != grows {
+		t.Fatalf("warm refill grew slabs: %d -> %d", grows, got)
+	}
+}
+
+// TestMemBytesTracksSlabs sanity-checks the O(1) footprint accounting:
+// empty tree reports zero, filling grows it, Reset keeps it (memory is
+// retained by design).
+func TestMemBytesTracksSlabs(t *testing.T) {
+	tr := New[int, int](func(a, b int) int { return a - b })
+	if tr.MemBytes() != 0 {
+		t.Fatalf("empty tree MemBytes = %d", tr.MemBytes())
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Insert(i%97, i)
+	}
+	full := tr.MemBytes()
+	if full <= 0 {
+		t.Fatalf("filled tree MemBytes = %d", full)
+	}
+	// 97 nodes * 16B + keys + bucket headers + ~1000 bucket slots: sanity
+	// band, not an exact figure (append over-allocates capacity).
+	if full < 97*16 || full > 1<<20 {
+		t.Fatalf("MemBytes %d outside sanity band", full)
+	}
+	tr.Reset()
+	if got := tr.MemBytes(); got != full {
+		t.Fatalf("Reset changed MemBytes %d -> %d; slabs should be retained", full, got)
+	}
+}
+
+// TestInterfaceCompliance pins both implementations to the engine-facing
+// Interface at compile time.
+func TestInterfaceCompliance(t *testing.T) {
+	cmp := func(a, b int) int { return a - b }
+	var _ Interface[int, int] = New[int, int](cmp)
+	var _ Interface[int, int] = NewPointer[int, int](cmp)
+}

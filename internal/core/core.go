@@ -112,6 +112,14 @@ type Options struct {
 	// when it finishes — /metrics and LastStats read the same numbers.
 	// It does not influence the mined result or the checkpoint identity.
 	Obs *obs.Observer
+
+	// PointerTree forces the engine onto the seed pointer-per-node AVL
+	// implementation instead of the default slab tree. It exists for the
+	// differential harness (the two implementations must produce
+	// byte-identical results across the full grid) and costs one extra
+	// allocation per tree node; production runs leave it false. Scheduled
+	// for removal together with avl.Pointer.
+	PointerTree bool
 }
 
 // WithExec copies the execution-layer settings of x into the options.
@@ -159,7 +167,13 @@ type Stats struct {
 	// finished in the degraded execution shape. The result set is
 	// unaffected.
 	Degraded bool
-	nrrCount []int
+	// ArenaAcquires counts scratch-arena bundles drawn by the run's
+	// engines; ArenaReuses counts the draws satisfied by a warm bundle a
+	// finished worker returned to the pool. Execution-shape counters like
+	// Degraded: not part of the checkpoint identity.
+	ArenaAcquires int
+	ArenaReuses   int
+	nrrCount      []int
 }
 
 func (s *Stats) observeNRR(level int, nrr float64) {
@@ -191,6 +205,8 @@ func (s *Stats) merge(o *Stats) {
 	s.KMSCalls += o.KMSCalls
 	s.CKMSCalls += o.CKMSCalls
 	s.Dropped += o.Dropped
+	s.ArenaAcquires += o.ArenaAcquires
+	s.ArenaReuses += o.ArenaReuses
 	for level, n := range o.PartitionsByLevel {
 		for len(s.PartitionsByLevel) <= level {
 			s.PartitionsByLevel = append(s.PartitionsByLevel, 0)
@@ -294,11 +310,11 @@ type engine struct {
 	minSup  int
 	res     *mining.Result
 	maxItem seq.Item
-	arrays  []*counting.Array
+	scr     *scratch // this engine's arena bundle; drawn lazily (see arena.go)
 	stats   Stats
 	ctx     context.Context       // nil means "never cancelled" (direct engine use in tests)
 	sched   *scheduler            // nil for a serial run
-	pool    *arrayPool            // shared counting-array scratch pool of a parallel run
+	pool    *scratchPool          // shared arena-bundle pool of a parallel run
 	prog    *progressTracker      // nil unless Options.Progress is set
 	budget  *budgetState          // nil unless a resource budget is set
 	ckpt    *Checkpointer         // nil unless checkpoint/resume is enabled
@@ -333,7 +349,7 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 	if workers > 1 {
 		e.sched = newScheduler(workers)
 		e.sched.degraded = e.budget
-		e.pool = &arrayPool{maxItem: e.maxItem}
+		e.pool = &scratchPool{maxItem: e.maxItem, pointer: e.opts.PointerTree, avlRec: e.avlRec, cntRec: e.cntRec}
 	}
 	members := make([]*member, len(db))
 	for i, cs := range db {
@@ -348,6 +364,7 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 		return e.processPartition(seq.Pattern{}, members, 0)
 	})
 	sp.End()
+	e.releaseScratch()
 	// The run is over: close the progress stream (so consumers always see
 	// a final Done == Total event, even on error or cancellation) and fold
 	// the merged statistics into the observer's registry.
@@ -411,42 +428,12 @@ func site(key seq.Pattern) string {
 	return key.String()
 }
 
-// array returns the counting array for one recursion depth. Parallel runs
-// draw the arrays from the shared pool (returned by releaseArrays when the
-// worker finishes) so that live scratch memory stays proportional to
-// workers × depth rather than to the number of scheduled partitions.
+// array returns the counting array for one recursion depth, from the
+// engine's arena bundle (see arena.go: parallel runs draw whole bundles
+// from a shared pool, so live scratch memory stays proportional to
+// workers × depth rather than to the number of scheduled partitions).
 func (e *engine) array(depth int) *counting.Array {
-	for len(e.arrays) <= depth {
-		e.arrays = append(e.arrays, nil)
-	}
-	a := e.arrays[depth]
-	if a == nil {
-		if e.pool != nil {
-			a = e.pool.get()
-		} else {
-			a = counting.New(e.maxItem)
-		}
-		// Pooled arrays migrate between workers; the recorder is run-wide,
-		// so (re)attaching on every draw keeps it correct either way.
-		a.Observe(e.cntRec)
-		e.arrays[depth] = a
-	}
-	a.Reset()
-	return a
-}
-
-// releaseArrays returns the engine's counting arrays to the shared pool.
-func (e *engine) releaseArrays() {
-	if e.pool == nil {
-		return
-	}
-	for i, a := range e.arrays {
-		if a != nil {
-			e.pool.put(a)
-			e.arrays[i] = nil
-		}
-	}
-	e.arrays = e.arrays[:0]
+	return e.scratch().array(depth)
 }
 
 // processPartition handles one <key>-partition whose members are exactly
@@ -462,7 +449,7 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 	if err := e.interrupted(); err != nil {
 		return err
 	}
-	e.budget.sampleMem()
+	e.budget.sampleMem(e.scratchBytes())
 	e.stats.partitionProcessed(level)
 	sp := e.span("partition", level)
 	defer sp.End()
@@ -521,11 +508,11 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 // customers to their next minimal contained extension after each partition
 // finishes (Steps 2.2 and 2.1.3.3 of Figure 2).
 func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, level int) error {
-	freqI, freqS := extensionFlags(key, list, e.maxItem)
+	freqI, freqS := e.extensionFlags(key, list, level)
 	if level == 0 && e.prog != nil {
 		e.prog.begin(len(list))
 	}
-	tree := avl.New[seq.Pattern, *member](seq.Compare).Observe(e.avlRec)
+	tree := e.scratch().splitTree(level)
 	for _, mb := range members {
 		if x, no, ok := minFreqExtension(mb.cs, key, freqI, freqS, 0, 0, false); ok {
 			tree.Insert(key.Extend(x, no), mb)
@@ -560,9 +547,11 @@ func (e *engine) split(key seq.Pattern, members []*member, list []seq.Pattern, l
 // extensionFlags spreads the frequent extension list of key into the
 // per-item lookup tables consumed by minFreqExtension: freqI flags items
 // whose i-form (growing key's last itemset) is frequent, freqS the s-form.
-func extensionFlags(key seq.Pattern, list []seq.Pattern, maxItem seq.Item) (freqI, freqS []bool) {
-	freqI = make([]bool, maxItem+1)
-	freqS = make([]bool, maxItem+1)
+// The tables come from the arena's per-level pair — the split at this
+// level holds them across its deeper recursion, which only touches
+// higher-level pairs.
+func (e *engine) extensionFlags(key seq.Pattern, list []seq.Pattern, level int) (freqI, freqS []bool) {
+	freqI, freqS = e.scratch().levelFlags(level)
 	for _, p := range list {
 		if p.LastTNo() == key.LastTNoOrZero() {
 			freqI[p.LastItem()] = true
@@ -619,17 +608,19 @@ func minFreqExtension(cs *seq.CustomerSeq, key seq.Pattern, freqI, freqS []bool,
 // frequentExtensions finds the frequent (len(key)+1)-sequences with prefix
 // key among members, in ascending order, together with their supports.
 func (e *engine) frequentExtensions(key seq.Pattern, members []*member, depth int) ([]seq.Pattern, []int) {
-	arr := e.array(depth)
+	s := e.scratch()
+	arr := s.array(depth)
 	if key.IsEmpty() {
 		// Level 0: frequent 1-sequences.
-		seen := make([]bool, e.maxItem+1)
-		var scratch []seq.Item
+		seen := s.seenBitmap()
+		buf := s.itemBuf
 		for ci, mb := range members {
-			scratch = mb.cs.DistinctItems(scratch[:0], seen)
-			for _, it := range scratch {
+			buf = mb.cs.DistinctItems(buf[:0], seen)
+			for _, it := range buf {
 				arr.TouchS(it, int32(ci))
 			}
 		}
+		s.itemBuf = buf
 	} else {
 		for ci, mb := range members {
 			cid := int32(ci)
@@ -638,9 +629,9 @@ func (e *engine) frequentExtensions(key seq.Pattern, members []*member, depth in
 				func(x seq.Item) { arr.TouchS(x, cid) })
 		}
 	}
-	fi := arr.FrequentI(e.minSup, nil)
-	fs := arr.FrequentS(e.minSup, nil)
-	return mergeExtensions(key, arr, fi, fs)
+	s.fi = arr.FrequentI(e.minSup, s.fi[:0])
+	s.fs = arr.FrequentS(e.minSup, s.fs[:0])
+	return mergeExtensions(key, arr, s.fi, s.fs)
 }
 
 // mergeExtensions interleaves the frequent i- and s-extensions of key into
@@ -677,8 +668,10 @@ func mergeExtensions(key seq.Pattern, arr *counting.Array, fi, fs []seq.Item) ([
 // sorted ascending, duplicate-free — see seq.NewCustomerSeq), and the run
 // reports that as an error rather than crashing from a worker goroutine.
 func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.Pattern) ([]*member, error) {
-	freqS := make([]bool, e.maxItem+1)
-	freqI := make([]bool, e.maxItem+1)
+	s := e.scratch()
+	// reduceMembers runs at level 1 while the level-0 split's flag tables
+	// are live, so it uses the arena's dedicated pair.
+	freqI, freqS := s.reduceFlags()
 	for _, p := range list2 {
 		x := p.LastItem()
 		if p.NumItemsets() == 1 {
@@ -688,9 +681,13 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 		}
 	}
 	// The caller's slice is left untouched: the parent split still walks it
-	// (with the original, unreduced sequences) for reassignment.
+	// (with the original, unreduced sequences) for reassignment. The
+	// reduced sequences escape into deeper partitions, so out is a fresh
+	// allocation; the surviving-item staging below is not (NewCustomerSeq
+	// copies, so one flat arena buffer serves every customer in turn).
 	out := make([]*member, 0, len(members))
-	var sets []seq.Itemset
+	sets := s.sets[:0]
+	buf := s.redBuf
 	for _, mb := range members {
 		cs := mb.cs
 		minTrans := -1
@@ -704,6 +701,10 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 			return nil, fmt.Errorf("core: malformed database: customer cid=%d was assigned to the partition of item %d but does not contain it (itemsets must be sorted ascending and duplicate-free; construct customer sequences with seq.NewCustomerSeq)", cs.CID, lambda)
 		}
 		sets = sets[:0]
+		if cap(buf) < cs.Len() {
+			buf = make([]seq.Item, 0, cs.Len())
+		}
+		buf = buf[:0]
 		// The removal rules of §3.1 apply to items right of the minimum
 		// point only; earlier transactions are carried over unchanged (they
 		// cannot match any pattern starting with λ, but the paper's Table 7
@@ -714,7 +715,7 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 		for t := minTrans; t < cs.NTrans(); t++ {
 			tr := cs.Transaction(t)
 			hasLambda := tr.Has(lambda)
-			var ns seq.Itemset
+			start := len(buf)
 			for _, x := range tr {
 				keep := false
 				switch {
@@ -733,11 +734,11 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 					keep = freqS[x]
 				}
 				if keep {
-					ns = append(ns, x)
+					buf = append(buf, x)
 				}
 			}
-			if len(ns) > 0 {
-				sets = append(sets, ns)
+			if len(buf) > start {
+				sets = append(sets, seq.Itemset(buf[start:len(buf):len(buf)]))
 			}
 		}
 		red := seq.NewCustomerSeq(cs.CID, sets...)
@@ -746,6 +747,7 @@ func (e *engine) reduceMembers(lambda seq.Item, members []*member, list2 []seq.P
 		}
 		out = append(out, &member{cs: red})
 	}
+	s.sets, s.redBuf = sets, buf
 	return out, nil
 }
 

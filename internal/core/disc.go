@@ -1,7 +1,6 @@
 package core
 
 import (
-	"github.com/disc-mining/disc/internal/avl"
 	"github.com/disc-mining/disc/internal/kmin"
 	"github.com/disc-mining/disc/internal/seq"
 )
@@ -22,8 +21,12 @@ type discEntry struct {
 // the k-sorted database.
 func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int) error {
 	// Copy: the slice is filtered in place below, and the caller's split
-	// still needs its bucket intact for reassignment.
-	members = append([]*member(nil), members...)
+	// still needs its bucket intact for reassignment. The copy lives in
+	// the arena (discLoop is a leaf of the partition recursion, so one
+	// buffer per engine suffices).
+	s := e.scratch()
+	s.membersBuf = append(s.membersBuf[:0], members...)
+	members = s.membersBuf
 	k := startK
 	for len(listPrev) > 0 && len(members) >= e.minSup {
 		if err := e.interrupted(); err != nil {
@@ -68,7 +71,7 @@ func (e *engine) discLoop(members []*member, listPrev []seq.Pattern, startK int)
 // (k+1)-sequences with k-prefix α₁ (Figure 7), so one scan of the k-sorted
 // database serves two lengths.
 func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (listK, listK1 []seq.Pattern) {
-	tree := avl.New[seq.Pattern, discEntry](seq.Compare).Observe(e.avlRec)
+	tree := e.scratch().discTree()
 	for i, mb := range members {
 		if i&cancelCheckMask == cancelCheckMask && e.interrupted() != nil {
 			return nil, nil
@@ -137,14 +140,17 @@ func (e *engine) discover(members []*member, listPrev []seq.Pattern, k int) (lis
 // freshly confirmed frequent k-sequence key and records the frequent
 // (k+1)-sequences with k-prefix key.
 func (e *engine) bilevelCount(key seq.Pattern, bucket []discEntry, k int, listK1 []seq.Pattern) []seq.Pattern {
-	arr := e.array(k) // depth-indexed scratch array, disjoint from the partition levels in use
+	s := e.scratch()
+	arr := s.array(k) // depth-indexed scratch array, disjoint from the partition levels in use
 	for ci, en := range bucket {
 		cid := int32(ci)
 		kmin.EnumExtensions(en.cs, key,
 			func(x seq.Item) { arr.TouchI(x, cid) },
 			func(x seq.Item) { arr.TouchS(x, cid) })
 	}
-	exts, sups := mergeExtensions(key, arr, arr.FrequentI(e.minSup, nil), arr.FrequentS(e.minSup, nil))
+	s.fi = arr.FrequentI(e.minSup, s.fi[:0])
+	s.fs = arr.FrequentS(e.minSup, s.fs[:0])
+	exts, sups := mergeExtensions(key, arr, s.fi, s.fs)
 	for i, p := range exts {
 		e.res.Add(p, sups[i])
 		listK1 = append(listK1, p)

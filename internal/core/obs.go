@@ -65,7 +65,10 @@ func (e *engine) flushObs(runErr error) {
 		r.Counter("disc_budget_breaches_total", "Runs stopped by an exhausted resource budget, by resource.",
 			obs.Label{Key: "resource", Value: be.Resource}).Inc()
 	}
+	r.Counter("disc_arena_acquires_total", "Scratch-arena bundles drawn by the run's engines.").Add(int64(s.ArenaAcquires))
+	r.Counter("disc_arena_reuses_total", "Arena draws satisfied by a warm pooled bundle (zero-allocation reuse).").Add(int64(s.ArenaReuses))
 	r.Counter("disc_avl_rotations_total", "AVL rotations across the run's k-sorted database trees.").Add(e.avlRec.Rotations.Load())
+	r.Counter("disc_avl_slab_grows_total", "Locative-tree slab reallocations (cold growth; warm rounds perform none).").Add(e.avlRec.SlabGrows.Load())
 	r.Counter("disc_counting_dedup_hits_total", "Counting-array touches suppressed by the last-customer-id check (Figure 3 dedup).").Add(e.cntRec.DedupHits.Load())
 }
 

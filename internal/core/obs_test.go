@@ -54,6 +54,8 @@ func TestObsRegistryMatchesStats(t *testing.T) {
 			"disc_kms_calls_total":         s.KMSCalls,
 			"disc_ckms_calls_total":        s.CKMSCalls,
 			"disc_dropped_customers_total": s.Dropped,
+			"disc_arena_acquires_total":    s.ArenaAcquires,
+			"disc_arena_reuses_total":      s.ArenaReuses,
 		} {
 			if got := snapInt(t, snap, key); got != int64(want) {
 				t.Errorf("workers=%d: %s = %d, registry has %d", workers, key, want, got)

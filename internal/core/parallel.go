@@ -22,7 +22,6 @@ import (
 	"sync"
 
 	"github.com/disc-mining/disc/internal/checkpoint"
-	"github.com/disc-mining/disc/internal/counting"
 	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/seq"
 )
@@ -82,24 +81,6 @@ func (s *scheduler) do(wg *sync.WaitGroup, fn func()) {
 		fn()
 	}
 }
-
-// arrayPool recycles counting arrays across partition workers so that live
-// scratch memory is bounded by workers × recursion depth instead of the
-// number of scheduled partitions. Arrays reset in O(1) (epoch stamping),
-// so reuse is free.
-type arrayPool struct {
-	maxItem seq.Item
-	p       sync.Pool
-}
-
-func (ap *arrayPool) get() *counting.Array {
-	if a, ok := ap.p.Get().(*counting.Array); ok {
-		return a
-	}
-	return counting.New(ap.maxItem)
-}
-
-func (ap *arrayPool) put(a *counting.Array) { ap.p.Put(a) }
 
 // progressTracker serializes Options.Progress callbacks and counts
 // completed first-level partitions. Its closing contract: consumers see
@@ -181,7 +162,7 @@ func (p *progressTracker) finish() {
 // — the run drains cleanly and Mine returns an *mining.InvariantError —
 // instead of killing the process from a goroutine no caller can recover.
 func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pattern, level int) error {
-	buckets, err := e.eagerBuckets(key, members, list)
+	buckets, err := e.eagerBuckets(key, members, list, level)
 	if err != nil {
 		return err
 	}
@@ -218,7 +199,7 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 			errs[i] = mining.Contain(site(list[i]), func() error {
 				return child.processPartition(list[i], buckets[i], level+1)
 			})
-			child.releaseArrays()
+			child.releaseScratch()
 			if errs[i] == nil && level == 0 && e.ckpt != nil {
 				e.ckpt.record(list[i], child.res, &child.stats)
 			}
@@ -262,11 +243,14 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 // chunked across the pool; chunk results are concatenated in member
 // order. Chunk goroutines run under mining.Contain — the findExtension
 // invariant panic comes back as an error, never as a process crash.
-func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern) ([][]*member, error) {
+// eagerBuckets' chunk goroutines read the submitting engine's arena flag
+// tables concurrently but strictly read-only, and all of them finish
+// (wg.Wait) before anything writes those tables again.
+func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern, level int) ([][]*member, error) {
 	if e.obs != nil {
 		defer e.obs.Span("eager_buckets").End()
 	}
-	freqI, freqS := extensionFlags(key, list, e.maxItem)
+	freqI, freqS := e.extensionFlags(key, list, level)
 	assign := func(members []*member, buckets [][]*member) {
 		for _, mb := range members {
 			x, no, ok := minFreqExtension(mb.cs, key, freqI, freqS, 0, 0, false)

@@ -227,7 +227,7 @@ func TestEagerBucketsMatchLazySplit(t *testing.T) {
 			members = append(members, &member{cs: cs})
 		}
 		list, _ := e.frequentExtensions(seq.Pattern{}, members, 0)
-		buckets, err := e.eagerBuckets(seq.Pattern{}, members, list)
+		buckets, err := e.eagerBuckets(seq.Pattern{}, members, list, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -198,12 +198,24 @@ func (b *budgetState) notePatterns(n int) {
 	}
 }
 
-// sampleMem samples the heap against the memory budget. ReadMemStats
-// briefly stops the world, so only one call in 32 actually samples; the
-// engine invokes it at partition boundaries.
-func (b *budgetState) sampleMem() {
+// sampleMem samples memory against the budget at a partition boundary.
+// Two signals feed it: scratchBytes, the calling engine's exact arena
+// slab footprint (O(1) to read, so it is checked on every call — the
+// degrade path sees the allocator's own accounting even between heap
+// samples), and the global heap, whose ReadMemStats briefly stops the
+// world and therefore runs only one call in 32.
+func (b *budgetState) sampleMem(scratchBytes int64) {
 	if b == nil || b.maxMem <= 0 {
 		return
+	}
+	if scratchBytes > b.maxMem {
+		b.breach.CompareAndSwap(nil, &mining.BudgetError{
+			Resource: "memory", Limit: b.maxMem, Used: scratchBytes,
+		})
+		return
+	}
+	if float64(scratchBytes) >= mining.BudgetDegradeFraction*float64(b.maxMem) {
+		b.degraded.Store(true)
 	}
 	if b.memTick.Add(1)&31 != 1 {
 		return

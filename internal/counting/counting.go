@@ -9,7 +9,7 @@
 package counting
 
 import (
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"github.com/disc-mining/disc/internal/seq"
@@ -41,6 +41,7 @@ type Array struct {
 	epS, epI   []uint32 // epoch stamp per cell
 	touchedS   []seq.Item
 	touchedI   []seq.Item
+	sortBuf    []seq.Item // frequent()'s reusable sort staging
 	maxItem    seq.Item
 	rec        *Recorder
 }
@@ -138,13 +139,24 @@ func (a *Array) FrequentI(minSup int, buf []seq.Item) []seq.Item {
 func (a *Array) frequent(touched []seq.Item, sup []int32, ep []uint32, minSup int, buf []seq.Item) []seq.Item {
 	// touched is unsorted; results must come out in item order. The
 	// touched set is small relative to maxItem in deep partitions, so sort
-	// a copy of the touched list rather than scanning the whole array.
-	tmp := append([]seq.Item(nil), touched...)
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	// a copy of the touched list (staged in the array's reusable buffer —
+	// warm calls allocate nothing) rather than scanning the whole array.
+	tmp := append(a.sortBuf[:0], touched...)
+	a.sortBuf = tmp
+	slices.Sort(tmp)
 	for _, x := range tmp {
 		if ep[x] == a.epoch && int(sup[x]) >= minSup {
 			buf = append(buf, x)
 		}
 	}
 	return buf
+}
+
+// MemBytes returns the array's slab footprint: six per-item cell arrays
+// plus the touched and sort staging buffers. O(1); feeds the engine's
+// resource-budget accounting.
+func (a *Array) MemBytes() int64 {
+	return int64(cap(a.supS)+cap(a.supI)+cap(a.cidS)+cap(a.cidI))*4 +
+		int64(cap(a.epS)+cap(a.epI))*4 +
+		int64(cap(a.touchedS)+cap(a.touchedI)+cap(a.sortBuf))*4
 }

@@ -125,3 +125,51 @@ func TestNonContiguousCIDsDoubleCount(t *testing.T) {
 		t.Errorf("SupS = %d; the last-CID mechanism assumes contiguous customer scans", a.SupS(1))
 	}
 }
+
+// TestSteadyStateZeroAllocs pins the scratch-buffer property the engine
+// arenas rely on: after one warm round, a full touch / frequent-scan /
+// Reset cycle of the same shape performs zero heap allocations — the
+// Frequent* sort runs in the retained sortBuf, not a fresh copy of the
+// touched list.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	a := New(60)
+	buf := make([]seq.Item, 0, 64)
+	round := func() {
+		for i := 0; i < 200; i++ {
+			a.TouchS(seq.Item(i%53+1), int32(i%17))
+			a.TouchI(seq.Item(i%41+1), int32(i%17))
+		}
+		buf = a.FrequentS(3, buf[:0])
+		buf = a.FrequentI(3, buf[:0])
+		a.Reset()
+	}
+	round()
+	round()
+	if allocs := testing.AllocsPerRun(20, round); allocs != 0 {
+		t.Fatalf("steady-state round allocated %.0f times, want 0", allocs)
+	}
+}
+
+// TestMemBytesAccounting sanity-checks the O(1) footprint report: zero
+// before any slab exists is impossible (New allocates the support
+// slabs), but the figure must grow once the touched lists and sort
+// scratch fill, and must be stable across Reset (slabs are retained).
+func TestMemBytesAccounting(t *testing.T) {
+	a := New(100)
+	base := a.MemBytes()
+	if base <= 0 {
+		t.Fatalf("fresh array MemBytes = %d", base)
+	}
+	for i := 0; i < 300; i++ {
+		a.TouchS(seq.Item(i%97+1), int32(i))
+	}
+	a.FrequentS(1, nil)
+	grown := a.MemBytes()
+	if grown <= base {
+		t.Fatalf("MemBytes did not grow with touched lists: %d -> %d", base, grown)
+	}
+	a.Reset()
+	if got := a.MemBytes(); got != grown {
+		t.Fatalf("Reset changed MemBytes %d -> %d; slabs should be retained", grown, got)
+	}
+}
