@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs
+.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs cluster
 
 all: check
 
@@ -64,6 +64,20 @@ faultinject:
 # binaries and mines a deliberately slow job.
 soak:
 	DISC_SOAK=1 $(GO) test -race -run TestServiceSoak -count=1 -v -timeout 600s ./cmd/discserve
+
+# Distributed mining under the race detector: the sharded-engine
+# foundation in core (shard-union byte identity, including the
+# policy-less configurations), the shard protocol and coordinator
+# retry/reschedule logic in internal/cluster, the discserve role wiring
+# (in-process fleets over the real HTTP surface), and the
+# cluster-equals-local differential grid with injected worker faults
+# (mid-shard panic rescheduled from its checkpoint, dropped
+# connections).
+cluster:
+	$(GO) test -race -run 'TestShard' -count=1 ./internal/core ./internal/checkpoint
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -run 'TestFleet|TestParseFlagsCluster' -count=1 ./cmd/discserve
+	$(GO) test -race -run TestClusterEqualsLocalGrid -count=1 ./internal/difftest
 
 # The observability suite under the race detector: the registry/tracer
 # package itself (including the 16-goroutine hammer and the exposition

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// startRole hosts one discserve instance in-process (runCtx) and returns
+// its base URL. The instance drains and exits at test cleanup.
+func startRole(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var logs syncBuf
+	done := make(chan error, 1)
+	go func() { done <- runCtx(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &logs) }()
+	t.Cleanup(func() {
+		start := time.Now()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("instance exited with error: %v\nlogs:\n%s", err, logs.String())
+			}
+			if d := time.Since(start); d > 2*time.Second {
+				t.Logf("slow drain (%s); logs:\n%s", d, logs.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Errorf("instance did not drain; logs:\n%s", logs.String())
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, line := range strings.Split(logs.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "discserve: listening on "); ok {
+				return "http://" + rest
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening line; logs:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// localWant mines the server's default configuration locally and renders
+// the canonical result text — the bytes every clustered run must match.
+func localWant(t *testing.T, db mining.Database, minSup int) string {
+	t.Helper()
+	m := &core.Miner{Opts: core.Options{BiLevel: true, Levels: 2}}
+	res, err := m.Mine(db, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := jobs.WriteResult(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func submitAndFetch(t *testing.T, base string, body []byte) (string, string) {
+	t.Helper()
+	resp, raw := postURL(t, base+"/jobs?minsup=2&wait=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	j := decodeJob(t, raw)
+	if j.State != "done" {
+		t.Fatalf("job state %q, error %+v", j.State, j.Error)
+	}
+	res, err := http.Get(base + "/jobs/" + j.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	text, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j.ID, string(text)
+}
+
+func postURL(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFleetStaticPeersByteIdentical: two worker-role instances, one
+// coordinator-role instance pointed at them via -peers; a job submitted
+// to the coordinator's ordinary job API mines across the fleet and its
+// result is byte-identical to a local run. The cluster metric families
+// show up on both roles.
+func TestFleetStaticPeersByteIdentical(t *testing.T) {
+	db := testutil.Table1()
+	want := localWant(t, db, 2)
+	w1 := startRole(t, "-role", "worker", "-jobs", "4")
+	w2 := startRole(t, "-role", "worker", "-jobs", "4")
+	coord := startRole(t, "-role", "coordinator",
+		"-peers", w1+","+w2, "-shards", "3", "-shard-timeout", "1m")
+
+	_, got := submitAndFetch(t, coord, dbBody(t, db))
+	if got != want {
+		t.Fatalf("clustered result differs from local run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	cm := metricsText(t, coord)
+	if !strings.Contains(cm, `disc_cluster_shards_total{state="done"} 3`) {
+		t.Errorf("coordinator metrics missing shard accounting:\n%s", cm)
+	}
+	if !strings.Contains(cm, "disc_cluster_worker_latency_seconds") {
+		t.Error("coordinator metrics missing per-worker latency histograms")
+	}
+	servedTotal := 0
+	for _, w := range []string{w1, w2} {
+		wm := metricsText(t, w)
+		if strings.Contains(wm, `disc_cluster_worker_shards_total{outcome="done"}`) {
+			servedTotal++
+		}
+	}
+	if servedTotal == 0 {
+		t.Error("no worker reported serving a shard")
+	}
+}
+
+// TestFleetHeartbeatRegistration: a coordinator with no static peers
+// learns its worker through POST /cluster/register heartbeats, then
+// dispatches to it.
+func TestFleetHeartbeatRegistration(t *testing.T) {
+	db := testutil.Table1()
+	want := localWant(t, db, 2)
+	coord := startRole(t, "-role", "coordinator", "-shards", "2")
+	startRole(t, "-role", "worker", "-jobs", "4",
+		"-coordinator", coord, "-heartbeat", "20ms")
+
+	// Wait for the registration to land, then mine through the fleet.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(metricsText(t, coord), "disc_cluster_workers 1") {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered with the coordinator")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, got := submitAndFetch(t, coord, dbBody(t, db))
+	if got != want {
+		t.Fatal("heartbeat-registered fleet result differs from local run")
+	}
+	if !strings.Contains(metricsText(t, coord), `disc_cluster_shards_total{state="done"} 2`) {
+		t.Error("shards did not go through the registered worker")
+	}
+}
+
+// TestFleetSurvivesDroppingWorker: one worker drops every shard
+// connection (injected); the fleet still produces the byte-identical
+// result by rescheduling onto the healthy worker.
+func TestFleetSurvivesDroppingWorker(t *testing.T) {
+	db := testutil.Table1()
+	want := localWant(t, db, 2)
+	bad := startRole(t, "-role", "worker", "-fault-seed", "7", "-fault-shard-drop", "1")
+	good := startRole(t, "-role", "worker", "-jobs", "4")
+	coord := startRole(t, "-role", "coordinator",
+		"-peers", bad+","+good, "-shards", "2", "-shard-timeout", "30s")
+
+	_, got := submitAndFetch(t, coord, dbBody(t, db))
+	if got != want {
+		t.Fatal("fleet with a dropping worker produced a different result")
+	}
+	cm := metricsText(t, coord)
+	if !strings.Contains(cm, `disc_cluster_shards_total{state="retried"}`) {
+		t.Errorf("dropping worker never triggered a reschedule:\n%s", cm)
+	}
+}
+
+func TestParseFlagsClusterMapping(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-role", "coordinator", "-peers", " http://a:1 ,http://b:2,",
+		"-shards", "4", "-shard-timeout", "90s", "-shard-retries", "5",
+		"-heartbeat-ttl", "42s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.role != "coordinator" || len(cfg.cluster.Peers) != 2 ||
+		cfg.cluster.Peers[0] != "http://a:1" || cfg.cluster.Peers[1] != "http://b:2" ||
+		cfg.cluster.Shards != 4 || cfg.cluster.ShardTimeout != 90*time.Second ||
+		cfg.cluster.Retries != 5 || cfg.cluster.HeartbeatTTL != 42*time.Second {
+		t.Errorf("cluster flags misrouted: %+v", cfg.cluster)
+	}
+	cfg, err = parseFlags([]string{"-role", "worker",
+		"-coordinator", "http://c:3", "-advertise", "http://me:4", "-heartbeat", "5s",
+		"-fault-seed", "1", "-fault-shard-drop", "0.5", "-fault-shard-slow", "0.25"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.role != "worker" || cfg.coordinator != "http://c:3" ||
+		cfg.advertise != "http://me:4" || cfg.heartbeat != 5*time.Second {
+		t.Errorf("worker flags misrouted: %+v", cfg)
+	}
+	if cfg.faults == nil {
+		t.Error("shard fault flags did not arm an injector")
+	}
+	if _, err := parseFlags([]string{"-role", "conductor"}); err == nil {
+		t.Error("bad -role accepted")
+	}
+}

@@ -24,6 +24,13 @@
 // so scraping and profiling are never exposed on the tenant-facing
 // port.
 //
+// Cluster roles (-role): a coordinator shards each disc-all-family job
+// across its -peers and self-registered workers (POST /cluster/register
+// is the heartbeat), rescheduling failed shards from their checkpoints
+// and assembling a byte-identical result; a worker serves POST
+// /cluster/shard and, with -coordinator, announces itself there every
+// -heartbeat. Both roles keep the full job API.
+//
 // Overload answers 429 with Retry-After; oversized inputs answer 413;
 // SIGTERM stops admission, finishes (or checkpoints) the backlog within
 // -drain-timeout, and exits 0.
@@ -40,10 +47,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/disc-mining/disc/internal/cliutil"
+	"github.com/disc-mining/disc/internal/cluster"
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/faultinject"
 	"github.com/disc-mining/disc/internal/jobs"
@@ -65,6 +74,14 @@ type serveConfig struct {
 	maxBodyBytes int64
 	workers      int
 	drainTimeout time.Duration
+
+	// Cluster role wiring (-role coordinator|worker|standalone).
+	role        string
+	cluster     cluster.Config // coordinator side
+	coordinator string         // worker side: coordinator base URL to register with
+	advertise   string         // worker side: our externally reachable base URL
+	heartbeat   time.Duration  // worker side: registration interval
+	faults      *faultinject.Injector
 }
 
 // parseFlags maps the command line onto a serveConfig. The budget and
@@ -87,9 +104,20 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs.IntVar(&cfg.limits.MaxTokens, "max-tokens", 0, "per-line token count limit (0 = default)")
 	fs.IntVar(&cfg.jobs.CacheJobs, "cache", 64, "terminal jobs retained for result caching and idempotent retries")
 	fs.DurationVar(&cfg.jobs.RetryAfter, "retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	fs.StringVar(&cfg.role, "role", "standalone", "cluster role: standalone, coordinator (shard jobs across -peers and registered workers) or worker (serve /cluster/shard)")
+	peers := fs.String("peers", "", "coordinator: comma-separated static worker base URLs")
+	fs.IntVar(&cfg.cluster.Shards, "shards", 0, "coordinator: shards per job (0 = one per live worker)")
+	fs.DurationVar(&cfg.cluster.ShardTimeout, "shard-timeout", 5*time.Minute, "coordinator: per-attempt shard deadline; a shard past it is rescheduled from its checkpoint")
+	fs.IntVar(&cfg.cluster.Retries, "shard-retries", 3, "coordinator: reschedules per shard before mining it locally")
+	fs.DurationVar(&cfg.cluster.HeartbeatTTL, "heartbeat-ttl", 30*time.Second, "coordinator: registered workers expire this long after their last heartbeat")
+	fs.StringVar(&cfg.coordinator, "coordinator", "", "worker: coordinator base URL to register with (empty = rely on the coordinator's static -peers)")
+	fs.StringVar(&cfg.advertise, "advertise", "", "worker: externally reachable base URL to register (default http://<bound addr>)")
+	fs.DurationVar(&cfg.heartbeat, "heartbeat", 10*time.Second, "worker: registration heartbeat interval")
 	seed := fs.Int64("fault-seed", 0, "fault injection seed (testing/drills)")
 	panicN := fs.Int("fault-panic-after", 0, "inject a worker panic on the N-th partition (testing/drills)")
 	cancelN := fs.Int("fault-cancel-after", 0, "inject a cancellation on the N-th partition (testing/drills)")
+	dropProb := fs.Float64("fault-shard-drop", 0, "worker: drop shard connections with this probability (testing/drills)")
+	slowProb := fs.Float64("fault-shard-slow", 0, "worker: stall shard requests with this probability (testing/drills)")
 	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -97,7 +125,17 @@ func parseFlags(args []string) (serveConfig, error) {
 	cfg.jobs.MaxPatterns = shared.MaxPatterns
 	cfg.jobs.MaxMemBytes = shared.MaxMemBytes
 	cfg.jobs.CheckpointInterval = shared.CheckpointInterval
-	if *panicN > 0 || *cancelN > 0 {
+	switch cfg.role {
+	case "standalone", "coordinator", "worker":
+	default:
+		return cfg, fmt.Errorf("-role must be standalone, coordinator or worker (got %q)", cfg.role)
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.cluster.Peers = append(cfg.cluster.Peers, p)
+		}
+	}
+	if *panicN > 0 || *cancelN > 0 || *dropProb > 0 || *slowProb > 0 {
 		inj := faultinject.New(*seed)
 		if *panicN > 0 {
 			inj.Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: *panicN})
@@ -105,7 +143,14 @@ func parseFlags(args []string) (serveConfig, error) {
 		if *cancelN > 0 {
 			inj.Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: *cancelN})
 		}
+		if *dropProb > 0 {
+			inj.Arm(faultinject.ShardDrop, faultinject.Spec{Prob: *dropProb})
+		}
+		if *slowProb > 0 {
+			inj.Arm(faultinject.ShardSlow, faultinject.Spec{Prob: *slowProb})
+		}
 		cfg.jobs.Faults = inj
+		cfg.faults = inj
 	}
 	return cfg, nil
 }
@@ -118,6 +163,13 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx is run with an externally triggered shutdown: canceling ctx
+// drains exactly like SIGTERM. Tests use it to host whole fleets
+// in-process.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
@@ -135,6 +187,20 @@ func run(args []string, stdout io.Writer) error {
 	observer.Registry.MirrorExpvar("disc")
 	cfg.jobs.Obs = observer
 
+	// Cluster roles: a coordinator replaces the manager's local mining
+	// with fleet dispatch; a worker additionally serves the shard
+	// endpoint and heartbeats its registration. Everything else — the job
+	// API, admission, checkpointing, drain — is identical in every role.
+	var coord *cluster.Coordinator
+	if cfg.role == "coordinator" {
+		cc := cfg.cluster
+		cc.Faults = cfg.faults
+		cc.Logf = logf
+		cc.Obs = observer
+		coord = cluster.New(cc)
+		cfg.jobs.Mine = coord.Mine
+	}
+
 	mgr := jobs.NewManager(cfg.jobs)
 	srv := newServer(mgr, cfg.limits, cfg.maxBodyBytes, cfg.workers, logf)
 
@@ -146,7 +212,38 @@ func run(args []string, stdout io.Writer) error {
 	// (port 0 resolves to a real port here).
 	fmt.Fprintf(stdout, "discserve: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.routes()}
+	mux := srv.routes()
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	defer hbCancel()
+	switch cfg.role {
+	case "coordinator":
+		mux.HandleFunc("POST /cluster/register", coord.HandleRegister)
+		logf("discserve: coordinator role: %d static peers, shards=%d", len(cfg.cluster.Peers), cfg.cluster.Shards)
+	case "worker":
+		worker := cluster.NewWorker(cluster.WorkerConfig{
+			Workers:       cfg.workers,
+			MaxPatterns:   cfg.jobs.MaxPatterns,
+			MaxMemBytes:   cfg.jobs.MaxMemBytes,
+			MaxConcurrent: cfg.jobs.Workers,
+			MaxBodyBytes:  cfg.maxBodyBytes,
+			Faults:        cfg.faults,
+			Logf:          logf,
+			Obs:           observer,
+		})
+		mux.HandleFunc("POST /cluster/shard", worker.HandleShard)
+		if cfg.coordinator != "" {
+			advertise := cfg.advertise
+			if advertise == "" {
+				advertise = "http://" + ln.Addr().String()
+			}
+			logf("discserve: worker role: registering %s with %s", advertise, cfg.coordinator)
+			go cluster.Heartbeat(hbCtx, nil, cfg.coordinator, advertise, cfg.heartbeat, logf)
+		} else {
+			logf("discserve: worker role: serving /cluster/shard (no -coordinator, relying on static peers)")
+		}
+	}
+
+	hs := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
@@ -181,8 +278,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	case s := <-sig:
 		logf("discserve: %v: draining (grace %s)", s, cfg.drainTimeout)
+	case <-ctx.Done():
+		logf("discserve: shutdown requested: draining (grace %s)", cfg.drainTimeout)
 	}
 	signal.Stop(sig)
+	hbCancel() // stop the worker heartbeat before the listener goes away
 
 	// Graceful drain: stop admitting (readyz flips to 503), let queued
 	// and running jobs finish; past the grace they are canceled and
@@ -202,7 +302,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		return err
+		// Jobs are already drained and checkpointed; a connection that
+		// outlives the HTTP grace (a mid-flight scrape, an aborted shard
+		// stream) is force-closed rather than holding the exit hostage.
+		logf("discserve: forcing listener close: %v", err)
+		hs.Close()
 	}
 	logf("discserve: drained, exiting")
 	return nil

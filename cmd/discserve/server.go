@@ -1,7 +1,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,7 +13,6 @@ import (
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/jobs"
-	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/obs"
 )
 
@@ -61,16 +59,11 @@ func (s *server) routes() *http.ServeMux {
 	return mux
 }
 
-// errJSON is the typed error payload: Kind is stable and machine-
-// matchable, the rest is context. The acceptance contract is that a
-// contained worker panic surfaces as kind "invariant" on a 5xx while
-// the process keeps serving.
-type errJSON struct {
-	Kind      string `json:"kind"` // invariant | budget | deadline | canceled | input | shed | draining | not_found | internal
-	Message   string `json:"message"`
-	Resource  string `json:"resource,omitempty"`  // budget errors: "patterns" or "memory"
-	Partition string `json:"partition,omitempty"` // invariant errors: where the panic fired
-}
+// errJSON is the typed error payload. The taxonomy itself lives in
+// internal/jobs (WireError) because the cluster shard protocol speaks
+// it too; this alias keeps the server code and tests on their
+// historical name.
+type errJSON = jobs.WireError
 
 // jobJSON is the status wire form.
 type jobJSON struct {
@@ -99,44 +92,10 @@ func statusJSON(st jobs.Status) jobJSON {
 	return out
 }
 
-// typedError maps an error from the engine or manager onto the wire
-// taxonomy.
-func typedError(err error) *errJSON {
-	e := &errJSON{Kind: "internal", Message: err.Error()}
-	var ie *mining.InvariantError
-	var be *mining.BudgetError
-	switch {
-	case errors.As(err, &ie):
-		e.Kind = "invariant"
-		e.Partition = ie.Partition
-		// The stack is in the server log, not the client payload.
-		e.Message = fmt.Sprintf("internal invariant violated in partition %s: %v", ie.Partition, ie.Value)
-	case errors.As(err, &be):
-		e.Kind = "budget"
-		e.Resource = be.Resource
-	case errors.Is(err, context.DeadlineExceeded):
-		e.Kind = "deadline"
-	case errors.Is(err, context.Canceled):
-		e.Kind = "canceled"
-	}
-	return e
-}
-
-// failureCode maps a terminal job's error onto the HTTP status used
-// when the client asked for the outcome (wait=1 submits and result
-// fetches): the taxonomy the ops runbook keys on.
-func failureCode(st jobs.Status) int {
-	switch {
-	case st.State == jobs.StateCanceled:
-		return http.StatusConflict // 409: the client (or drain) canceled it
-	case errors.Is(st.Err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout // 504: per-job deadline
-	case errors.Is(st.Err, mining.ErrBudgetExceeded):
-		return http.StatusUnprocessableEntity // 422: result exceeds service budgets
-	default:
-		return http.StatusInternalServerError // 500: invariant or unclassified
-	}
-}
+// typedError and failureCode are the shared jobs wire mappings under
+// their historical server-local names.
+func typedError(err error) *errJSON  { return jobs.TypedWireError(err) }
+func failureCode(st jobs.Status) int { return jobs.FailureStatusCode(st) }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -11,6 +11,7 @@
 //	algo <miner name>
 //	fingerprint <16 hex digits>
 //	minsup <δ>
+//	shard <index> <count>            (optional: shard-granular snapshot)
 //	partitions <count>
 //	partition <pairs>
 //	stats <Rounds> <FrequentHits> <Skips> <KMSCalls> <CKMSCalls> <Dropped>
@@ -88,11 +89,20 @@ type Partition struct {
 	Stats    PartitionStats
 }
 
-// File is a decoded checkpoint.
+// File is a decoded checkpoint. A ShardCount above zero marks a
+// shard-granular snapshot — the partitions of shard Shard of ShardCount,
+// the unit the cluster protocol ships between worker and coordinator.
+// ShardCount zero (the default, and the only form older files carry) is
+// a whole-job snapshot. The shard marker is advisory routing metadata:
+// the fingerprint still binds the file to the whole job, and restoring a
+// shard file into a differently sharded (or local) run stays correct
+// because partitions restore by key.
 type File struct {
 	Algo        string
 	Fingerprint uint64
 	MinSup      int
+	Shard       int
+	ShardCount  int
 	Partitions  []Partition
 }
 
@@ -146,6 +156,9 @@ func (f *File) payload() string {
 	fmt.Fprintf(&b, "algo %s\n", f.Algo)
 	fmt.Fprintf(&b, "fingerprint %016x\n", f.Fingerprint)
 	fmt.Fprintf(&b, "minsup %d\n", f.MinSup)
+	if f.ShardCount > 0 {
+		fmt.Fprintf(&b, "shard %d %d\n", f.Shard, f.ShardCount)
+	}
 	fmt.Fprintf(&b, "partitions %d\n", len(f.Partitions))
 	for _, p := range f.Partitions {
 		b.WriteString("partition ")
@@ -267,6 +280,21 @@ func (lr *lineReader) next(prefix string) ([]string, error) {
 	return fields[1:], nil
 }
 
+// tryNext consumes and returns the next line's fields when it starts
+// with prefix, leaving the reader untouched otherwise — for optional
+// lines, which keep the format at v1.
+func (lr *lineReader) tryNext(prefix string) ([]string, bool) {
+	if lr.pos >= len(lr.lines) {
+		return nil, false
+	}
+	fields := strings.Fields(lr.lines[lr.pos])
+	if len(fields) == 0 || fields[0] != prefix {
+		return nil, false
+	}
+	lr.pos++
+	return fields[1:], true
+}
+
 func atoi(s string) (int, error) { return strconv.Atoi(s) }
 
 // Read decodes a checkpoint, verifying version, payload length and
@@ -325,6 +353,20 @@ func Read(r io.Reader) (*File, error) {
 	}
 	if f.MinSup, err = atoi(fields[0]); err != nil {
 		return nil, fmt.Errorf("%w: bad minsup %q", ErrCorrupt, fields[0])
+	}
+	if sf, ok := lr.tryNext("shard"); ok {
+		if len(sf) != 2 {
+			return nil, fmt.Errorf("%w: shard line has %d fields, want 2", ErrCorrupt, len(sf))
+		}
+		if f.Shard, err = atoi(sf[0]); err != nil {
+			return nil, fmt.Errorf("%w: bad shard index %q", ErrCorrupt, sf[0])
+		}
+		if f.ShardCount, err = atoi(sf[1]); err != nil {
+			return nil, fmt.Errorf("%w: bad shard count %q", ErrCorrupt, sf[1])
+		}
+		if f.ShardCount < 1 || f.Shard < 0 || f.Shard >= f.ShardCount {
+			return nil, fmt.Errorf("%w: shard %d of %d out of range", ErrCorrupt, f.Shard, f.ShardCount)
+		}
 	}
 	if fields, err = lr.next("partitions"); err != nil {
 		return nil, err

@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"math"
 	"path/filepath"
 	"strings"
@@ -160,5 +162,57 @@ func TestFingerprintBindsJob(t *testing.T) {
 	}
 	if got := Fingerprint("disc-all", "bilevel=true levels=2", 2, renum); got != base {
 		t.Error("fingerprint depends on customer ids")
+	}
+}
+
+// reheader recomputes a payload's header line, so a test can mutate the
+// payload without tripping the checksum.
+func reheader(payload string) string {
+	return fmt.Sprintf("DISCCKPT v%d crc32=%08x bytes=%d\n%s",
+		Version, crc32.ChecksumIEEE([]byte(payload)), len(payload), payload)
+}
+
+// TestShardRoundTrip pins the optional shard marker: a shard-granular
+// snapshot round-trips its index and count, a whole-job snapshot omits
+// the line entirely (so pre-shard readers and writers agree), and an
+// out-of-range marker is corruption.
+func TestShardRoundTrip(t *testing.T) {
+	f := sample()
+	f.Shard, f.ShardCount = 2, 5
+	enc := encode(t, f)
+	if !strings.Contains(enc, "\nshard 2 5\n") {
+		t.Fatalf("encoded shard snapshot missing shard line:\n%s", enc)
+	}
+	back, err := Read(strings.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != 2 || back.ShardCount != 5 {
+		t.Fatalf("shard round trip: got %d/%d, want 2/5", back.Shard, back.ShardCount)
+	}
+	if len(back.Partitions) != len(f.Partitions) {
+		t.Fatalf("partition count %d, want %d", len(back.Partitions), len(f.Partitions))
+	}
+
+	plain := encode(t, sample())
+	if strings.Contains(plain, "shard") {
+		t.Fatalf("whole-job snapshot encodes a shard line:\n%s", plain)
+	}
+	back, err = Read(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shard != 0 || back.ShardCount != 0 {
+		t.Fatalf("whole-job snapshot decoded shard %d/%d, want 0/0", back.Shard, back.ShardCount)
+	}
+
+	for _, bad := range []string{"shard 5 5", "shard -1 5", "shard 0 0", "shard x 5", "shard 1"} {
+		mutated := strings.Replace(enc, "shard 2 5", bad, 1)
+		// Fix the header's byte count and CRC so only the shard line is at fault.
+		payload := mutated[strings.Index(mutated, "\n")+1:]
+		refixed := reheader(payload)
+		if _, err := Read(strings.NewReader(refixed)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%q: err = %v, want ErrCorrupt", bad, err)
+		}
 	}
 }

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/mining"
+	_ "github.com/disc-mining/disc/internal/prefixspan" // registry entry for the non-shardable path
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+func render(res *mining.Result) string {
+	var b strings.Builder
+	if err := jobs.WriteResult(&b, res); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// startWorker serves one in-process worker and returns its base URL.
+func startWorker(t *testing.T, cfg WorkerConfig) string {
+	t.Helper()
+	w := NewWorker(cfg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/shard", w.HandleShard)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func testReq(t *testing.T, algo string) jobs.Request {
+	t.Helper()
+	r := rand.New(rand.NewSource(41))
+	req := jobs.Request{Algo: algo, MinSup: 2, DB: testutil.SkewedRandomDB(r, 80, 12, 6, 4)}
+	switch algo {
+	case "disc-all":
+		req.Opts = core.Options{BiLevel: true, Levels: 2}
+	case "dynamic-disc-all":
+		req.Opts = core.Options{BiLevel: true, Gamma: 0.5}
+	}
+	return req
+}
+
+func localRun(t *testing.T, req jobs.Request) string {
+	t.Helper()
+	miner, err := localMinerFor(req.Algo, req.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mining.AsContextMiner(miner).MineContext(context.Background(), req.DB, req.MinSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render(res)
+}
+
+func TestClusterMineByteIdenticalToLocal(t *testing.T) {
+	for _, algo := range []string{"disc-all", "dynamic-disc-all"} {
+		t.Run(algo, func(t *testing.T) {
+			req := testReq(t, algo)
+			want := localRun(t, req)
+			var peers []string
+			for i := 0; i < 3; i++ {
+				peers = append(peers, startWorker(t, WorkerConfig{}))
+			}
+			c := New(Config{Peers: peers, Shards: 5, ShardTimeout: time.Minute})
+			res, err := c.Mine(context.Background(), req, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := render(res); got != want {
+				t.Fatalf("clustered result differs from local run:\ngot %d bytes, want %d bytes", len(got), len(want))
+			}
+			if n := int(c.shards["done"].Value()); n != 5 {
+				t.Fatalf("want 5 shards done, got %d", n)
+			}
+		})
+	}
+}
+
+func TestClusterRetriesDroppedConnections(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	// Worker A drops the connection on every shard request; worker B is
+	// healthy. Every shard must land on B, byte-identically.
+	bad := startWorker(t, WorkerConfig{
+		Faults: faultinject.New(7).Arm(faultinject.ShardDrop, faultinject.Spec{Prob: 1}),
+	})
+	good := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+	c := New(Config{Peers: []string{bad, good}, Shards: 3, ShardTimeout: time.Minute, Cooldown: time.Millisecond})
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("clustered result with a dropping worker differs from local run")
+	}
+	if c.shards["retried"].Value() == 0 {
+		t.Fatal("dropped connections should have counted as retries")
+	}
+	if n := int(c.shards["done"].Value()); n != 3 {
+		t.Fatalf("want 3 shards done, got %d", n)
+	}
+}
+
+func TestClusterReschedulesMidShardFailureFromCheckpoint(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	// Worker A panics inside the engine partway through a shard (after 3
+	// completed partitions) — its reply carries a typed error plus the
+	// partial checkpoint. The reschedule must resume, not restart.
+	flaky := startWorker(t, WorkerConfig{
+		Faults: faultinject.New(11).Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: 4}),
+	})
+	good := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+	c := New(Config{Peers: []string{flaky, good}, Shards: 2, ShardTimeout: time.Minute, Cooldown: time.Millisecond})
+	cp := core.NewCheckpointer()
+	res, err := c.Mine(context.Background(), req, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("clustered result with a mid-shard panic differs from local run")
+	}
+	if cp.Completed() == 0 {
+		t.Fatal("received partitions should have been recorded into the job checkpointer")
+	}
+}
+
+func TestClusterLocalFallbackWhenFleetUnusable(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	// Every worker drops every request: all shards exhaust their retries
+	// and are mined locally — correctness never depends on the fleet.
+	bad := startWorker(t, WorkerConfig{
+		Faults: faultinject.New(7).Arm(faultinject.ShardDrop, faultinject.Spec{Prob: 1}),
+	})
+	c := New(Config{Peers: []string{bad}, Shards: 2, Retries: 1, ShardTimeout: time.Second, Cooldown: time.Millisecond})
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("local-fallback result differs from local run")
+	}
+	if n := int(c.shards["local"].Value()); n != 2 {
+		t.Fatalf("want 2 shards mined locally, got %d", n)
+	}
+}
+
+func TestClusterNonShardableRunsLocally(t *testing.T) {
+	req := testReq(t, "disc-all")
+	req.Algo = "prefixspan"
+	req.Opts = core.Options{}
+	want := localRun(t, req)
+	c := New(Config{Peers: []string{"http://127.0.0.1:1"}}) // never contacted
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("non-shardable local run differs")
+	}
+	if c.shards["done"].Value()+c.shards["local"].Value() != 0 {
+		t.Fatal("non-shardable algorithm must not touch the shard path")
+	}
+}
+
+func TestWorkerRejectsFingerprintMismatch(t *testing.T) {
+	url := startWorker(t, WorkerConfig{})
+	req := testReq(t, "disc-all")
+	c := New(Config{Peers: []string{url}})
+	base := ShardRequest{
+		Algo: req.Algo, MinSup: req.MinSup, BiLevel: true, Levels: 2,
+		Shards: 1, Fingerprint: "00000000deadbeef", DB: "1:(1 2)(3)\n",
+	}
+	resp, err := c.dispatch(context.Background(), url, base, 0, 0xdeadbeef, &shardAcc{seen: map[string]bool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Kind != "input" {
+		t.Fatalf("want typed input error for fingerprint mismatch, got %+v", resp.Error)
+	}
+}
+
+func TestWorkerShedsBeyondCapacity(t *testing.T) {
+	// MaxConcurrent 1 and a worker stalled by ShardSlow: the second
+	// concurrent request must shed with kind "shed", not queue.
+	w := NewWorker(WorkerConfig{MaxConcurrent: 1})
+	// Occupy the only slot directly.
+	w.sem <- struct{}{}
+	defer func() { <-w.sem }()
+	url := func() string {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /cluster/shard", w.HandleShard)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv.URL
+	}()
+	req := testReq(t, "disc-all")
+	c := New(Config{Peers: []string{url}})
+	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+	var db strings.Builder
+	if err := data.Write(&db, req.DB, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	base := ShardRequest{
+		Algo: req.Algo, MinSup: req.MinSup, BiLevel: true, Levels: 2,
+		Shards: 1, Fingerprint: Fingerprint(fp), DB: db.String(),
+	}
+	resp, err := c.dispatch(context.Background(), url, base, 0, fp, &shardAcc{seen: map[string]bool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Kind != "shed" {
+		t.Fatalf("want shed error from saturated worker, got %+v", resp.Error)
+	}
+}
+
+func TestRegistrationAndHeartbeatTTL(t *testing.T) {
+	c := New(Config{HeartbeatTTL: 50 * time.Millisecond})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/register", c.HandleRegister)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go Heartbeat(ctx, nil, srv.URL, "http://worker-1", 10*time.Millisecond, nil)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.Workers()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Workers(); len(got) != 1 || got[0] != "http://worker-1" {
+		t.Fatalf("workers = %v", got)
+	}
+	cancel() // stop heartbeating; the TTL must expire the worker
+	deadline = time.Now().Add(2 * time.Second)
+	for len(c.Workers()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never expired after heartbeats stopped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestManagerMineHookDelegatesToCoordinator(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	worker := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+	var called atomic.Int32
+	coord := New(Config{Peers: []string{worker}, Shards: 2, ShardTimeout: time.Minute})
+	m := jobs.NewManager(jobs.Config{
+		Workers: 1,
+		Mine: func(ctx context.Context, r jobs.Request, cp *core.Checkpointer) (*mining.Result, error) {
+			called.Add(1)
+			return coord.Mine(ctx, r, cp)
+		},
+	})
+	defer m.Drain(context.Background())
+	j, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	res, ok := j.Result()
+	if !ok {
+		t.Fatalf("job failed: %v", j.Status().Err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("manager-dispatched clustered job differs from local run")
+	}
+	if called.Load() != 1 {
+		t.Fatalf("mine hook called %d times, want 1", called.Load())
+	}
+}

@@ -1,0 +1,539 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
+)
+
+// Config shapes a Coordinator.
+type Config struct {
+	// Peers are statically configured worker base URLs (always eligible;
+	// no heartbeat required). Workers may also self-register over
+	// HandleRegister and stay eligible while heartbeating.
+	Peers []string
+	// Shards fixes the shard count per job; 0 means one shard per live
+	// worker at dispatch time (at least one).
+	Shards int
+	// ShardTimeout bounds one dispatch attempt of one shard (default 5
+	// minutes). A shard hitting it is rescheduled from its accumulated
+	// checkpoint, so a slow worker costs time, not completed work.
+	ShardTimeout time.Duration
+	// Retries is how many times a failed shard attempt is rescheduled
+	// before the coordinator mines the shard locally (default 3).
+	Retries int
+	// HeartbeatTTL is how long a self-registered worker stays eligible
+	// after its last heartbeat (default 30s).
+	HeartbeatTTL time.Duration
+	// Cooldown parks a peer after a transport failure so retries prefer
+	// other workers (default 10s).
+	Cooldown time.Duration
+	// Client performs the shard dispatches (default http.DefaultClient;
+	// per-attempt contexts carry the timeout, so the client needs none).
+	Client *http.Client
+	// Faults arms the coordinator-side injection points and is forwarded
+	// to local fallback runs.
+	Faults *faultinject.Injector
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+	// Obs is the shared observability handle (nil gets a private one).
+	Obs *obs.Observer
+}
+
+type peer struct {
+	url       string
+	static    bool
+	lastSeen  time.Time
+	downUntil time.Time
+}
+
+// Coordinator splits shardable jobs into first-level-partition shards,
+// dispatches them to workers, reschedules failures from their
+// checkpoints, and assembles the byte-identical result locally. Its
+// Mine method is shaped to plug into jobs.Config.Mine.
+type Coordinator struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[string]*peer
+	next  int // round-robin cursor over the sorted live peer list
+
+	obs       *obs.Observer
+	shards    map[string]*obs.Counter // state -> counter
+	shardDur  *obs.Histogram
+	workerLat map[string]*obs.Histogram // worker url -> latency histogram
+}
+
+// New starts a coordinator over the statically configured peers.
+func New(cfg Config) *Coordinator {
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 5 * time.Minute
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.HeartbeatTTL <= 0 {
+		cfg.HeartbeatTTL = 30 * time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.NewObserver()
+	}
+	c := &Coordinator{cfg: cfg, peers: map[string]*peer{}, obs: o,
+		workerLat: map[string]*obs.Histogram{}}
+	for _, u := range cfg.Peers {
+		c.peers[u] = &peer{url: u, static: true}
+	}
+	r := o.Registry
+	c.shards = map[string]*obs.Counter{}
+	for _, state := range []string{"done", "failed", "retried", "local"} {
+		c.shards[state] = r.Counter("disc_cluster_shards_total",
+			"Shard dispatch outcomes: done (a worker finished it), retried (an attempt failed and the shard was rescheduled), local (workers exhausted, mined by the coordinator), failed (gave up).",
+			obs.Label{Key: "state", Value: state})
+	}
+	c.shardDur = r.Histogram("disc_cluster_shard_duration_seconds",
+		"Wall time of one shard from first dispatch to completion.", obs.DurationBuckets)
+	r.GaugeFunc("disc_cluster_workers", "Workers currently eligible for shard dispatch.",
+		func() float64 { return float64(len(c.Workers())) })
+	return c
+}
+
+// Register makes a worker eligible for dispatch (idempotent; also the
+// heartbeat — each call refreshes the TTL).
+func (c *Coordinator) Register(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[url]
+	if !ok {
+		p = &peer{url: url}
+		c.peers[url] = p
+		c.cfg.Logf("cluster: worker %s registered", url)
+	}
+	p.lastSeen = time.Now()
+}
+
+// HandleRegister is POST /cluster/register: a worker announcing itself,
+// repeated periodically as a heartbeat.
+func (c *Coordinator) HandleRegister(rw http.ResponseWriter, r *http.Request) {
+	var reg registration
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<16)).Decode(&reg); err != nil || reg.URL == "" {
+		writeJSON(rw, http.StatusBadRequest,
+			ShardResponse{Error: &jobs.WireError{Kind: "input", Message: "registration needs a url"}})
+		return
+	}
+	c.Register(reg.URL)
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+// Workers lists the currently eligible worker URLs, sorted: static peers
+// always, self-registered ones while their heartbeat TTL holds.
+func (c *Coordinator) Workers() []string {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, p := range c.peers {
+		if p.static || now.Sub(p.lastSeen) < c.cfg.HeartbeatTTL {
+			out = append(out, p.url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pickWorker selects the next eligible worker round-robin, skipping ones
+// already tried for this shard attempt cycle and ones cooling down after
+// a transport failure. Returns "" when none qualifies.
+func (c *Coordinator) pickWorker(tried map[string]bool) string {
+	live := c.Workers()
+	if len(live) == 0 {
+		return ""
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// First pass honors cooldowns; the second ignores them — a parked
+	// worker is still better than none.
+	for _, honorCooldown := range []bool{true, false} {
+		for i := 0; i < len(live); i++ {
+			u := live[(c.next+i)%len(live)]
+			if tried[u] {
+				continue
+			}
+			if honorCooldown && c.peers[u] != nil && now.Before(c.peers[u].downUntil) {
+				continue
+			}
+			c.next = (c.next + i + 1) % len(live)
+			return u
+		}
+	}
+	return ""
+}
+
+// parkPeer starts a cooldown after a transport failure.
+func (c *Coordinator) parkPeer(url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.peers[url]; ok {
+		p.downUntil = time.Now().Add(c.cfg.Cooldown)
+	}
+}
+
+// latency returns the per-worker dispatch latency histogram, creating it
+// on the worker's first dispatch.
+func (c *Coordinator) latency(url string) *obs.Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.workerLat[url]
+	if !ok {
+		h = c.obs.Registry.Histogram("disc_cluster_worker_latency_seconds",
+			"Shard dispatch round-trip latency, by worker.",
+			obs.DurationBuckets, obs.Label{Key: "worker", Value: url})
+		c.workerLat[url] = h
+	}
+	return h
+}
+
+// shardAcc accumulates one shard's completed partitions across dispatch
+// attempts, deduplicating by partition key (a retried shard re-ships
+// what its predecessor completed).
+type shardAcc struct {
+	seen  map[string]bool
+	parts []checkpoint.Partition
+}
+
+// fold merges freshly received partitions, recording each new one into
+// the job's checkpointer (so periodic snapshots persist cluster
+// progress). Returns how many were new.
+func (a *shardAcc) fold(parts []checkpoint.Partition, cp *core.Checkpointer) int {
+	fresh := 0
+	for _, p := range parts {
+		k := p.Key.Key()
+		if a.seen[k] {
+			continue
+		}
+		a.seen[k] = true
+		a.parts = append(a.parts, p)
+		if cp != nil {
+			cp.RecordPartition(p)
+		}
+		fresh++
+	}
+	return fresh
+}
+
+// Mine distributes one job across the fleet and returns a result
+// byte-identical to a local run. It has the jobs.Config.Mine shape: the
+// manager keeps admission, dedup, deadlines, containment and
+// checkpoint persistence; this replaces only the mining itself.
+//
+// Non-shardable algorithms and an empty fleet fall back to an ordinary
+// local run. Otherwise the job splits into shards; each shard is
+// dispatched with the shard's accumulated partitions as resume state,
+// failed or timed-out attempts are rescheduled (costing only
+// un-checkpointed work), and a shard that exhausts its retries is mined
+// locally. The final local assembly run restores every collected
+// partition and merges them in ascending key order — the same merge an
+// uninterrupted local run performs.
+func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Checkpointer) (*mining.Result, error) {
+	workers := c.Workers()
+	if !shardable(req.Algo) || len(workers) == 0 {
+		if len(workers) == 0 {
+			c.cfg.Logf("cluster: no live workers, mining %s locally", req.Algo)
+		}
+		return c.mineLocal(ctx, req, cp, nil)
+	}
+	shards := c.cfg.Shards
+	if shards <= 0 {
+		shards = len(workers)
+	}
+
+	var dbText bytes.Buffer
+	if err := data.Write(&dbText, req.DB, data.Native); err != nil {
+		return nil, fmt.Errorf("cluster: encoding database: %w", err)
+	}
+	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+
+	// Pre-seed each shard's accumulator with the partitions a previous
+	// incarnation of this job already collected (crash-resume): those
+	// shards' workers restore them instead of re-mining.
+	accs := make([]*shardAcc, shards)
+	for i := range accs {
+		accs[i] = &shardAcc{seen: map[string]bool{}}
+	}
+	var restored []checkpoint.Partition
+	if cp != nil {
+		restored = cp.RestoredPartitions()
+	}
+	for _, p := range restored {
+		a := accs[core.ShardOf(p.Key, shards)]
+		k := p.Key.Key()
+		if !a.seen[k] {
+			a.seen[k] = true
+			a.parts = append(a.parts, p)
+		}
+	}
+
+	base := ShardRequest{
+		Algo: req.Algo, MinSup: req.MinSup,
+		BiLevel: req.Opts.BiLevel, Levels: req.Opts.Levels, Gamma: req.Opts.Gamma,
+		Workers: req.Opts.Workers,
+		MaxPatterns: req.Opts.MaxPatterns, MaxMemBytes: req.Opts.MaxMemBytes,
+		Shards: shards, Fingerprint: fmt.Sprintf("%016x", fp), DB: dbText.String(),
+	}
+
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for idx := 0; idx < shards; idx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			errs[idx] = c.runShard(ctx, base, idx, fp, accs[idx], req, cp)
+		}(idx)
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			c.shards["failed"].Inc()
+			return nil, fmt.Errorf("cluster: shard %d/%d: %w", idx, shards, err)
+		}
+	}
+
+	// Assembly: restore every collected partition locally. The level-0
+	// scan and the ascending-key merge are all that executes here, and
+	// the engine self-heals any partition nobody shipped by mining it.
+	var all []checkpoint.Partition
+	for _, a := range accs {
+		all = append(all, a.parts...)
+	}
+	asm := core.ResumeFrom(&checkpoint.File{
+		Algo: req.Algo, Fingerprint: fp, MinSup: req.MinSup, Partitions: all,
+	})
+	res, err := c.mineWith(ctx, req, asm, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.cfg.Logf("cluster: job %016x assembled from %d shards, %d partitions", fp, shards, len(all))
+	return res, nil
+}
+
+// runShard drives one shard to completion: dispatch, fold the returned
+// checkpoint, reschedule on failure, and fall back to a local shard run
+// when workers are exhausted.
+func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, fp uint64,
+	acc *shardAcc, req jobs.Request, cp *core.Checkpointer) error {
+	start := time.Now()
+	tried := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		url := c.pickWorker(tried)
+		if url == "" {
+			// Every live worker tried this cycle; start over (the failed
+			// ones may have recovered) rather than giving up early.
+			tried = map[string]bool{}
+			if url = c.pickWorker(tried); url == "" {
+				break // fleet emptied under us
+			}
+		}
+		tried[url] = true
+
+		resp, err := c.dispatch(ctx, url, base, idx, fp, acc)
+		if err != nil {
+			c.parkPeer(url)
+			c.shards["retried"].Inc()
+			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s failed: %v (rescheduling from %d partitions)",
+				idx, base.Shards, attempt+1, url, err, len(acc.parts))
+			lastErr = err
+			continue
+		}
+		if resp.Checkpoint != "" {
+			if f, derr := decodeCheckpoint(resp.Checkpoint); derr == nil && f.Fingerprint == fp {
+				acc.fold(f.Partitions, cp)
+			}
+		}
+		if resp.Error != nil {
+			// The worker mined and failed (panic, budget, …). Its partial
+			// checkpoint is folded in, so the reschedule resumes.
+			c.shards["retried"].Inc()
+			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s: worker error: %v (rescheduling from %d partitions)",
+				idx, base.Shards, attempt+1, url, resp.Error, len(acc.parts))
+			lastErr = resp.Error
+			continue
+		}
+		c.shards["done"].Inc()
+		c.shardDur.Observe(time.Since(start).Seconds())
+		return nil
+	}
+
+	// Workers exhausted: mine the shard here, resuming from whatever the
+	// fleet completed. Correctness never depends on the fleet.
+	c.cfg.Logf("cluster: shard %d/%d exhausted retries (last: %v), mining locally", idx, base.Shards, lastErr)
+	local := core.ResumeFrom(&checkpoint.File{
+		Algo: req.Algo, Fingerprint: fp, MinSup: req.MinSup, Partitions: acc.parts,
+	})
+	spec := &core.ShardSpec{Index: idx, Count: base.Shards}
+	if _, err := c.mineWith(ctx, req, local, spec); err != nil {
+		return err
+	}
+	acc.fold(local.File(req.Algo, req.MinSup, fp).Partitions, cp)
+	c.shards["local"].Inc()
+	c.shardDur.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// dispatch performs one shard attempt against one worker.
+func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardRequest,
+	idx int, fp uint64, acc *shardAcc) (*ShardResponse, error) {
+	sreq := base
+	sreq.Shard = idx
+	if len(acc.parts) > 0 {
+		text, err := encodeCheckpoint(&checkpoint.File{
+			Algo: base.Algo, Fingerprint: fp, MinSup: base.MinSup,
+			Shard: idx, ShardCount: base.Shards, Partitions: acc.parts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sreq.Resume = text
+	}
+	body, err := json.Marshal(&sreq)
+	if err != nil {
+		return nil, err
+	}
+
+	actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, url+"/cluster/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	hres, err := c.cfg.Client.Do(hreq)
+	c.latency(url).Observe(time.Since(start).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	var resp ShardResponse
+	if err := json.NewDecoder(io.LimitReader(hres.Body, 1<<30)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("decoding worker response (HTTP %d): %w", hres.StatusCode, err)
+	}
+	if resp.Error == nil && hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker answered HTTP %d", hres.StatusCode)
+	}
+	return &resp, nil
+}
+
+// mineLocal is the no-fleet path: exactly what the manager's default
+// mining would have done.
+func (c *Coordinator) mineLocal(ctx context.Context, req jobs.Request, cp *core.Checkpointer, spec *core.ShardSpec) (*mining.Result, error) {
+	return c.mineWith(ctx, req, cp, spec)
+}
+
+// mineWith runs the job's algorithm here with the given checkpointer and
+// optional shard scope.
+func (c *Coordinator) mineWith(ctx context.Context, req jobs.Request, cp *core.Checkpointer, spec *core.ShardSpec) (*mining.Result, error) {
+	opts := req.Opts
+	opts.Checkpoint = cp
+	opts.Shard = spec
+	opts.Faults = c.cfg.Faults
+	opts.Obs = c.obs
+	miner, err := localMinerFor(req.Algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return mining.AsContextMiner(miner).MineContext(ctx, req.DB, req.MinSup)
+}
+
+// localMinerFor builds the algorithm for coordinator-side runs (the
+// disc-all family natively, everything else through the registry — the
+// non-shardable baselines reach here on the local fallback path).
+func localMinerFor(algo string, opts core.Options) (mining.Miner, error) {
+	if shardable(algo) {
+		return minerFor(algo, opts)
+	}
+	return mining.NewRegistered(algo)
+}
+
+// Heartbeat runs a worker-side registration loop: announce url to the
+// coordinator at coordURL every interval until ctx ends. Errors are
+// logged and retried — a worker outliving a coordinator restart
+// re-registers on the next beat.
+func Heartbeat(ctx context.Context, client *http.Client, coordURL, url string,
+	interval time.Duration, logf func(string, ...any)) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	beat := func() {
+		body, _ := json.Marshal(registration{URL: url})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordURL+"/cluster/register", bytes.NewReader(body))
+		if err != nil {
+			logf("cluster: heartbeat: %v", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		res, err := client.Do(req)
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				logf("cluster: heartbeat to %s failed: %v", coordURL, err)
+			}
+			return
+		}
+		res.Body.Close()
+	}
+	beat()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			beat()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Shardable reports whether jobs for algo can be distributed; exported
+// for the serving binary's status output.
+func Shardable(algo string) bool { return shardable(algo) }
+
+// ShardRetries reports how many shard attempts have been rescheduled so
+// far — the observable the fault grids assert on when a worker is
+// killed or dropped mid-shard.
+func (c *Coordinator) ShardRetries() int { return int(c.shards["retried"].Value()) }

@@ -1,0 +1,111 @@
+// Package cluster distributes one mining job across a fleet of discserve
+// workers. The unit of distribution is the shard: a stable hash-assigned
+// subset of the job's first-level partitions (core.ShardOf), mined by a
+// worker as an ordinary shard-scoped engine run whose completed
+// partitions come back as a shard-granular checkpoint. The coordinator
+// accumulates shard checkpoints — resending a shard's accumulated
+// partitions as its resume state when the shard is retried, so a worker
+// that died mid-shard costs only the partitions it had not recorded —
+// and finishes with a local ResumeFrom assembly run, which restores
+// every received partition and merges them in the engine's ascending key
+// order. Byte-identity of a clustered run with a local one is therefore
+// the existing checkpoint-resume identity, proven partition-wise; the
+// shard-union property is pinned by core's TestShardUnionByteIdentical
+// and end-to-end by the difftest cluster grid.
+//
+// Errors cross the wire as the internal/jobs typed taxonomy (WireError),
+// so a worker failure relayed by the coordinator reaches the tenant in
+// the same JSON shape a local failure would.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/jobs"
+)
+
+// ShardRequest is the coordinator→worker dispatch payload: the whole job
+// identity plus which shard of it to mine. The database travels in the
+// native text encoding, the optional resume state as a checkpoint-format
+// document; both reuse the repository's canonical formats rather than
+// inventing wire-only ones.
+type ShardRequest struct {
+	Algo        string  `json:"algo"`
+	MinSup      int     `json:"minsup"`
+	BiLevel     bool    `json:"bilevel"`
+	Levels      int     `json:"levels"`
+	Gamma       float64 `json:"gamma"`
+	Workers     int     `json:"workers,omitempty"`      // suggested mining concurrency; the worker may cap it
+	MaxPatterns int     `json:"max_patterns,omitempty"` // job budgets; the worker applies the tighter of these and its own
+	MaxMemBytes int64   `json:"max_mem_bytes,omitempty"`
+	Shard       int     `json:"shard"`
+	Shards      int     `json:"shards"`
+	Fingerprint string  `json:"fingerprint"` // 16 hex digits; workers refuse mismatched jobs
+	DB          string  `json:"db"`          // data.Native text
+	Resume      string  `json:"resume,omitempty"`
+}
+
+// Options reconstructs the result-relevant engine options the request
+// describes. Both sides derive the fingerprint from these, so a request
+// that decodes at all is verifiable.
+func (r *ShardRequest) Options() core.Options {
+	return core.Options{BiLevel: r.BiLevel, Levels: r.Levels, Gamma: r.Gamma}
+}
+
+// ShardResponse is the worker's reply. Checkpoint carries the shard's
+// completed partitions — on success all of them, on failure whatever
+// completed before the error, so a reschedule resumes rather than
+// restarts. Error is the typed taxonomy shared with the job API.
+type ShardResponse struct {
+	Checkpoint string          `json:"checkpoint,omitempty"`
+	Error      *jobs.WireError `json:"error,omitempty"`
+}
+
+// registration is the worker→coordinator announce/heartbeat payload.
+type registration struct {
+	URL string `json:"url"`
+}
+
+// Fingerprint formats a job fingerprint the way the wire carries it (16
+// hex digits, the same form jobs use as their ID).
+func Fingerprint(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+// shardable reports whether the algorithm supports partition sharding —
+// the checkpointable disc-all family; the baseline miners are
+// monolithic and always run locally.
+func shardable(algo string) bool {
+	return algo == "disc-all" || algo == "dynamic-disc-all"
+}
+
+// encodeCheckpoint renders a shard-granular checkpoint to wire text.
+func encodeCheckpoint(f *checkpoint.File) (string, error) {
+	var b strings.Builder
+	if _, err := f.Write(&b); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// decodeCheckpoint parses wire checkpoint text.
+func decodeCheckpoint(s string) (*checkpoint.File, error) {
+	return checkpoint.Read(strings.NewReader(s))
+}
+
+// tighter resolves a request budget against the worker's own: the
+// minimum of the pair, zero meaning unset (mirrors the jobs manager's
+// budget rule).
+func tighter[T int | int64](a, b T) T {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}

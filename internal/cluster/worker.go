@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
+)
+
+// WorkerConfig shapes a shard worker.
+type WorkerConfig struct {
+	// Workers is the mining concurrency of one shard run (0 selects
+	// GOMAXPROCS, like core.Options.Workers).
+	Workers int
+	// MaxPatterns and MaxMemBytes are this worker's own budgets; a shard
+	// runs under the tighter of these and the request's.
+	MaxPatterns int
+	MaxMemBytes int64
+	// MaxConcurrent bounds concurrently mined shards; excess requests are
+	// shed with 429 so the coordinator reschedules them (default 2).
+	MaxConcurrent int
+	// MaxBodyBytes caps the request body (default 1 GiB).
+	MaxBodyBytes int64
+	// Faults arms the worker-side fault points: ShardDrop (abort the
+	// connection mid-request), ShardSlow (stall before mining), and the
+	// engine points of the shard run itself.
+	Faults *faultinject.Injector
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+	// Obs is the shared observability handle (nil gets a private one).
+	Obs *obs.Observer
+}
+
+// Worker mines dispatched shards. It is the server side of the shard
+// protocol; mount Handler on the serving mux.
+type Worker struct {
+	cfg    WorkerConfig
+	sem    chan struct{}
+	obs    *obs.Observer
+	served map[string]*obs.Counter // outcome -> counter
+	dur    *obs.Histogram
+}
+
+// NewWorker returns a worker ready to serve shard requests.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 30
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.NewObserver()
+	}
+	w := &Worker{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), obs: o}
+	r := o.Registry
+	w.served = map[string]*obs.Counter{}
+	for _, outcome := range []string{"done", "failed", "shed", "input"} {
+		w.served[outcome] = r.Counter("disc_cluster_worker_shards_total",
+			"Shard requests served by this worker, by outcome.",
+			obs.Label{Key: "outcome", Value: outcome})
+	}
+	w.dur = r.Histogram("disc_cluster_worker_shard_seconds",
+		"Wall time of one shard mined by this worker.", obs.DurationBuckets)
+	return w
+}
+
+// HandleShard is POST /cluster/shard: mine one shard of a job and reply
+// with its shard-granular checkpoint. Mining failures still answer 200
+// with a typed error next to the partial checkpoint — the transport
+// worked, the mining did not, and the coordinator needs both facts.
+func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	body := http.MaxBytesReader(rw, r.Body, w.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("decoding shard request: %v", err))
+		return
+	}
+	site := fmt.Sprintf("shard-%d/%d", req.Shard, req.Shards)
+	// Fault points for the resilience grid: a dropped connection (the
+	// coordinator sees a transport error, no response at all) and a
+	// stalled worker (the coordinator's shard timeout fires).
+	if w.cfg.Faults.Fire(faultinject.ShardDrop, site) {
+		w.cfg.Logf("cluster: worker dropping connection at %s (injected)", site)
+		panic(http.ErrAbortHandler)
+	}
+	if w.cfg.Faults.Fire(faultinject.ShardSlow, site) {
+		w.cfg.Logf("cluster: worker stalling at %s (injected)", site)
+		select {
+		case <-time.After(30 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	if !shardable(req.Algo) {
+		w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("algorithm %q is not shardable", req.Algo))
+		return
+	}
+	if req.Shards < 1 || req.Shard < 0 || req.Shard >= req.Shards {
+		w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("shard %d of %d out of range", req.Shard, req.Shards))
+		return
+	}
+	db, err := data.Read(strings.NewReader(req.DB), data.Native)
+	if err != nil {
+		w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("decoding shard database: %v", err))
+		return
+	}
+	fp, err := strconv.ParseUint(req.Fingerprint, 16, 64)
+	if err != nil {
+		w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("bad fingerprint %q", req.Fingerprint))
+		return
+	}
+	// The worker recomputes the job identity from what it actually
+	// decoded: a corrupted database or mismatched options cannot silently
+	// mine the wrong job into a checkpoint the coordinator will trust.
+	if got := core.CheckpointFingerprint(req.Algo, req.Options(), req.MinSup, db); got != fp {
+		w.reject(rw, http.StatusBadRequest, "input",
+			fmt.Sprintf("fingerprint mismatch: request says %016x, decoded job is %016x", fp, got))
+		return
+	}
+
+	// Admission control: shed beyond MaxConcurrent so a saturated worker
+	// answers immediately and the coordinator reschedules elsewhere.
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	default:
+		w.served["shed"].Inc()
+		w.reject(rw, http.StatusTooManyRequests, "shed", "worker at shard capacity")
+		return
+	}
+
+	cp := core.NewCheckpointer()
+	if req.Resume != "" {
+		f, err := decodeCheckpoint(req.Resume)
+		if err != nil || f.Fingerprint != fp {
+			w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("bad resume checkpoint: %v", err))
+			return
+		}
+		cp = core.ResumeFrom(f)
+	}
+
+	opts := req.Options()
+	opts.Workers = tighter(req.Workers, w.cfg.Workers)
+	opts.MaxPatterns = tighter(req.MaxPatterns, w.cfg.MaxPatterns)
+	opts.MaxMemBytes = tighter(req.MaxMemBytes, w.cfg.MaxMemBytes)
+	opts.Checkpoint = cp
+	opts.Shard = &core.ShardSpec{Index: req.Shard, Count: req.Shards}
+	opts.Faults = w.cfg.Faults
+	opts.Obs = w.obs
+
+	start := time.Now()
+	mineErr := mining.Contain(site, func() error {
+		miner, err := minerFor(req.Algo, opts)
+		if err != nil {
+			return err
+		}
+		_, err = mining.AsContextMiner(miner).MineContext(r.Context(), db, req.MinSup)
+		return err
+	})
+	w.dur.Observe(time.Since(start).Seconds())
+
+	file := cp.File(req.Algo, req.MinSup, fp)
+	file.Shard, file.ShardCount = req.Shard, req.Shards
+	text, encErr := encodeCheckpoint(file)
+	resp := ShardResponse{Checkpoint: text}
+	switch {
+	case mineErr != nil:
+		resp.Error = jobs.TypedWireError(mineErr)
+		w.served["failed"].Inc()
+		w.cfg.Logf("cluster: %s failed after %d partitions: %v", site, cp.Completed(), mineErr)
+	case encErr != nil:
+		resp.Checkpoint = ""
+		resp.Error = jobs.TypedWireError(encErr)
+		w.served["failed"].Inc()
+	default:
+		w.served["done"].Inc()
+		w.cfg.Logf("cluster: %s done: %d partitions (%d restored)", site, cp.Completed(), cp.Restored())
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+// minerFor builds the shardable algorithms directly — the registry
+// clones lose the Opts wiring the shard run needs.
+func minerFor(algo string, opts core.Options) (mining.Miner, error) {
+	switch algo {
+	case "disc-all":
+		return &core.Miner{Opts: opts}, nil
+	case "dynamic-disc-all":
+		return &core.Dynamic{Opts: opts}, nil
+	}
+	return nil, fmt.Errorf("cluster: algorithm %q is not shardable", algo)
+}
+
+func (w *Worker) reject(rw http.ResponseWriter, code int, kind, msg string) {
+	if kind == "input" {
+		w.served["input"].Inc()
+	}
+	writeJSON(rw, code, ShardResponse{Error: &jobs.WireError{Kind: kind, Message: msg}})
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(v)
+}

@@ -98,6 +98,15 @@ type Options struct {
 	// killed-then-resumed run equals an uninterrupted one.
 	Checkpoint *Checkpointer
 
+	// Shard, when non-nil, restricts the run to one shard of the
+	// first-level partition space (see ShardSpec): partitions hashing
+	// outside the shard are skipped after the level-0 scan. The cluster
+	// layer sets it on worker runs; it is not part of the checkpoint
+	// fingerprint — a shard is a piece of the same job, not a different
+	// one. Combined with Checkpoint, the run records exactly its shard's
+	// completed partitions.
+	Shard *ShardSpec
+
 	// Faults, when non-nil, arms the deterministic fault-injection
 	// points at partition boundaries (faultinject.WorkerPanic,
 	// faultinject.CtxCancel). Production runs leave it nil; the
@@ -318,6 +327,7 @@ type engine struct {
 	prog    *progressTracker      // nil unless Options.Progress is set
 	budget  *budgetState          // nil unless a resource budget is set
 	ckpt    *Checkpointer         // nil unless checkpoint/resume is enabled
+	shard   *ShardSpec            // nil unless this run mines one shard of the partition space
 	faults  *faultinject.Injector // nil in production runs
 	obs     *obs.Observer         // nil unless Options.Obs is set
 	avlRec  *avl.Recorder         // run-wide rotation recorder; nil without obs
@@ -344,6 +354,14 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 	}
 	e.budget = newBudgetState(e.opts)
 	e.ckpt = e.opts.Checkpoint
+	if s := e.opts.Shard; s != nil {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.Count > 1 { // 1 of 1 is just a local run
+			e.shard = s
+		}
+	}
 	e.faults = e.opts.Faults
 	e.initObs()
 	if workers > 1 {
@@ -393,6 +411,7 @@ func (e *engine) child() *engine {
 		prog:    e.prog,
 		budget:  e.budget,
 		ckpt:    e.ckpt,
+		shard:   e.shard,
 		faults:  e.faults,
 		obs:     e.obs,
 		avlRec:  e.avlRec,
@@ -485,17 +504,26 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 		}
 	}
 
+	// A checkpointed or sharded run always splits eagerly at level 0,
+	// regardless of the policy: the eager split isolates each first-level
+	// partition's result (for recording) and is where the shard filter
+	// applies (a shard that fell through to the whole-database DISC loop
+	// would mine every other shard's work too). Forcing the split is
+	// result-preserving — the partitioning strategies never change the
+	// mined set, only how it is found (the difftest Levels/γ grid pins
+	// this) — so a γ=0 dynamic run and its forced-split shard still agree
+	// byte for byte.
+	if level == 0 && (e.ckpt != nil || e.shard != nil) {
+		return e.splitParallel(key, members, listNext, level)
+	}
 	// The degradation ladder's first rung: past the soft-budget
 	// threshold, deeper partitions switch straight to DISC (the Levels=1
 	// shape) — fewer live child partitions and scratch trees, with a
 	// result set proven identical by the differential harness.
 	if e.policy(level, nrr) && !(level >= 1 && e.budget.isDegraded()) {
 		// The eager (scheduled) split handles level-0 and level-1 splits
-		// of a parallel run; a checkpointed run uses it at level 0 even
-		// serially, because it isolates each first-level partition's
-		// result for recording.
-		if len(listNext) > 1 && (e.sched != nil && level < parallelSplitDepth ||
-			level == 0 && e.ckpt != nil) {
+		// of a parallel run.
+		if len(listNext) > 1 && e.sched != nil && level < parallelSplitDepth {
 			return e.splitParallel(key, members, listNext, level)
 		}
 		return e.split(key, members, listNext, level)

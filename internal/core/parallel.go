@@ -174,6 +174,16 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 	errs := make([]error, len(list))
 	var wg sync.WaitGroup
 	for i := range list {
+		// The shard filter: a first-level partition hashing outside this
+		// run's shard belongs to another worker. It is skipped before the
+		// restore check, so a resumed shard consumes only its own
+		// restored partitions even if the checkpoint carries foreign ones.
+		if level == 0 && e.shard != nil && ShardOf(list[i], e.shard.Count) != e.shard.Index {
+			if e.prog != nil {
+				e.prog.step()
+			}
+			continue
+		}
 		if level == 0 && e.ckpt != nil {
 			if p, ok := e.ckpt.restore(list[i]); ok {
 				restored[i] = &p

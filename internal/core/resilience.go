@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -76,6 +77,32 @@ func (c *Checkpointer) record(key seq.Pattern, res *mining.Result, stats *Stats)
 	c.mu.Lock()
 	c.completed = append(c.completed, p)
 	c.mu.Unlock()
+}
+
+// RecordPartition folds an externally completed first-level partition —
+// one a cluster worker mined and shipped back in its shard checkpoint —
+// into this checkpointer, as if the local run had completed it. The
+// coordinator records received partitions here so the job's ordinary
+// periodic snapshots persist cluster progress too.
+func (c *Checkpointer) RecordPartition(p checkpoint.Partition) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.completed = append(c.completed, p)
+}
+
+// RestoredPartitions returns the partitions this checkpointer was seeded
+// with (ResumeFrom), sorted by key. The coordinator uses it to pre-seed
+// shard accumulators, so a restarted clustered job does not re-dispatch
+// work a previous incarnation already collected.
+func (c *Checkpointer) RestoredPartitions() []checkpoint.Partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]checkpoint.Partition, 0, len(c.restored))
+	for _, p := range c.restored {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Key() < out[j].Key.Key() })
+	return out
 }
 
 // Completed returns how many first-level partitions the current run has

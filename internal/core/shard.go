@@ -1,0 +1,51 @@
+// Shard-scoped mining: the cluster entry point into the engine. A shard
+// run mines only the first-level partitions assigned to it, recording
+// them through the ordinary Checkpointer machinery; the union of all
+// shards' recorded partitions is exactly the set a local run records, so
+// a coordinator that folds every shard's checkpoint into one file and
+// finishes with ResumeFrom obtains a byte-identical result (the same
+// ascending-key merge that makes resume byte-identical).
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+// ShardSpec restricts a run to one shard of the first-level partition
+// space: the partitions p with ShardOf(p, Count) == Index. Everything
+// outside the shard is skipped after the level-0 scan (the frequent
+// 1-sequences are still discovered — they define the partition space and
+// must be identical on every shard).
+type ShardSpec struct {
+	Index int // which shard this run mines, in [0, Count)
+	Count int // total shards the partition space is divided into
+}
+
+// Validate rejects specs the engine cannot honor.
+func (s *ShardSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("core: invalid shard %d of %d", s.Index, s.Count)
+	}
+	return nil
+}
+
+// ShardOf assigns a first-level partition key to a shard by hashing the
+// key's canonical encoding. Coordinator and workers agree on the
+// assignment without exchanging the partition list — the hash depends
+// only on the key — and the assignment is stable across runs, so a
+// rescheduled shard resumes exactly the partitions it was mining.
+func ShardOf(key seq.Pattern, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key.Key())
+	return int(h.Sum64() % uint64(count))
+}

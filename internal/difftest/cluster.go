@@ -1,0 +1,133 @@
+// Differential cluster checks: the distributed counterpart of the
+// resilience harness. CheckClusterEquivalence proves the tentpole
+// property of internal/cluster — a job mined by a coordinator/worker
+// fleet is byte-identical to a local run — and that the equivalence
+// survives injected worker faults: a worker panicking mid-shard (its
+// partial checkpoint reschedules onto another worker, which resumes
+// rather than restarts) and a worker dropping connections outright.
+package difftest
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/disc-mining/disc/internal/cluster"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// clusterConfigs are the shardable engine configurations the cluster
+// grid exercises (the cluster path only dispatches the disc-all family).
+func clusterConfigs() []resilienceConfig {
+	return []resilienceConfig{
+		{
+			name: "disc-all",
+			opts: core.Options{BiLevel: true, Levels: 2},
+			mk:   func(o core.Options) mining.ContextMiner { return &core.Miner{Opts: o} },
+		},
+		{
+			name: "dynamic-disc-all",
+			opts: core.Options{BiLevel: true, Gamma: 0.5},
+			mk:   func(o core.Options) mining.ContextMiner { return &core.Dynamic{Opts: o} },
+		},
+	}
+}
+
+// clusterFleet starts n in-process shard workers, the i-th armed with
+// faults[i] (nil entries are healthy), and returns their URLs plus a
+// shutdown function.
+func clusterFleet(n int, faults map[int]*faultinject.Injector) (urls []string, shutdown func()) {
+	var servers []*httptest.Server
+	for i := 0; i < n; i++ {
+		w := cluster.NewWorker(cluster.WorkerConfig{MaxConcurrent: 8, Faults: faults[i]})
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /cluster/shard", w.HandleShard)
+		srv := httptest.NewServer(mux)
+		servers = append(servers, srv)
+		urls = append(urls, srv.URL)
+	}
+	return urls, func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+// CheckClusterEquivalence mines db on a three-worker fleet in three
+// regimes — healthy, one worker panicking mid-shard at a seed-derived
+// partition, one worker dropping connections — and requires every
+// clustered result to be byte-identical to the local run. The mid-shard
+// panic must have been rescheduled (the coordinator's retried counter
+// moves) and the received partitions must have landed in the job's
+// checkpointer, proving the reschedule resumed from checkpointed work.
+func CheckClusterEquivalence(db mining.Database, minSup int, seed int64) error {
+	const shards = 3
+	for _, cfg := range clusterConfigs() {
+		straight, err := cfg.mk(cfg.opts).MineContext(context.Background(), db, minSup)
+		if err != nil {
+			return fmt.Errorf("%s: local run failed: %w", cfg.name, err)
+		}
+		want := render(straight)
+		req := jobs.Request{Algo: cfg.name, MinSup: minSup, Opts: cfg.opts, DB: db}
+
+		regimes := []struct {
+			name   string
+			faults map[int]*faultinject.Injector
+			fired  func(map[int]*faultinject.Injector) int
+		}{
+			{name: "healthy"},
+			{
+				// Worker 0 panics inside the engine mid-shard: its reply is
+				// a typed error plus the partitions completed so far, and
+				// the reschedule resumes from them.
+				name: "panic-mid-shard",
+				faults: map[int]*faultinject.Injector{0: faultinject.New(seed).
+					Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: 1 + int(seed%5)})},
+				fired: func(f map[int]*faultinject.Injector) int {
+					return f[0].Fired(faultinject.WorkerPanic)
+				},
+			},
+			{
+				// Worker 0 aborts connections before mining: the
+				// coordinator sees transport errors and reroutes.
+				name: "drop-connections",
+				faults: map[int]*faultinject.Injector{0: faultinject.New(seed).
+					Arm(faultinject.ShardDrop, faultinject.Spec{Prob: 1})},
+				fired: func(f map[int]*faultinject.Injector) int {
+					return f[0].Fired(faultinject.ShardDrop)
+				},
+			},
+		}
+		for _, reg := range regimes {
+			urls, shutdown := clusterFleet(3, reg.faults)
+			coord := cluster.New(cluster.Config{
+				Peers: urls, Shards: shards,
+				ShardTimeout: time.Minute, Cooldown: time.Millisecond,
+			})
+			cp := core.NewCheckpointer()
+			res, err := coord.Mine(context.Background(), req, cp)
+			shutdown()
+			if err != nil {
+				return fmt.Errorf("%s/%s seed=%d: clustered run failed: %w", cfg.name, reg.name, seed, err)
+			}
+			if got := render(res); got != want {
+				return fmt.Errorf("%s/%s seed=%d: clustered result differs from local run:\n%s",
+					cfg.name, reg.name, seed, straight.Diff(res))
+			}
+			if cp.Completed() == 0 && straight.Len() > 0 {
+				return fmt.Errorf("%s/%s seed=%d: no received partitions recorded in the job checkpointer",
+					cfg.name, reg.name, seed)
+			}
+			if reg.fired != nil && reg.fired(reg.faults) > 0 && coord.ShardRetries() == 0 {
+				return fmt.Errorf("%s/%s seed=%d: fault fired on worker 0 but the coordinator never rescheduled",
+					cfg.name, reg.name, seed)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// clusterGrid strides the differential grid harder than faultGrid: every
+// cluster check runs six full fleet minings (two algorithms × three
+// fault regimes), each spinning up three HTTP workers.
+func clusterGrid(t *testing.T) []Case {
+	cases := Grid()
+	stride := 8
+	if testing.Short() {
+		stride = 32
+	}
+	sampled := make([]Case, 0, len(cases)/stride+1)
+	for i := 0; i < len(cases); i += stride {
+		sampled = append(sampled, cases[i])
+	}
+	if !testing.Short() && len(sampled) < 8 {
+		t.Fatalf("cluster grid has %d databases, want at least 8", len(sampled))
+	}
+	return sampled
+}
+
+// TestClusterEqualsLocalGrid: across the sampled grid, a job mined by a
+// coordinator/worker fleet — healthy, with a worker panicking mid-shard
+// (rescheduled from its checkpoint), and with a worker dropping
+// connections — is byte-identical to a local run. This is the `make
+// cluster` harness; CI runs it under -race.
+func TestClusterEqualsLocalGrid(t *testing.T) {
+	for _, c := range clusterGrid(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			db, minSup := gridDB(t, c)
+			if err := CheckClusterEquivalence(db, minSup, c.Config.Seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

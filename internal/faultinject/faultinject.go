@@ -33,6 +33,13 @@ const (
 	// DataRead makes a wrapped dataset reader return a transient error —
 	// exercising the retry/backoff path of internal/data.
 	DataRead Point = "data-read"
+	// ShardDrop makes a cluster worker abort the shard request's
+	// connection mid-flight (no response at all) — exercising the
+	// coordinator's transport-failure retry and reschedule path.
+	ShardDrop Point = "shard-drop"
+	// ShardSlow stalls a cluster worker before it starts mining a shard —
+	// exercising shard timeouts and slow-worker rescheduling.
+	ShardSlow Point = "shard-slow"
 )
 
 // Spec arms one point. Exactly one trigger mode is used:

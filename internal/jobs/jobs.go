@@ -92,6 +92,7 @@ func (r Request) normalize() Request {
 	r.Opts.Faults = nil
 	r.Opts.Progress = nil
 	r.Opts.Obs = nil
+	r.Opts.Shard = nil // shards are a cluster-internal execution detail, not a job identity
 	return r
 }
 

@@ -62,6 +62,15 @@ type Config struct {
 	// checkpoint writes observe their latency and size. Nil gets a
 	// private registry so the accounting is identical either way.
 	Obs *obs.Observer
+	// Mine, when set, replaces the local mining of a job — the cluster
+	// coordinator plugs in here to shard the job across workers. It
+	// receives the request with the service budgets already folded in and
+	// the job's checkpointer (nil when checkpointing is off); recording
+	// received partitions into the checkpointer keeps periodic snapshots
+	// and crash-resume working unchanged. Everything around the run —
+	// admission, dedup, deadline, containment, terminal accounting — stays
+	// the manager's.
+	Mine func(ctx context.Context, req Request, cp *core.Checkpointer) (*mining.Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -107,9 +116,14 @@ type Manager struct {
 	mu        sync.Mutex
 	jobs      map[string]*Job // every known job, keyed by fingerprint id
 	termOrder []string        // terminal jobs in completion order (cache eviction)
-	queue     chan *Job
-	draining  bool
-	execs     map[string]int // job id -> times actually mined
+	// pending is the admission backlog. A slice (not a channel) so that
+	// canceling a queued job can remove it immediately — a canceled job
+	// must stop counting against QueueDepth and admission capacity the
+	// moment it turns terminal, not when a worker happens to pop it.
+	pending  []*Job
+	notEmpty *sync.Cond // signaled on append to pending and on drain
+	draining bool
+	execs    map[string]int // job id -> times actually mined
 
 	wg         sync.WaitGroup
 	baseCtx    context.Context
@@ -134,6 +148,10 @@ type Manager struct {
 
 	// mine runs one job; replaced by lifecycle tests to control timing.
 	mine func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error)
+	// writeCkpt is the snapshot write used by the periodic goroutine;
+	// replaced by tests to make an in-flight write observable (proving
+	// stopSnapshots waits for it). Defaults to writeCheckpoint.
+	writeCkpt func(j *Job, cp *core.Checkpointer, path string)
 }
 
 // NewManager starts a manager with cfg's worker pool running.
@@ -143,13 +161,14 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:        cfg,
 		jobs:       map[string]*Job{},
-		queue:      make(chan *Job, cfg.QueueDepth),
 		execs:      map[string]int{},
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	m.notEmpty = sync.NewCond(&m.mu)
 	m.initObs(cfg.Obs)
 	m.mine = m.defaultMine
+	m.writeCkpt = m.writeCheckpoint
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
@@ -202,7 +221,13 @@ func (m *Manager) initObs(o *obs.Observer) {
 func (m *Manager) Registry() *obs.Registry { return m.obs.Registry }
 
 // QueueDepth reports the jobs admitted but not yet claimed by a worker.
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+// Jobs canceled while queued leave the backlog immediately, so they
+// never inflate this number.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
 
 // JobsByState counts every known job (including cached terminal ones) by
 // lifecycle state.
@@ -289,16 +314,16 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 			m.evictLocked(id)
 		}
 	}
-	j := newJob(id, fp, req)
-	select {
-	case m.queue <- j:
-		m.jobs[id] = j
-		m.submitted.Inc()
-		return j, nil
-	default:
+	if len(m.pending) >= m.cfg.QueueDepth {
 		m.shed.Inc()
 		return nil, ErrQueueFull
 	}
+	j := newJob(id, fp, req)
+	m.pending = append(m.pending, j)
+	m.jobs[id] = j
+	m.submitted.Inc()
+	m.notEmpty.Signal()
+	return j, nil
 }
 
 // Get returns a known job by id.
@@ -330,13 +355,31 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	j.mu.Unlock()
 	switch {
 	case queued:
-		// The worker that later pops it observes canceled and skips;
-		// finish now so pollers see the terminal state immediately.
+		// Pull it out of the backlog so it frees its admission slot now
+		// — QueueDepth and shedding must not count a terminal job — and
+		// finish it so pollers see the terminal state immediately. If a
+		// worker popped it in the meantime, the removal is a no-op and
+		// runJob's own canceled check skips the run.
+		m.unqueue(j)
 		m.finishJob(j, StateCanceled, nil, context.Canceled)
 	case cancel != nil:
 		cancel()
 	}
 	return j, nil
+}
+
+// unqueue removes a job from the pending backlog, if it is still there.
+func (m *Manager) unqueue(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, q := range m.pending {
+		if q == j {
+			copy(m.pending[i:], m.pending[i+1:])
+			m.pending[len(m.pending)-1] = nil
+			m.pending = m.pending[:len(m.pending)-1]
+			return
+		}
+	}
 }
 
 // Draining reports whether the manager has stopped admitting jobs.
@@ -358,7 +401,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 		return errors.New("jobs: already draining")
 	}
 	m.draining = true
-	close(m.queue)
+	m.notEmpty.Broadcast() // wake idle workers so they can exit
 	m.mu.Unlock()
 
 	done := make(chan struct{})
@@ -376,12 +419,37 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue until Drain closes it.
+// worker pops and runs pending jobs until Drain empties the backlog.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j := m.nextJob()
+		if j == nil {
+			return
+		}
 		m.runJob(j)
 	}
+}
+
+// nextJob blocks until a pending job is available, claiming the oldest.
+// It returns nil once the manager is draining and the backlog is empty —
+// queued work still finishes during drain.
+func (m *Manager) nextJob() *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.pending) == 0 {
+		if m.draining {
+			return nil
+		}
+		m.notEmpty.Wait()
+	}
+	j := m.pending[0]
+	m.pending[0] = nil
+	m.pending = m.pending[1:]
+	if len(m.pending) == 0 {
+		m.pending = nil // let the backing array go once drained
+	}
+	return j
 }
 
 // finishJob moves a job to a terminal state and maintains the cache:
@@ -530,26 +598,34 @@ func (m *Manager) checkpointFor(j *Job) (*core.Checkpointer, string) {
 
 // periodicSnapshots writes the checkpoint every CheckpointInterval while
 // the job runs, so kill -9 loses at most one interval of work. The
-// returned stop function is idempotent.
+// returned stop function is idempotent and synchronous: it does not
+// return until the snapshot goroutine has exited, so a caller that
+// writes the same checkpoint path afterwards (runJob's final write)
+// can never race an in-flight periodic write.
 func (m *Manager) periodicSnapshots(j *Job, cp *core.Checkpointer, path string) func() {
 	if cp == nil || path == "" || m.cfg.CheckpointInterval <= 0 {
 		return func() {}
 	}
 	stop := make(chan struct{})
+	done := make(chan struct{})
 	var once sync.Once
 	go func() {
+		defer close(done)
 		tick := time.NewTicker(m.cfg.CheckpointInterval)
 		defer tick.Stop()
 		for {
 			select {
 			case <-tick.C:
-				m.writeCheckpoint(j, cp, path)
+				m.writeCkpt(j, cp, path)
 			case <-stop:
 				return
 			}
 		}
 	}()
-	return func() { once.Do(func() { close(stop) }) }
+	return func() {
+		once.Do(func() { close(stop) })
+		<-done
+	}
 }
 
 func (m *Manager) writeCheckpoint(j *Job, cp *core.Checkpointer, path string) {
@@ -564,6 +640,22 @@ func (m *Manager) writeCheckpoint(j *Job, cp *core.Checkpointer, path string) {
 	}
 	m.ckptDur.Observe(time.Since(start).Seconds())
 	m.ckptBytes.Observe(float64(n))
+}
+
+// tighterBudget resolves a per-request resource budget against the
+// service-wide one: the minimum of the pair, where zero means unset
+// rather than zero capacity.
+func tighterBudget[T int | int64](request, service T) T {
+	switch {
+	case request <= 0:
+		return service
+	case service <= 0:
+		return request
+	case request < service:
+		return request
+	default:
+		return service
+	}
 }
 
 // minerFor builds the requested algorithm with the job's options (the
@@ -590,8 +682,23 @@ func (m *Manager) defaultMine(ctx context.Context, j *Job, cp *core.Checkpointer
 			f.Panic(faultinject.WorkerPanic, "job:"+j.id)
 		}
 		opts := j.req.Opts
-		opts.MaxPatterns = m.cfg.MaxPatterns
-		opts.MaxMemBytes = m.cfg.MaxMemBytes
+		// The effective budget is the tighter of the request's and the
+		// service's — a zero on either side means "no opinion", not
+		// "unlimited overrides": the service cap still binds a request
+		// that asked for nothing, and a request's tighter cap survives a
+		// service with no configured limit.
+		opts.MaxPatterns = tighterBudget(opts.MaxPatterns, m.cfg.MaxPatterns)
+		opts.MaxMemBytes = tighterBudget(opts.MaxMemBytes, m.cfg.MaxMemBytes)
+		if m.cfg.Mine != nil {
+			req := j.req
+			req.Opts = opts
+			r, err := m.cfg.Mine(ctx, req, cp)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		}
 		opts.Checkpoint = cp
 		opts.Faults = m.cfg.Faults
 		opts.Obs = m.obs

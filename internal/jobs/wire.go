@@ -1,0 +1,107 @@
+// The wire form of the job error taxonomy. It lives in this package —
+// not in the HTTP binary — because two network surfaces speak it: the
+// tenant-facing job API of cmd/discserve and the shard dispatch protocol
+// of internal/cluster. A coordinator that receives a worker's typed
+// error can therefore hand it to its own client unchanged, and the ops
+// runbook keys on one Kind vocabulary for local and clustered runs
+// alike.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/disc-mining/disc/internal/mining"
+)
+
+// WireError is the typed JSON error payload: Kind is stable and
+// machine-matchable, the rest is context. The acceptance contract is
+// that a contained worker panic surfaces as kind "invariant" on a 5xx
+// while the process keeps serving.
+type WireError struct {
+	Kind      string `json:"kind"` // invariant | budget | deadline | canceled | input | shed | draining | not_found | internal
+	Message   string `json:"message"`
+	Resource  string `json:"resource,omitempty"`  // budget errors: "patterns" or "memory"
+	Partition string `json:"partition,omitempty"` // invariant errors: where the panic fired
+}
+
+// Error implements error, so a decoded WireError can propagate through
+// ordinary error returns (the cluster coordinator surfaces a worker's
+// typed failure this way).
+func (e *WireError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Kind, e.Message)
+}
+
+// TypedWireError maps an error from the engine or manager onto the wire
+// taxonomy. A *WireError passes through unchanged (a coordinator
+// relaying a worker's error does not re-wrap it).
+func TypedWireError(err error) *WireError {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	e := &WireError{Kind: "internal", Message: err.Error()}
+	var ie *mining.InvariantError
+	var be *mining.BudgetError
+	switch {
+	case errors.As(err, &ie):
+		e.Kind = "invariant"
+		e.Partition = ie.Partition
+		// The stack is in the server log, not the client payload.
+		e.Message = fmt.Sprintf("internal invariant violated in partition %s: %v", ie.Partition, ie.Value)
+	case errors.As(err, &be):
+		e.Kind = "budget"
+		e.Resource = be.Resource
+	case errors.Is(err, context.DeadlineExceeded):
+		e.Kind = "deadline"
+	case errors.Is(err, context.Canceled):
+		e.Kind = "canceled"
+	}
+	return e
+}
+
+// FailureStatusCode maps a terminal job's error onto the HTTP status
+// used when the client asked for the outcome (wait=1 submits and result
+// fetches): the taxonomy the ops runbook keys on.
+func FailureStatusCode(st Status) int {
+	var we *WireError
+	switch {
+	case st.State == StateCanceled:
+		return http.StatusConflict // 409: the client (or drain) canceled it
+	case errors.Is(st.Err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504: per-job deadline
+	case errors.Is(st.Err, mining.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity // 422: result exceeds service budgets
+	case errors.As(st.Err, &we):
+		return we.StatusCode() // a relayed cluster-worker failure keeps its class
+	default:
+		return http.StatusInternalServerError // 500: invariant or unclassified
+	}
+}
+
+// StatusCode maps the error kind onto the HTTP status the job API uses
+// for it — the inverse of the mapping the submit/result handlers apply,
+// used when a typed error crosses a second network hop (coordinator
+// relaying a worker failure).
+func (e *WireError) StatusCode() int {
+	switch e.Kind {
+	case "canceled":
+		return http.StatusConflict
+	case "deadline":
+		return http.StatusGatewayTimeout
+	case "budget":
+		return http.StatusUnprocessableEntity
+	case "input":
+		return http.StatusBadRequest
+	case "shed":
+		return http.StatusTooManyRequests
+	case "draining":
+		return http.StatusServiceUnavailable
+	case "not_found":
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
