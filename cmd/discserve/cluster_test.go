@@ -180,6 +180,38 @@ func TestFleetHeartbeatRegistration(t *testing.T) {
 	}
 }
 
+// TestFleetClusterSecret: with -cluster-secret on both roles the
+// heartbeat registration and shard dispatch authenticate end to end,
+// while an unauthenticated registration is refused.
+func TestFleetClusterSecret(t *testing.T) {
+	db := testutil.Table1()
+	want := localWant(t, db, 2)
+	coord := startRole(t, "-role", "coordinator", "-shards", "2", "-cluster-secret", "fleet-pw")
+	startRole(t, "-role", "worker", "-jobs", "4",
+		"-coordinator", coord, "-heartbeat", "20ms", "-cluster-secret", "fleet-pw")
+
+	// A secretless registration must bounce off the coordinator.
+	resp, raw := postURL(t, coord+"/cluster/register", []byte(`{"url":"http://rogue:1"}`))
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated registration: HTTP %d (%s), want 401", resp.StatusCode, raw)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(metricsText(t, coord), "disc_cluster_workers 1") {
+		if time.Now().After(deadline) {
+			t.Fatal("authenticated worker never registered with the coordinator")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, got := submitAndFetch(t, coord, dbBody(t, db))
+	if got != want {
+		t.Fatal("secret-authenticated fleet result differs from local run")
+	}
+	if !strings.Contains(metricsText(t, coord), `disc_cluster_shards_total{state="done"} 2`) {
+		t.Error("shards did not go through the authenticated worker")
+	}
+}
+
 // TestFleetSurvivesDroppingWorker: one worker drops every shard
 // connection (injected); the fleet still produces the byte-identical
 // result by rescheduling onto the healthy worker.
@@ -205,7 +237,7 @@ func TestParseFlagsClusterMapping(t *testing.T) {
 	cfg, err := parseFlags([]string{
 		"-role", "coordinator", "-peers", " http://a:1 ,http://b:2,",
 		"-shards", "4", "-shard-timeout", "90s", "-shard-retries", "5",
-		"-heartbeat-ttl", "42s",
+		"-heartbeat-ttl", "42s", "-cluster-secret", "hunter2",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -213,7 +245,8 @@ func TestParseFlagsClusterMapping(t *testing.T) {
 	if cfg.role != "coordinator" || len(cfg.cluster.Peers) != 2 ||
 		cfg.cluster.Peers[0] != "http://a:1" || cfg.cluster.Peers[1] != "http://b:2" ||
 		cfg.cluster.Shards != 4 || cfg.cluster.ShardTimeout != 90*time.Second ||
-		cfg.cluster.Retries != 5 || cfg.cluster.HeartbeatTTL != 42*time.Second {
+		cfg.cluster.Retries != 5 || cfg.cluster.HeartbeatTTL != 42*time.Second ||
+		cfg.clusterSecret != "hunter2" {
 		t.Errorf("cluster flags misrouted: %+v", cfg.cluster)
 	}
 	cfg, err = parseFlags([]string{"-role", "worker",

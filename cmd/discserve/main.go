@@ -29,7 +29,9 @@
 // is the heartbeat), rescheduling failed shards from their checkpoints
 // and assembling a byte-identical result; a worker serves POST
 // /cluster/shard and, with -coordinator, announces itself there every
-// -heartbeat. Both roles keep the full job API.
+// -heartbeat. Both roles keep the full job API. -cluster-secret sets a
+// shared fleet secret required on the /cluster/* endpoints; without it
+// they are open, which is safe only on a trusted network.
 //
 // Overload answers 429 with Retry-After; oversized inputs answer 413;
 // SIGTERM stops admission, finishes (or checkpoints) the backlog within
@@ -76,12 +78,13 @@ type serveConfig struct {
 	drainTimeout time.Duration
 
 	// Cluster role wiring (-role coordinator|worker|standalone).
-	role        string
-	cluster     cluster.Config // coordinator side
-	coordinator string         // worker side: coordinator base URL to register with
-	advertise   string         // worker side: our externally reachable base URL
-	heartbeat   time.Duration  // worker side: registration interval
-	faults      *faultinject.Injector
+	role          string
+	cluster       cluster.Config // coordinator side
+	coordinator   string         // worker side: coordinator base URL to register with
+	advertise     string         // worker side: our externally reachable base URL
+	heartbeat     time.Duration  // worker side: registration interval
+	clusterSecret string         // shared fleet secret (both roles)
+	faults        *faultinject.Injector
 }
 
 // parseFlags maps the command line onto a serveConfig. The budget and
@@ -113,6 +116,7 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "worker: coordinator base URL to register with (empty = rely on the coordinator's static -peers)")
 	fs.StringVar(&cfg.advertise, "advertise", "", "worker: externally reachable base URL to register (default http://<bound addr>)")
 	fs.DurationVar(&cfg.heartbeat, "heartbeat", 10*time.Second, "worker: registration heartbeat interval")
+	fs.StringVar(&cfg.clusterSecret, "cluster-secret", "", "shared fleet secret required on /cluster/register and /cluster/shard (empty = open; trusted networks only)")
 	seed := fs.Int64("fault-seed", 0, "fault injection seed (testing/drills)")
 	panicN := fs.Int("fault-panic-after", 0, "inject a worker panic on the N-th partition (testing/drills)")
 	cancelN := fs.Int("fault-cancel-after", 0, "inject a cancellation on the N-th partition (testing/drills)")
@@ -192,8 +196,12 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	// endpoint and heartbeats its registration. Everything else — the job
 	// API, admission, checkpointing, drain — is identical in every role.
 	var coord *cluster.Coordinator
+	if cfg.role != "standalone" && cfg.clusterSecret == "" {
+		logf("discserve: warning: cluster role %q without -cluster-secret; /cluster/* endpoints are open to any client", cfg.role)
+	}
 	if cfg.role == "coordinator" {
 		cc := cfg.cluster
+		cc.Secret = cfg.clusterSecret
 		cc.Faults = cfg.faults
 		cc.Logf = logf
 		cc.Obs = observer
@@ -226,6 +234,7 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 			MaxMemBytes:   cfg.jobs.MaxMemBytes,
 			MaxConcurrent: cfg.jobs.Workers,
 			MaxBodyBytes:  cfg.maxBodyBytes,
+			Secret:        cfg.clusterSecret,
 			Faults:        cfg.faults,
 			Logf:          logf,
 			Obs:           observer,
@@ -237,7 +246,7 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 				advertise = "http://" + ln.Addr().String()
 			}
 			logf("discserve: worker role: registering %s with %s", advertise, cfg.coordinator)
-			go cluster.Heartbeat(hbCtx, nil, cfg.coordinator, advertise, cfg.heartbeat, logf)
+			go cluster.Heartbeat(hbCtx, nil, cfg.coordinator, advertise, cfg.clusterSecret, cfg.heartbeat, logf)
 		} else {
 			logf("discserve: worker role: serving /cluster/shard (no -coordinator, relying on static peers)")
 		}

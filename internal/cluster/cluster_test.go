@@ -2,14 +2,19 @@ package cluster
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/disc-mining/disc/internal/checkpoint"
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/data"
 	"github.com/disc-mining/disc/internal/faultinject"
@@ -236,7 +241,7 @@ func TestRegistrationAndHeartbeatTTL(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go Heartbeat(ctx, nil, srv.URL, "http://worker-1", 10*time.Millisecond, nil)
+	go Heartbeat(ctx, nil, srv.URL, "http://worker-1", "", 10*time.Millisecond, nil)
 
 	deadline := time.Now().Add(2 * time.Second)
 	for len(c.Workers()) == 0 {
@@ -290,5 +295,249 @@ func TestManagerMineHookDelegatesToCoordinator(t *testing.T) {
 	}
 	if called.Load() != 1 {
 		t.Fatalf("mine hook called %d times, want 1", called.Load())
+	}
+}
+
+// TestLatencyCreationDoesNotDeadlockMetricsScrape is the regression test
+// for an ABBA deadlock: latency() used to hold Coordinator.mu while
+// creating the histogram (which takes Registry.mu), while a /metrics
+// scrape holds Registry.mu and invokes the disc_cluster_workers gauge fn
+// (which takes Coordinator.mu). Hammering both paths concurrently must
+// finish.
+func TestLatencyCreationDoesNotDeadlockMetricsScrape(t *testing.T) {
+	c := New(Config{})
+	// Hammer both lock paths continuously for a fixed window: scrapers
+	// render (Registry.mu → gauge fn → Coordinator.mu) while creators
+	// register fresh per-worker histograms (the path that used to take
+	// Coordinator.mu → Registry.mu). The old ordering deadlocks within
+	// milliseconds under this load; the fixed one always finishes.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := c.obs.Registry.WriteText(io.Discard); err != nil {
+						t.Errorf("WriteText: %v", err)
+						return
+					}
+				}
+			}()
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c.latency(fmt.Sprintf("http://worker-%d-%d", g, i)).Observe(0.001)
+				}
+			}(g)
+		}
+		wg.Wait()
+	}()
+	time.AfterFunc(2*time.Second, func() { close(stop) })
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("metrics scrape deadlocked against latency histogram creation (ABBA on Coordinator.mu / Registry.mu)")
+	}
+}
+
+// TestBudgetedJobsTakeLocalPath: resource budgets are job-global, so a
+// budgeted job must never shard — each worker would enforce the full
+// budget against its own shard, breaking the byte-identical contract
+// exactly when budgets bind.
+func TestBudgetedJobsTakeLocalPath(t *testing.T) {
+	req := testReq(t, "disc-all")
+	req.Opts.MaxPatterns = 1 << 30 // non-binding, but present
+	want := localRun(t, req)
+	worker := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+	c := New(Config{Peers: []string{worker}, Shards: 2, ShardTimeout: time.Minute})
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("budgeted clustered run differs from local run")
+	}
+	total := c.shards["done"].Value() + c.shards["local"].Value() +
+		c.shards["retried"].Value() + c.shards["failed"].Value()
+	if total != 0 {
+		t.Fatalf("budgeted job touched the shard path (%d shard outcomes)", total)
+	}
+
+	// A binding budget surfaces the same typed failure a local run does,
+	// instead of shards each mining up to the full budget.
+	req.Opts.MaxPatterns = 1
+	if _, err := c.Mine(context.Background(), req, nil); !errors.Is(err, mining.ErrBudgetExceeded) {
+		t.Fatalf("binding budget should fail like a local run, got %v", err)
+	}
+}
+
+// TestClusterSecretEnforced: with a configured fleet secret, shard
+// dispatch and registration both require it; a matching fleet still
+// mines byte-identically.
+func TestClusterSecretEnforced(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	url := startWorker(t, WorkerConfig{Secret: "fleet-secret", MaxConcurrent: 8})
+
+	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+	var db strings.Builder
+	if err := data.Write(&db, req.DB, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	base := ShardRequest{
+		Algo: req.Algo, MinSup: req.MinSup, BiLevel: true, Levels: 2,
+		Shards: 1, Fingerprint: Fingerprint(fp), DB: db.String(),
+	}
+
+	// A coordinator without the secret is turned away with a typed error.
+	open := New(Config{Peers: []string{url}})
+	resp, err := open.dispatch(context.Background(), url, base, 0, fp, &shardAcc{seen: map[string]bool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Kind != "auth" {
+		t.Fatalf("want auth error from secret-protected worker, got %+v", resp.Error)
+	}
+
+	// The matching secret mines byte-identically.
+	c := New(Config{Peers: []string{url}, Shards: 2, Secret: "fleet-secret", ShardTimeout: time.Minute})
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("secret-authenticated clustered run differs from local run")
+	}
+
+	// Registration demands the secret too: a rogue announce is refused…
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/register", c.HandleRegister)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	rr, err := http.Post(srv.URL+"/cluster/register", "application/json",
+		strings.NewReader(`{"url":"http://rogue:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated registration answered HTTP %d, want 401", rr.StatusCode)
+	}
+	if got := c.Workers(); len(got) != 1 {
+		t.Fatalf("unauthenticated registration must not add a worker: %v", got)
+	}
+	// …while an authenticated heartbeat registers.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go Heartbeat(ctx, nil, srv.URL, "http://worker-2", "fleet-secret", 5*time.Millisecond, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.Workers()) != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("authenticated heartbeat never registered: %v", c.Workers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBadSuccessCheckpointIsRetriedNotDone: a 200 response whose
+// checkpoint is undecodable, fingerprint-mismatched or absent used to be
+// silently counted done, quietly degrading the shard to local re-mining
+// during assembly. It must count as a retry instead.
+func TestBadSuccessCheckpointIsRetriedNotDone(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+	wrongFP, err := encodeCheckpoint(&checkpoint.File{
+		Algo: req.Algo, Fingerprint: fp ^ 0xff, MinSup: req.MinSup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ckpt := range map[string]string{
+		"undecodable": "this is not a checkpoint",
+		"mismatched":  wrongFP,
+		"absent":      "",
+	} {
+		t.Run(name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+				writeJSON(rw, http.StatusOK, ShardResponse{Checkpoint: ckpt})
+			}))
+			defer srv.Close()
+			c := New(Config{Peers: []string{srv.URL}, Shards: 1, Retries: 1,
+				ShardTimeout: time.Minute, Cooldown: time.Millisecond})
+			res, err := c.Mine(context.Background(), req, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := render(res); got != want {
+				t.Fatal("result with a checkpoint-corrupting worker differs from local run")
+			}
+			if n := c.shards["done"].Value(); n != 0 {
+				t.Fatalf("bad success checkpoint counted %d shards done, want 0", n)
+			}
+			if c.shards["retried"].Value() == 0 {
+				t.Fatal("bad success checkpoint should count as a retry")
+			}
+			if n := c.shards["local"].Value(); n != 1 {
+				t.Fatalf("shard should have fallen back to local mining, got %d", n)
+			}
+		})
+	}
+}
+
+// TestWorkerResumeRejectionMessages: the two resume-rejection causes
+// must be distinguishable — a decode failure reports the parse error, a
+// fingerprint mismatch reports both fingerprints (not "<nil>").
+func TestWorkerResumeRejectionMessages(t *testing.T) {
+	url := startWorker(t, WorkerConfig{})
+	req := testReq(t, "disc-all")
+	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+	var db strings.Builder
+	if err := data.Write(&db, req.DB, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	base := ShardRequest{
+		Algo: req.Algo, MinSup: req.MinSup, BiLevel: true, Levels: 2,
+		Shards: 1, Fingerprint: Fingerprint(fp), DB: db.String(),
+	}
+	c := New(Config{Peers: []string{url}})
+
+	base.Resume = "this is not a checkpoint"
+	resp, err := c.dispatch(context.Background(), url, base, 0, fp, &shardAcc{seen: map[string]bool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || !strings.Contains(resp.Error.Message, "bad resume checkpoint") ||
+		strings.Contains(resp.Error.Message, "<nil>") {
+		t.Fatalf("undecodable resume: want the decode error, got %+v", resp.Error)
+	}
+
+	wrong, err := encodeCheckpoint(&checkpoint.File{
+		Algo: req.Algo, Fingerprint: fp ^ 0xff, MinSup: req.MinSup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Resume = wrong
+	resp, err = c.dispatch(context.Background(), url, base, 0, fp, &shardAcc{seen: map[string]bool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || !strings.Contains(resp.Error.Message, "does not match job") {
+		t.Fatalf("mismatched resume: want an explicit fingerprint-mismatch message, got %+v", resp.Error)
 	}
 }

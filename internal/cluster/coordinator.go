@@ -46,6 +46,12 @@ type Config struct {
 	// Client performs the shard dispatches (default http.DefaultClient;
 	// per-attempt contexts carry the timeout, so the client needs none).
 	Client *http.Client
+	// Secret, when set, authenticates the cluster control plane: the
+	// coordinator sends it on every shard dispatch and requires it on
+	// /cluster/register. Empty leaves the endpoints open — acceptable
+	// only on a trusted network, since a registered URL receives the
+	// full job database and its answers are folded into results.
+	Secret string
 	// Faults arms the coordinator-side injection points and is forwarded
 	// to local fallback runs.
 	Faults *faultinject.Injector
@@ -137,8 +143,16 @@ func (c *Coordinator) Register(url string) {
 }
 
 // HandleRegister is POST /cluster/register: a worker announcing itself,
-// repeated periodically as a heartbeat.
+// repeated periodically as a heartbeat. With a configured Secret the
+// request must prove fleet membership — an unauthenticated registration
+// would otherwise hand the full job database to an arbitrary URL and
+// trust the partitions it returns.
 func (c *Coordinator) HandleRegister(rw http.ResponseWriter, r *http.Request) {
+	if !authorized(c.cfg.Secret, r) {
+		writeJSON(rw, http.StatusUnauthorized,
+			ShardResponse{Error: &jobs.WireError{Kind: "auth", Message: "missing or wrong cluster secret"}})
+		return
+	}
 	var reg registration
 	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<16)).Decode(&reg); err != nil || reg.URL == "" {
 		writeJSON(rw, http.StatusBadRequest,
@@ -205,16 +219,27 @@ func (c *Coordinator) parkPeer(url string) {
 
 // latency returns the per-worker dispatch latency histogram, creating it
 // on the worker's first dispatch.
+//
+// The registry call must happen outside c.mu: the registry's render
+// paths (WriteText/Snapshot) hold the registry lock while invoking the
+// disc_cluster_workers gauge fn, which takes c.mu — creating the
+// histogram while holding c.mu takes the two locks in the opposite
+// order and deadlocks against a concurrent /metrics scrape. Registry
+// instruments are get-or-create by (name, labels), so two racing
+// creators receive the same histogram and the cache store is idempotent.
 func (c *Coordinator) latency(url string) *obs.Histogram {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	h, ok := c.workerLat[url]
-	if !ok {
-		h = c.obs.Registry.Histogram("disc_cluster_worker_latency_seconds",
-			"Shard dispatch round-trip latency, by worker.",
-			obs.DurationBuckets, obs.Label{Key: "worker", Value: url})
-		c.workerLat[url] = h
+	c.mu.Unlock()
+	if ok {
+		return h
 	}
+	h = c.obs.Registry.Histogram("disc_cluster_worker_latency_seconds",
+		"Shard dispatch round-trip latency, by worker.",
+		obs.DurationBuckets, obs.Label{Key: "worker", Value: url})
+	c.mu.Lock()
+	c.workerLat[url] = h
+	c.mu.Unlock()
 	return h
 }
 
@@ -251,18 +276,28 @@ func (a *shardAcc) fold(parts []checkpoint.Partition, cp *core.Checkpointer) int
 // manager keeps admission, dedup, deadlines, containment and
 // checkpoint persistence; this replaces only the mining itself.
 //
-// Non-shardable algorithms and an empty fleet fall back to an ordinary
-// local run. Otherwise the job splits into shards; each shard is
-// dispatched with the shard's accumulated partitions as resume state,
-// failed or timed-out attempts are rescheduled (costing only
-// un-checkpointed work), and a shard that exhausts its retries is mined
-// locally. The final local assembly run restores every collected
-// partition and merges them in ascending key order — the same merge an
-// uninterrupted local run performs.
+// Non-shardable algorithms, resource-budgeted jobs and an empty fleet
+// fall back to an ordinary local run. Budgets (MaxPatterns/MaxMemBytes)
+// are job-global counters: a sharded run would make each worker enforce
+// the full budget against its own shard, letting a clustered job mine
+// up to shards×budget or fail where a local run would not — so budgeted
+// jobs keep the byte-identical contract by never sharding. Otherwise
+// the job splits into shards; each shard is dispatched with the shard's
+// accumulated partitions as resume state, failed or timed-out attempts
+// are rescheduled (costing only un-checkpointed work), and a shard that
+// exhausts its retries is mined locally. The final local assembly run
+// restores every collected partition and merges them in ascending key
+// order — the same merge an uninterrupted local run performs.
 func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Checkpointer) (*mining.Result, error) {
 	workers := c.Workers()
-	if !shardable(req.Algo) || len(workers) == 0 {
-		if len(workers) == 0 {
+	budgeted := req.Opts.MaxPatterns > 0 || req.Opts.MaxMemBytes > 0
+	if !shardable(req.Algo) || budgeted || len(workers) == 0 {
+		switch {
+		case !shardable(req.Algo):
+			// Quiet: the baselines always run locally, nothing to report.
+		case budgeted:
+			c.cfg.Logf("cluster: job has a resource budget, mining %s locally (budgets are job-global; shards would each enforce their own)", req.Algo)
+		default:
 			c.cfg.Logf("cluster: no live workers, mining %s locally", req.Algo)
 		}
 		return c.mineLocal(ctx, req, cp, nil)
@@ -298,11 +333,13 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 		}
 	}
 
+	// No budgets travel with the shards: budgeted jobs took the local
+	// path above, so request budgets here are always zero and workers
+	// apply only their own protective limits.
 	base := ShardRequest{
 		Algo: req.Algo, MinSup: req.MinSup,
 		BiLevel: req.Opts.BiLevel, Levels: req.Opts.Levels, Gamma: req.Opts.Gamma,
 		Workers: req.Opts.Workers,
-		MaxPatterns: req.Opts.MaxPatterns, MaxMemBytes: req.Opts.MaxMemBytes,
 		Shards: shards, Fingerprint: fmt.Sprintf("%016x", fp), DB: dbText.String(),
 	}
 
@@ -373,10 +410,23 @@ func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, 
 			lastErr = err
 			continue
 		}
+		// Validate the returned checkpoint before trusting the response
+		// outcome: on a success response an undecodable, mismatched or
+		// absent checkpoint means the shard's work never actually arrived,
+		// and silently counting it done would quietly degrade the whole
+		// shard to local re-mining during assembly.
+		var cpErr error
 		if resp.Checkpoint != "" {
-			if f, derr := decodeCheckpoint(resp.Checkpoint); derr == nil && f.Fingerprint == fp {
+			switch f, derr := decodeCheckpoint(resp.Checkpoint); {
+			case derr != nil:
+				cpErr = fmt.Errorf("undecodable checkpoint from %s: %w", url, derr)
+			case f.Fingerprint != fp:
+				cpErr = fmt.Errorf("checkpoint from %s has fingerprint %016x, job is %016x", url, f.Fingerprint, fp)
+			default:
 				acc.fold(f.Partitions, cp)
 			}
+		} else if resp.Error == nil {
+			cpErr = fmt.Errorf("success response from %s carried no checkpoint", url)
 		}
 		if resp.Error != nil {
 			// The worker mined and failed (panic, budget, …). Its partial
@@ -385,6 +435,15 @@ func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, 
 			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s: worker error: %v (rescheduling from %d partitions)",
 				idx, base.Shards, attempt+1, url, resp.Error, len(acc.parts))
 			lastErr = resp.Error
+			continue
+		}
+		if cpErr != nil {
+			// Success in name only — treat it like a worker failure and
+			// reschedule rather than silently re-mining the shard locally.
+			c.shards["retried"].Inc()
+			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s: %v (rescheduling from %d partitions)",
+				idx, base.Shards, attempt+1, url, cpErr, len(acc.parts))
+			lastErr = cpErr
 			continue
 		}
 		c.shards["done"].Inc()
@@ -435,6 +494,7 @@ func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardReques
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	setSecret(hreq, c.cfg.Secret)
 	start := time.Now()
 	hres, err := c.cfg.Client.Do(hreq)
 	c.latency(url).Observe(time.Since(start).Seconds())
@@ -484,10 +544,11 @@ func localMinerFor(algo string, opts core.Options) (mining.Miner, error) {
 }
 
 // Heartbeat runs a worker-side registration loop: announce url to the
-// coordinator at coordURL every interval until ctx ends. Errors are
+// coordinator at coordURL every interval until ctx ends, proving fleet
+// membership with secret (empty when the fleet runs open). Errors are
 // logged and retried — a worker outliving a coordinator restart
 // re-registers on the next beat.
-func Heartbeat(ctx context.Context, client *http.Client, coordURL, url string,
+func Heartbeat(ctx context.Context, client *http.Client, coordURL, url, secret string,
 	interval time.Duration, logf func(string, ...any)) {
 	if client == nil {
 		client = http.DefaultClient
@@ -507,12 +568,16 @@ func Heartbeat(ctx context.Context, client *http.Client, coordURL, url string,
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		setSecret(req, secret)
 		res, err := client.Do(req)
 		if err != nil {
 			if !errors.Is(err, context.Canceled) {
 				logf("cluster: heartbeat to %s failed: %v", coordURL, err)
 			}
 			return
+		}
+		if res.StatusCode == http.StatusUnauthorized {
+			logf("cluster: heartbeat to %s rejected: wrong or missing cluster secret", coordURL)
 		}
 		res.Body.Close()
 	}

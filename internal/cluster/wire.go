@@ -19,13 +19,39 @@
 package cluster
 
 import (
+	"crypto/subtle"
 	"fmt"
+	"net/http"
 	"strings"
 
 	"github.com/disc-mining/disc/internal/checkpoint"
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/jobs"
 )
+
+// secretHeader carries the shared fleet secret on every control-plane
+// request (/cluster/register, /cluster/shard). Both sides treat an empty
+// configured secret as "open fleet" — the deployment's explicit choice
+// for trusted networks; anything else is checked constant-time.
+const secretHeader = "X-Disc-Cluster-Secret"
+
+// setSecret attaches the fleet secret to an outgoing request (no-op when
+// the fleet runs open).
+func setSecret(r *http.Request, secret string) {
+	if secret != "" {
+		r.Header.Set(secretHeader, secret)
+	}
+}
+
+// authorized reports whether an incoming control-plane request proves
+// fleet membership under the configured secret.
+func authorized(secret string, r *http.Request) bool {
+	if secret == "" {
+		return true
+	}
+	got := r.Header.Get(secretHeader)
+	return subtle.ConstantTimeCompare([]byte(got), []byte(secret)) == 1
+}
 
 // ShardRequest is the coordinator→worker dispatch payload: the whole job
 // identity plus which shard of it to mine. The database travels in the
@@ -38,9 +64,16 @@ type ShardRequest struct {
 	BiLevel     bool    `json:"bilevel"`
 	Levels      int     `json:"levels"`
 	Gamma       float64 `json:"gamma"`
-	Workers     int     `json:"workers,omitempty"`      // suggested mining concurrency; the worker may cap it
-	MaxPatterns int     `json:"max_patterns,omitempty"` // job budgets; the worker applies the tighter of these and its own
-	MaxMemBytes int64   `json:"max_mem_bytes,omitempty"`
+	Workers int `json:"workers,omitempty"` // suggested mining concurrency; the worker may cap it
+	// MaxPatterns/MaxMemBytes are *per-shard* budgets: the worker
+	// enforces the tighter of these and its own configured limits against
+	// the one shard it mines. The coordinator never ships them — a job
+	// with a resource budget runs on the local path so the budget stays
+	// job-global (see Coordinator.Mine) — but the fields remain in the
+	// contract for dispatchers that want per-shard caps and for worker
+	// self-protection.
+	MaxPatterns int   `json:"max_patterns,omitempty"`
+	MaxMemBytes int64 `json:"max_mem_bytes,omitempty"`
 	Shard       int     `json:"shard"`
 	Shards      int     `json:"shards"`
 	Fingerprint string  `json:"fingerprint"` // 16 hex digits; workers refuse mismatched jobs

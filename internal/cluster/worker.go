@@ -30,6 +30,10 @@ type WorkerConfig struct {
 	MaxConcurrent int
 	// MaxBodyBytes caps the request body (default 1 GiB).
 	MaxBodyBytes int64
+	// Secret, when set, is required on every /cluster/shard request —
+	// the same shared fleet secret the coordinator is configured with.
+	// Empty serves the shard endpoint open (trusted networks only).
+	Secret string
 	// Faults arms the worker-side fault points: ShardDrop (abort the
 	// connection mid-request), ShardSlow (stall before mining), and the
 	// engine points of the shard run itself.
@@ -68,7 +72,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	w := &Worker{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), obs: o}
 	r := o.Registry
 	w.served = map[string]*obs.Counter{}
-	for _, outcome := range []string{"done", "failed", "shed", "input"} {
+	for _, outcome := range []string{"done", "failed", "shed", "input", "auth"} {
 		w.served[outcome] = r.Counter("disc_cluster_worker_shards_total",
 			"Shard requests served by this worker, by outcome.",
 			obs.Label{Key: "outcome", Value: outcome})
@@ -83,6 +87,10 @@ func NewWorker(cfg WorkerConfig) *Worker {
 // with a typed error next to the partial checkpoint — the transport
 // worked, the mining did not, and the coordinator needs both facts.
 func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
+	if !authorized(w.cfg.Secret, r) {
+		w.reject(rw, http.StatusUnauthorized, "auth", "missing or wrong cluster secret")
+		return
+	}
 	var req ShardRequest
 	body := http.MaxBytesReader(rw, r.Body, w.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -139,7 +147,6 @@ func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
 	default:
-		w.served["shed"].Inc()
 		w.reject(rw, http.StatusTooManyRequests, "shed", "worker at shard capacity")
 		return
 	}
@@ -147,8 +154,13 @@ func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
 	cp := core.NewCheckpointer()
 	if req.Resume != "" {
 		f, err := decodeCheckpoint(req.Resume)
-		if err != nil || f.Fingerprint != fp {
+		if err != nil {
 			w.reject(rw, http.StatusBadRequest, "input", fmt.Sprintf("bad resume checkpoint: %v", err))
+			return
+		}
+		if f.Fingerprint != fp {
+			w.reject(rw, http.StatusBadRequest, "input",
+				fmt.Sprintf("resume checkpoint fingerprint %016x does not match job %016x", f.Fingerprint, fp))
 			return
 		}
 		cp = core.ResumeFrom(f)
@@ -207,8 +219,8 @@ func minerFor(algo string, opts core.Options) (mining.Miner, error) {
 }
 
 func (w *Worker) reject(rw http.ResponseWriter, code int, kind, msg string) {
-	if kind == "input" {
-		w.served["input"].Inc()
+	if ctr, ok := w.served[kind]; ok && kind != "done" && kind != "failed" {
+		ctr.Inc()
 	}
 	writeJSON(rw, code, ShardResponse{Error: &jobs.WireError{Kind: kind, Message: msg}})
 }

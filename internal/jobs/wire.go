@@ -21,7 +21,7 @@ import (
 // that a contained worker panic surfaces as kind "invariant" on a 5xx
 // while the process keeps serving.
 type WireError struct {
-	Kind      string `json:"kind"` // invariant | budget | deadline | canceled | input | shed | draining | not_found | internal
+	Kind      string `json:"kind"` // invariant | budget | deadline | canceled | input | shed | draining | not_found | auth | internal
 	Message   string `json:"message"`
 	Resource  string `json:"resource,omitempty"`  // budget errors: "patterns" or "memory"
 	Partition string `json:"partition,omitempty"` // invariant errors: where the panic fired
@@ -101,6 +101,8 @@ func (e *WireError) StatusCode() int {
 		return http.StatusServiceUnavailable
 	case "not_found":
 		return http.StatusNotFound
+	case "auth":
+		return http.StatusUnauthorized
 	default:
 		return http.StatusInternalServerError
 	}
