@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs cluster
+.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs cluster chaos
 
 all: check
 
@@ -78,6 +78,21 @@ cluster:
 	$(GO) test -race -count=1 ./internal/cluster
 	$(GO) test -race -run 'TestFleet|TestParseFlagsCluster' -count=1 ./cmd/discserve
 	$(GO) test -race -run TestClusterEqualsLocalGrid -count=1 ./internal/difftest
+
+# Coordinator-side chaos under the race detector: the self-healing
+# suite in internal/cluster (circuit breakers, heartbeat-TTL expiry
+# rescheduling, hedged dispatch, injected coordinator crash resumed from
+# the durable shard ledger), the startup-validation and ledger recovery
+# wiring in discserve, the chaos differential grid (every regime must
+# end byte-identical to a local run AND prove its fault fired), and the
+# real-binary drill: a two-worker fleet whose coordinator is kill -9'd
+# mid-job and restarted over the same -ledger-dir, resuming only the
+# unfinished shards to a byte-identical result.
+chaos:
+	$(GO) test -race -run 'TestBreaker|TestExpiredWorker|TestHedged|TestCoordinatorCrash|TestRecoverResubmits' -count=1 ./internal/cluster
+	$(GO) test -race -run 'TestParseFlagsRejectsWedged|TestOrphanedCheckpoints' -count=1 ./cmd/discserve ./internal/jobs
+	$(GO) test -race -run TestClusterChaosGrid -count=1 ./internal/difftest
+	DISC_CHAOS=1 $(GO) test -race -run TestFleetCoordinatorKill9 -count=1 -v -timeout 600s ./cmd/discserve
 
 # The observability suite under the race detector: the registry/tracer
 # package itself (including the 16-goroutine hammer and the exposition

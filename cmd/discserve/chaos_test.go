@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/gen"
+)
+
+// TestFleetCoordinatorKill9 exercises coordinator crash recovery on the
+// deployed binary, not the in-process drill: build discserve and
+// discmine, run a real two-worker fleet, kill -9 the coordinator while
+// the durable shard ledger shows the job part-done, restart it over the
+// same -ledger-dir, and require the startup recovery path to resubmit
+// the job, resume only the unfinished shards, and produce a result
+// byte-identical to an offline discmine run.
+//
+// One worker hangs its first shard forever (injected), which both holds
+// the kill window open indefinitely and proves the resumed coordinator
+// re-dispatches the shard the crashed one never collected.
+//
+// It is opt-in (set DISC_CHAOS=1; `make chaos` does) because it builds
+// binaries and mines a deliberately slow job.
+func TestFleetCoordinatorKill9(t *testing.T) {
+	if os.Getenv("DISC_CHAOS") == "" {
+		t.Skip("set DISC_CHAOS=1 (or run `make chaos`) to run the fleet kill -9 chaos test")
+	}
+
+	bin := t.TempDir()
+	serveBin := filepath.Join(bin, "discserve")
+	mineBin := filepath.Join(bin, "discmine")
+	for path, pkg := range map[string]string{serveBin: ".", mineBin: "../discmine"} {
+		out, err := exec.Command("go", "build", "-o", path, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	slowDB, err := gen.Generate(gen.Config{NCust: 300, SLen: 6, TLen: 2.5, NItems: 40, SeqPatLen: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbPath := filepath.Join(bin, "db.txt")
+	if err := data.WriteFile(dbPath, slowDB, data.Native); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minsup = "3"
+
+	// startProc launches one discserve role and returns it once listening.
+	startProc := func(args ...string) *serverProc {
+		t.Helper()
+		p := &serverProc{
+			cmd:      exec.Command(serveBin, append([]string{"-addr", "127.0.0.1:0"}, args...)...),
+			scanDone: make(chan struct{}),
+		}
+		stdout, err := p.cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.cmd.Stderr = &p.logs
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		addr := ""
+		for sc.Scan() {
+			line := sc.Text()
+			p.logs.WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "discserve: listening on "); ok {
+				addr = rest
+				break
+			}
+		}
+		if addr == "" {
+			t.Fatalf("no listening line; logs:\n%s", p.logs.String())
+		}
+		go func() {
+			defer close(p.scanDone)
+			for sc.Scan() {
+				p.logs.WriteString(sc.Text() + "\n")
+			}
+		}()
+		p.base = "http://" + addr
+		return p
+	}
+
+	// Worker 1 hangs the first shard it is asked to mine and holds it
+	// until the connection dies; worker 2 is healthy.
+	w1 := startProc("-role", "worker", "-jobs", "4", "-fault-seed", "2", "-fault-shard-hang-after", "1")
+	defer w1.cmd.Process.Kill()
+	w2 := startProc("-role", "worker", "-jobs", "4")
+	defer w2.cmd.Process.Kill()
+
+	ledgerDir := filepath.Join(bin, "ledger")
+	coordArgs := []string{"-role", "coordinator", "-peers", w1.base + "," + w2.base,
+		"-shards", "3", "-shard-timeout", "5m", "-hedge-quantile", "0", "-ledger-dir", ledgerDir}
+	c1 := startProc(coordArgs...)
+	defer c1.cmd.Process.Kill()
+
+	// Submit without wait: the hung shard stalls the job indefinitely.
+	resp, out := postURL(t, c1.base+"/jobs?minsup="+minsup, body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, out)
+	}
+	id := jsonField(t, out, "id")
+
+	// The job's ledger file is named by its fingerprint, which is also
+	// the job id. Wait until it shows real progress — at least one shard
+	// done AND at least one not done — so the kill provably lands mid-job.
+	ledgerPath := filepath.Join(ledgerDir, id+".ledger")
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		led, err := checkpoint.ReadLedgerFile(ledgerPath)
+		if err == nil {
+			done := 0
+			for _, s := range led.Shards {
+				if s.State == checkpoint.ShardDone {
+					done++
+				}
+			}
+			if done >= 1 && done < len(led.Shards) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ledger %s never reached a part-done state (%v); logs:\n%s", ledgerPath, err, c1.logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// kill -9: no cleanup runs, the ledger survives as-is.
+	if err := c1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	c1.cmd.Wait()
+
+	// Restart over the same ledger dir. Startup recovery must resubmit
+	// the interrupted job on its own — no client resubmission.
+	c2 := startProc(coordArgs...)
+	defer c2.cmd.Process.Kill()
+	waitState(t, c2.base, id, "done", 3*time.Minute)
+
+	logs := c2.logs.String()
+	if !strings.Contains(logs, "recovered 1 interrupted job(s) from the shard ledger") {
+		t.Errorf("restarted coordinator did not report ledger recovery; logs:\n%s", logs)
+	}
+	if !strings.Contains(logs, "resumes from its shard ledger") {
+		t.Errorf("resumed job did not reload shard state from the ledger; logs:\n%s", logs)
+	}
+	m := metricsText(t, c2.base)
+	if strings.Contains(m, "disc_cluster_ledger_resumed_shards_total 0") ||
+		!strings.Contains(m, "disc_cluster_ledger_resumed_shards_total") {
+		t.Errorf("metrics show no ledger-resumed shards:\n%s", m)
+	}
+	if _, err := os.Stat(ledgerPath); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("ledger must be retired once the job completes (stat: %v)", err)
+	}
+
+	// The resumed result must be byte-identical to an offline CLI run.
+	res, err := http.Get(c2.base + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverResult, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	cliOut := filepath.Join(bin, "cli-patterns.txt")
+	if msg, err := exec.Command(mineBin, "-in", dbPath, "-minsup", minsup, "-o", cliOut).CombinedOutput(); err != nil {
+		t.Fatalf("discmine reference run: %v\n%s", err, msg)
+	}
+	cliResult, err := os.ReadFile(cliOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serverResult, cliResult) {
+		t.Errorf("post-crash fleet result (%d bytes) != discmine result (%d bytes)",
+			len(serverResult), len(cliResult))
+	}
+}

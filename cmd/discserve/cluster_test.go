@@ -266,3 +266,42 @@ func TestParseFlagsClusterMapping(t *testing.T) {
 		t.Error("bad -role accepted")
 	}
 }
+
+// TestParseFlagsRejectsWedgedClusterConfig: scheduling parameters that
+// would quietly wedge a fleet — a timeout that never fires, a TTL that
+// expires healthy workers between beats, a breaker that can never close
+// — must fail at startup with an error naming the flag, not at the
+// first job hours later.
+func TestParseFlagsRejectsWedgedClusterConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the error must carry
+	}{
+		{"zero shard timeout", []string{"-shard-timeout", "0s"}, "-shard-timeout"},
+		{"negative retries", []string{"-shard-retries", "-1"}, "-shard-retries"},
+		{"zero heartbeat", []string{"-heartbeat", "0s"}, "-heartbeat"},
+		{"ttl under heartbeat", []string{"-heartbeat", "30s", "-heartbeat-ttl", "10s"}, "expire between beats"},
+		{"hedge quantile one", []string{"-hedge-quantile", "1"}, "-hedge-quantile"},
+		{"negative hedge quantile", []string{"-hedge-quantile", "-0.5"}, "-hedge-quantile"},
+		{"zero breaker failures", []string{"-breaker-failures", "0"}, "-breaker-failures"},
+		{"max backoff under base", []string{"-breaker-backoff", "1m", "-breaker-max-backoff", "1s"}, "-breaker-max-backoff"},
+		{"ledger dir on worker", []string{"-role", "worker", "-ledger-dir", "/tmp/x"}, "-ledger-dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted, want an error mentioning %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending flag (%q)", err, tc.want)
+			}
+		})
+	}
+	// The same knobs with sane values must parse.
+	if _, err := parseFlags([]string{"-role", "coordinator", "-ledger-dir", t.TempDir(),
+		"-hedge-quantile", "0", "-breaker-failures", "1"}); err != nil {
+		t.Fatalf("valid self-healing coordinator config rejected: %v", err)
+	}
+}

@@ -33,6 +33,18 @@
 // shared fleet secret required on the /cluster/* endpoints; without it
 // they are open, which is safe only on a trusted network.
 //
+// A coordinator self-heals: with -ledger-dir it journals every shard
+// scheduling decision to a durable per-job ledger and, on restart,
+// resubmits interrupted jobs and resumes only their unfinished shards
+// (byte-identical result, no client action needed); per-worker circuit
+// breakers (-breaker-failures/-breaker-backoff/-breaker-max-backoff)
+// park failing workers with jittered exponential backoff and half-open
+// probes; -hedge-quantile duplicates straggling shard attempts onto a
+// second worker once they outlive the fleet's latency quantile
+// (-hedge-min floor, -hedge-budget cap). Configurations that would
+// wedge a fleet — zero timeouts, a heartbeat TTL under the heartbeat
+// interval — are rejected at startup.
+//
 // Overload answers 429 with Retry-After; oversized inputs answer 413;
 // SIGTERM stops admission, finishes (or checkpoints) the backlog within
 // -drain-timeout, and exits 0.
@@ -112,7 +124,14 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs.IntVar(&cfg.cluster.Shards, "shards", 0, "coordinator: shards per job (0 = one per live worker)")
 	fs.DurationVar(&cfg.cluster.ShardTimeout, "shard-timeout", 5*time.Minute, "coordinator: per-attempt shard deadline; a shard past it is rescheduled from its checkpoint")
 	fs.IntVar(&cfg.cluster.Retries, "shard-retries", 3, "coordinator: reschedules per shard before mining it locally")
-	fs.DurationVar(&cfg.cluster.HeartbeatTTL, "heartbeat-ttl", 30*time.Second, "coordinator: registered workers expire this long after their last heartbeat")
+	fs.DurationVar(&cfg.cluster.HeartbeatTTL, "heartbeat-ttl", 30*time.Second, "coordinator: registered workers expire this long after their last heartbeat; an expired worker's in-flight shards are rescheduled immediately")
+	fs.StringVar(&cfg.cluster.LedgerDir, "ledger-dir", "", "coordinator: persist a per-job shard ledger here; a restarted coordinator recovers interrupted jobs from it and re-runs only their unfinished shards")
+	fs.IntVar(&cfg.cluster.BreakerFailures, "breaker-failures", 3, "coordinator: consecutive transport failures that open a worker's circuit breaker (typed worker errors get double the grace)")
+	fs.DurationVar(&cfg.cluster.Cooldown, "breaker-backoff", 10*time.Second, "coordinator: base backoff of an open circuit breaker; consecutive trips double it, jittered")
+	fs.DurationVar(&cfg.cluster.BreakerMaxBackoff, "breaker-max-backoff", 2*time.Minute, "coordinator: cap on the open-circuit backoff")
+	fs.Float64Var(&cfg.cluster.HedgeQuantile, "hedge-quantile", 0.95, "coordinator: hedge a shard attempt once it outlives this quantile of observed dispatch latencies (0 disables hedging)")
+	fs.DurationVar(&cfg.cluster.HedgeMinDelay, "hedge-min", time.Second, "coordinator: floor on the hedge delay")
+	fs.IntVar(&cfg.cluster.HedgeBudget, "hedge-budget", 0, "coordinator: speculative dispatches allowed per job (0 = one per shard, negative disables)")
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "worker: coordinator base URL to register with (empty = rely on the coordinator's static -peers)")
 	fs.StringVar(&cfg.advertise, "advertise", "", "worker: externally reachable base URL to register (default http://<bound addr>)")
 	fs.DurationVar(&cfg.heartbeat, "heartbeat", 10*time.Second, "worker: registration heartbeat interval")
@@ -122,6 +141,8 @@ func parseFlags(args []string) (serveConfig, error) {
 	cancelN := fs.Int("fault-cancel-after", 0, "inject a cancellation on the N-th partition (testing/drills)")
 	dropProb := fs.Float64("fault-shard-drop", 0, "worker: drop shard connections with this probability (testing/drills)")
 	slowProb := fs.Float64("fault-shard-slow", 0, "worker: stall shard requests with this probability (testing/drills)")
+	hangN := fs.Int("fault-shard-hang-after", 0, "worker: hang the N-th shard request until it is canceled (testing/drills)")
+	crashN := fs.Int("fault-coordinator-crash-after", 0, "coordinator: abort the job at its N-th shard-ledger transition (testing/drills)")
 	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -139,7 +160,39 @@ func parseFlags(args []string) (serveConfig, error) {
 			cfg.cluster.Peers = append(cfg.cluster.Peers, p)
 		}
 	}
-	if *panicN > 0 || *cancelN > 0 || *dropProb > 0 || *slowProb > 0 {
+	// Fail fast on scheduling parameters that would quietly wedge a
+	// fleet: a zero shard timeout never reschedules anything, a TTL at or
+	// under the heartbeat interval expires healthy workers between beats.
+	if cfg.cluster.ShardTimeout <= 0 {
+		return cfg, fmt.Errorf("-shard-timeout must be positive (got %s)", cfg.cluster.ShardTimeout)
+	}
+	if cfg.cluster.Retries < 0 {
+		return cfg, fmt.Errorf("-shard-retries must not be negative (got %d)", cfg.cluster.Retries)
+	}
+	if cfg.heartbeat <= 0 {
+		return cfg, fmt.Errorf("-heartbeat must be positive (got %s)", cfg.heartbeat)
+	}
+	if cfg.cluster.HeartbeatTTL <= cfg.heartbeat {
+		return cfg, fmt.Errorf("-heartbeat-ttl (%s) must exceed the -heartbeat interval (%s), or workers expire between beats",
+			cfg.cluster.HeartbeatTTL, cfg.heartbeat)
+	}
+	if cfg.cluster.HedgeQuantile < 0 || cfg.cluster.HedgeQuantile >= 1 {
+		return cfg, fmt.Errorf("-hedge-quantile must be in [0,1) (got %g; 0 disables hedging)", cfg.cluster.HedgeQuantile)
+	}
+	if cfg.cluster.BreakerFailures < 1 {
+		return cfg, fmt.Errorf("-breaker-failures must be at least 1 (got %d)", cfg.cluster.BreakerFailures)
+	}
+	if cfg.cluster.Cooldown <= 0 {
+		return cfg, fmt.Errorf("-breaker-backoff must be positive (got %s)", cfg.cluster.Cooldown)
+	}
+	if cfg.cluster.BreakerMaxBackoff < cfg.cluster.Cooldown {
+		return cfg, fmt.Errorf("-breaker-max-backoff (%s) must not undercut -breaker-backoff (%s)",
+			cfg.cluster.BreakerMaxBackoff, cfg.cluster.Cooldown)
+	}
+	if cfg.cluster.LedgerDir != "" && cfg.role != "coordinator" {
+		return cfg, fmt.Errorf("-ledger-dir only applies to -role coordinator (role is %q)", cfg.role)
+	}
+	if *panicN > 0 || *cancelN > 0 || *dropProb > 0 || *slowProb > 0 || *hangN > 0 || *crashN > 0 {
 		inj := faultinject.New(*seed)
 		if *panicN > 0 {
 			inj.Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: *panicN})
@@ -152,6 +205,12 @@ func parseFlags(args []string) (serveConfig, error) {
 		}
 		if *slowProb > 0 {
 			inj.Arm(faultinject.ShardSlow, faultinject.Spec{Prob: *slowProb})
+		}
+		if *hangN > 0 {
+			inj.Arm(faultinject.ShardHang, faultinject.Spec{AfterN: *hangN})
+		}
+		if *crashN > 0 {
+			inj.Arm(faultinject.CoordinatorCrash, faultinject.Spec{AfterN: *crashN})
 		}
 		cfg.jobs.Faults = inj
 		cfg.faults = inj
@@ -205,11 +264,23 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		cc.Faults = cfg.faults
 		cc.Logf = logf
 		cc.Obs = observer
+		if cc.LedgerDir != "" {
+			if err := os.MkdirAll(cc.LedgerDir, 0o755); err != nil {
+				return fmt.Errorf("creating -ledger-dir: %w", err)
+			}
+		}
 		coord = cluster.New(cc)
 		cfg.jobs.Mine = coord.Mine
 	}
 
 	mgr := jobs.NewManager(cfg.jobs)
+	if coord != nil {
+		// Resubmit jobs interrupted by a previous coordinator's death; each
+		// reloads its ledger inside Mine and re-runs only unfinished shards.
+		if n := coord.Recover(mgr.Submit); n > 0 {
+			logf("discserve: recovered %d interrupted job(s) from the shard ledger", n)
+		}
+	}
 	srv := newServer(mgr, cfg.limits, cfg.maxBodyBytes, cfg.workers, logf)
 
 	ln, err := net.Listen("tcp", cfg.addr)

@@ -150,6 +150,36 @@ func parsePairs(fields []string) (seq.Pattern, error) {
 	return seq.PatternFromPairs(items, tnos)
 }
 
+// writePartition renders one partition block — the unit both the
+// checkpoint payload and the shard ledger share.
+func writePartition(b *strings.Builder, p Partition) {
+	b.WriteString("partition ")
+	writePairs(b, p.Key)
+	b.WriteByte('\n')
+	s := p.Stats
+	fmt.Fprintf(b, "stats %d %d %d %d %d %d\n",
+		s.Rounds, s.FrequentHits, s.Skips, s.KMSCalls, s.CKMSCalls, s.Dropped)
+	b.WriteString("levels")
+	for _, n := range s.PartitionsByLevel {
+		fmt.Fprintf(b, " %d", n)
+	}
+	b.WriteByte('\n')
+	b.WriteString("nrr")
+	for i, v := range s.NRRByLevel {
+		n := 0
+		if i < len(s.NRRCount) {
+			n = s.NRRCount[i]
+		}
+		fmt.Fprintf(b, " %016x/%d", math.Float64bits(v), n)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "patterns %d\n", len(p.Patterns))
+	for _, pc := range p.Patterns {
+		writePairs(b, pc.Pattern)
+		fmt.Fprintf(b, " %d\n", pc.Support)
+	}
+}
+
 // payload renders everything after the header line.
 func (f *File) payload() string {
 	var b strings.Builder
@@ -161,48 +191,62 @@ func (f *File) payload() string {
 	}
 	fmt.Fprintf(&b, "partitions %d\n", len(f.Partitions))
 	for _, p := range f.Partitions {
-		b.WriteString("partition ")
-		writePairs(&b, p.Key)
-		b.WriteByte('\n')
-		s := p.Stats
-		fmt.Fprintf(&b, "stats %d %d %d %d %d %d\n",
-			s.Rounds, s.FrequentHits, s.Skips, s.KMSCalls, s.CKMSCalls, s.Dropped)
-		b.WriteString("levels")
-		for _, n := range s.PartitionsByLevel {
-			fmt.Fprintf(&b, " %d", n)
-		}
-		b.WriteByte('\n')
-		b.WriteString("nrr")
-		for i, v := range s.NRRByLevel {
-			n := 0
-			if i < len(s.NRRCount) {
-				n = s.NRRCount[i]
-			}
-			fmt.Fprintf(&b, " %016x/%d", math.Float64bits(v), n)
-		}
-		b.WriteByte('\n')
-		fmt.Fprintf(&b, "patterns %d\n", len(p.Patterns))
-		for _, pc := range p.Patterns {
-			writePairs(&b, pc.Pattern)
-			fmt.Fprintf(&b, " %d\n", pc.Support)
-		}
+		writePartition(&b, p)
 	}
 	return b.String()
 }
 
-// Write renders the checkpoint to w: header line with version, CRC32 and
-// payload length, then the payload. It returns the number of bytes
-// written so callers can observe snapshot sizes.
-func (f *File) Write(w io.Writer) (int, error) {
-	payload := f.payload()
-	header := fmt.Sprintf("DISCCKPT v%d crc32=%08x bytes=%d\n",
-		Version, crc32.ChecksumIEEE([]byte(payload)), len(payload))
+// writeDoc writes one versioned+checksummed document: a header line
+// carrying magic, version, CRC32 and payload length, then the payload.
+// The checkpoint and the shard ledger differ only in magic and payload
+// grammar.
+func writeDoc(w io.Writer, magic, payload string) (int, error) {
+	header := fmt.Sprintf("%s v%d crc32=%08x bytes=%d\n",
+		magic, Version, crc32.ChecksumIEEE([]byte(payload)), len(payload))
 	n, err := io.WriteString(w, header)
 	if err != nil {
 		return n, err
 	}
 	m, err := io.WriteString(w, payload)
 	return n + m, err
+}
+
+// readDoc verifies a document's magic, version, payload length and
+// checksum, returning a lineReader over the payload.
+func readDoc(r io.Reader, magic string) (*lineReader, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrCorrupt, err)
+	}
+	var version int
+	var sum uint32
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"),
+		magic+" v%d crc32=%x bytes=%d", &version, &sum, &n); err != nil {
+		return nil, fmt.Errorf("%w: bad header %q", ErrCorrupt, strings.TrimSpace(header))
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: v%d (this build reads v%d)", ErrVersion, version, Version)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(payload) != n {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCorrupt, len(payload), n)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorrupt, got, sum)
+	}
+	return &lineReader{lines: strings.Split(strings.TrimSuffix(string(payload), "\n"), "\n")}, nil
+}
+
+// Write renders the checkpoint to w: header line with version, CRC32 and
+// payload length, then the payload. It returns the number of bytes
+// written so callers can observe snapshot sizes.
+func (f *File) Write(w io.Writer) (int, error) {
+	return writeDoc(w, "DISCCKPT", f.payload())
 }
 
 // WriteFile writes the checkpoint atomically and durably: to path+".tmp"
@@ -213,12 +257,18 @@ func (f *File) Write(w io.Writer) (int, error) {
 // and overwritten by the next attempt. Returns the snapshot size in
 // bytes.
 func (f *File) WriteFile(path string) (int, error) {
+	return writeFileAtomic(path, f.Write)
+}
+
+// writeFileAtomic implements the fsync-before-rename discipline for any
+// document renderer — checkpoints and shard ledgers share it.
+func writeFileAtomic(path string, write func(io.Writer) (int, error)) (int, error) {
 	tmp := path + ".tmp"
 	out, err := os.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
-	n, err := f.Write(out)
+	n, err := write(out)
 	if err != nil {
 		out.Close()
 		os.Remove(tmp)
@@ -300,35 +350,14 @@ func atoi(s string) (int, error) { return strconv.Atoi(s) }
 // Read decodes a checkpoint, verifying version, payload length and
 // checksum before parsing.
 func Read(r io.Reader) (*File, error) {
-	br := bufio.NewReader(r)
-	header, err := br.ReadString('\n')
+	lr, err := readDoc(r, "DISCCKPT")
 	if err != nil {
-		return nil, fmt.Errorf("%w: missing header: %v", ErrCorrupt, err)
+		return nil, err
 	}
-	var version int
-	var sum uint32
-	var n int
-	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"),
-		"DISCCKPT v%d crc32=%x bytes=%d", &version, &sum, &n); err != nil {
-		return nil, fmt.Errorf("%w: bad header %q", ErrCorrupt, strings.TrimSpace(header))
-	}
-	if version != Version {
-		return nil, fmt.Errorf("%w: v%d (this build reads v%d)", ErrVersion, version, Version)
-	}
-	payload, err := io.ReadAll(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if len(payload) != n {
-		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCorrupt, len(payload), n)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, fmt.Errorf("%w: checksum %08x, header says %08x", ErrCorrupt, got, sum)
-	}
-	lr := &lineReader{lines: strings.Split(strings.TrimSuffix(string(payload), "\n"), "\n")}
 
 	f := &File{}
-	fields, err := lr.next("algo")
+	var fields []string
+	fields, err = lr.next("algo")
 	if err != nil {
 		return nil, err
 	}

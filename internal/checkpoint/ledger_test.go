@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+func sampleLedger() *Ledger {
+	return &Ledger{
+		Algo:        "disc-all",
+		Fingerprint: 0xdeadbeefcafef00d,
+		MinSup:      3,
+		BiLevel:     true,
+		Levels:      2,
+		Gamma:       0.6250000000000001,
+		Workers:     4,
+		DB:          "1 2 2 3\n2 5\n",
+		Shards: []LedgerShard{
+			{
+				State:  ShardDone,
+				Worker: "",
+				Attempts: []ShardAttempt{
+					{Worker: "http://w1:1", Outcome: "transport-error"},
+					{Worker: "http://w2:2", Outcome: "done"},
+				},
+				Partitions: sample().Partitions,
+			},
+			{State: ShardAssigned, Worker: "http://w1:1",
+				Attempts: []ShardAttempt{{Worker: "http://w1:1", Outcome: "dispatched"}}},
+			{State: ShardPending},
+		},
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	l := sampleLedger()
+	var b strings.Builder
+	if _, err := l.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLedger(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ReadLedger: %v\nencoded:\n%s", err, b.String())
+	}
+	if back.Algo != l.Algo || back.Fingerprint != l.Fingerprint || back.MinSup != l.MinSup ||
+		back.BiLevel != l.BiLevel || back.Levels != l.Levels || back.Gamma != l.Gamma ||
+		back.Workers != l.Workers {
+		t.Fatalf("job identity round trip: %+v", back)
+	}
+	if back.DB != l.DB {
+		t.Fatalf("db round trip: %q, want %q", back.DB, l.DB)
+	}
+	if len(back.Shards) != 3 {
+		t.Fatalf("shard count %d, want 3", len(back.Shards))
+	}
+	for i, want := range l.Shards {
+		got := back.Shards[i]
+		if got.State != want.State || got.Worker != want.Worker {
+			t.Errorf("shard %d state round trip: %+v, want %+v", i, got, want)
+		}
+		if len(got.Attempts) != len(want.Attempts) {
+			t.Fatalf("shard %d attempt count %d, want %d", i, len(got.Attempts), len(want.Attempts))
+		}
+		for j := range want.Attempts {
+			if got.Attempts[j] != want.Attempts[j] {
+				t.Errorf("shard %d attempt %d: %+v, want %+v", i, j, got.Attempts[j], want.Attempts[j])
+			}
+		}
+		if len(got.Partitions) != len(want.Partitions) {
+			t.Fatalf("shard %d partition count %d, want %d", i, len(got.Partitions), len(want.Partitions))
+		}
+		for j := range want.Partitions {
+			if seq.Compare(got.Partitions[j].Key, want.Partitions[j].Key) != 0 {
+				t.Errorf("shard %d partition %d key differs", i, j)
+			}
+			if len(got.Partitions[j].Patterns) != len(want.Partitions[j].Patterns) {
+				t.Errorf("shard %d partition %d pattern count differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLedgerFileRoundTripAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.ledger")
+	l := sampleLedger()
+	if _, err := l.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a new state: the rename must replace, not append.
+	l.Shards[1].State = ShardDone
+	l.Shards[1].Worker = ""
+	if _, err := l.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLedgerFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Shards[1].State != ShardDone {
+		t.Fatalf("second write not visible: %+v", back.Shards[1])
+	}
+}
+
+func TestLedgerCorruptionAndMagicRejected(t *testing.T) {
+	l := sampleLedger()
+	var b strings.Builder
+	if _, err := l.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	// Flip a payload byte: the CRC must catch it.
+	corrupt := []byte(text)
+	corrupt[len(corrupt)-2] ^= 0x20
+	if _, err := ReadLedger(strings.NewReader(string(corrupt))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted ledger read back: %v", err)
+	}
+	// Truncation must be caught by the declared payload length.
+	if _, err := ReadLedger(strings.NewReader(text[:len(text)-10])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated ledger read back: %v", err)
+	}
+	// A checkpoint document is not a ledger: magic mismatch.
+	ckpt := encode(t, sample())
+	if _, err := ReadLedger(strings.NewReader(ckpt)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("checkpoint accepted as ledger: %v", err)
+	}
+	// And a ledger is not a checkpoint.
+	if _, err := Read(strings.NewReader(text)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ledger accepted as checkpoint: %v", err)
+	}
+	// Unknown shard state.
+	bad := strings.Replace(l.payload(), "shard 2 pending", "shard 2 limbo", 1)
+	var doc strings.Builder
+	if _, err := writeDoc(&doc, "DISCLEDG", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLedger(strings.NewReader(doc.String())); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown shard state read back: %v", err)
+	}
+}
+
+func TestLedgerEmptyDB(t *testing.T) {
+	l := &Ledger{Algo: "disc-all", Shards: []LedgerShard{{State: ShardPending}}}
+	var b strings.Builder
+	if _, err := l.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLedger(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.DB != "" || len(back.Shards) != 1 {
+		t.Fatalf("empty-db round trip: %+v", back)
+	}
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic circuit-breaker trio. The int values are
+// the exported gauge encoding (disc_cluster_breaker_state{worker}).
+type breakerState int
+
+const (
+	breakerClosed   breakerState = 0
+	breakerHalfOpen breakerState = 1
+	breakerOpen     breakerState = 2
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// failKind distinguishes what a failed attempt says about the worker.
+type failKind int
+
+const (
+	// failTransport: the worker never answered (connection refused, reset,
+	// attempt timeout, TTL-expiry cancellation) — the strongest signal the
+	// worker is gone.
+	failTransport failKind = iota
+	// failWorker: the worker answered with a typed error or an invalid
+	// checkpoint — it is alive but struggling, so the breaker gives it
+	// twice the grace before opening.
+	failWorker
+)
+
+// breaker is a per-worker closed/open/half-open circuit breaker keyed by
+// consecutive failures and error kind. Open circuits back off
+// exponentially per consecutive trip with ±25% jitter (decorrelating
+// probe storms across a fleet) up to a cap; a half-open circuit grants
+// exactly one probe shard, and that probe's outcome decides between
+// closing and re-opening with a longer backoff.
+//
+// The breaker's own mutex never wraps a registry or Coordinator.mu
+// call: onChange fires on pre-created counters (atomics only), and the
+// state gauge reads through current(), which takes only this mutex —
+// preserving the coordinator's lock-order discipline.
+type breaker struct {
+	threshold int           // consecutive transport failures that open a closed circuit
+	base      time.Duration // first open backoff
+	max       time.Duration // backoff cap
+
+	mu        sync.Mutex
+	state     breakerState
+	transport int // consecutive transport failures while closed
+	worker    int // consecutive typed worker failures while closed
+	trips     int // consecutive opens without an intervening success
+	until     time.Time
+	probing   bool
+	onChange  func(from, to breakerState) // called outside the critical section
+}
+
+func newBreaker(threshold int, base, max time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if base <= 0 {
+		base = 10 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &breaker{threshold: threshold, base: base, max: max}
+}
+
+// current reports the state for the metrics gauge.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// allow reports whether a dispatch may go to this worker now. An open
+// circuit past its backoff transitions to half-open and grants exactly
+// one probe; further requests wait for the probe's outcome.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	var change func()
+	defer func() {
+		b.mu.Unlock()
+		if change != nil {
+			change()
+		}
+	}()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		from := b.state
+		b.state = breakerHalfOpen
+		b.probing = true
+		change = b.changeFn(from, breakerHalfOpen)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess closes the circuit and clears every streak.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	from := b.state
+	b.state = breakerClosed
+	b.transport, b.worker, b.trips = 0, 0, 0
+	b.probing = false
+	change := b.changeFn(from, breakerClosed)
+	b.mu.Unlock()
+	if change != nil {
+		change()
+	}
+}
+
+// onFailure records one failed attempt. A half-open probe failure
+// re-opens immediately with a longer backoff; a closed circuit opens
+// once the consecutive-failure streak of either kind crosses its
+// threshold (typed worker errors get double the transport grace).
+func (b *breaker) onFailure(kind failKind, now time.Time) {
+	b.mu.Lock()
+	b.probing = false
+	trip := false
+	switch b.state {
+	case breakerHalfOpen:
+		trip = true
+	case breakerClosed:
+		if kind == failTransport {
+			b.transport++
+		} else {
+			b.worker++
+		}
+		trip = b.transport >= b.threshold || b.worker >= 2*b.threshold
+	default: // already open (a second-pass dispatch failed): extend
+		trip = true
+	}
+	var change func()
+	if trip {
+		from := b.state
+		b.trips++
+		backoff := b.base << (b.trips - 1)
+		if backoff > b.max || backoff <= 0 { // <=0 guards shift overflow
+			backoff = b.max
+		}
+		// ±25% jitter so a fleet of breakers does not re-probe in lockstep.
+		backoff += time.Duration((rand.Float64() - 0.5) * 0.5 * float64(backoff))
+		b.until = now.Add(backoff)
+		b.state = breakerOpen
+		b.transport, b.worker = 0, 0
+		change = b.changeFn(from, breakerOpen)
+	}
+	b.mu.Unlock()
+	if change != nil {
+		change()
+	}
+}
+
+// changeFn captures an onChange invocation for execution outside the
+// critical section (nil when the state did not move).
+func (b *breaker) changeFn(from, to breakerState) func() {
+	if from == to || b.onChange == nil {
+		return nil
+	}
+	fn := b.onChange
+	return func() { fn(from, to) }
+}

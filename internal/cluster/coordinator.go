@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/disc-mining/disc/internal/checkpoint"
@@ -21,6 +23,12 @@ import (
 	"github.com/disc-mining/disc/internal/obs"
 )
 
+// ErrCoordinatorCrash is what Mine returns when the CoordinatorCrash
+// fault point fires: the in-process stand-in for the coordinator dying
+// at a ledger transition. The shard ledger is frozen at its persisted
+// state, exactly as a real kill -9 would leave it.
+var ErrCoordinatorCrash = errors.New("cluster: injected coordinator crash (drill; shard ledger preserved on disk)")
+
 // Config shapes a Coordinator.
 type Config struct {
 	// Peers are statically configured worker base URLs (always eligible;
@@ -28,7 +36,9 @@ type Config struct {
 	// HandleRegister and stay eligible while heartbeating.
 	Peers []string
 	// Shards fixes the shard count per job; 0 means one shard per live
-	// worker at dispatch time (at least one).
+	// worker at dispatch time (at least one). A job resuming from a
+	// persisted ledger keeps the ledger's shard count regardless — its
+	// recorded partitions were hashed with it.
 	Shards int
 	// ShardTimeout bounds one dispatch attempt of one shard (default 5
 	// minutes). A shard hitting it is rescheduled from its accumulated
@@ -38,11 +48,35 @@ type Config struct {
 	// before the coordinator mines the shard locally (default 3).
 	Retries int
 	// HeartbeatTTL is how long a self-registered worker stays eligible
-	// after its last heartbeat (default 30s).
+	// after its last heartbeat (default 30s). A worker whose TTL expires
+	// while it holds a dispatched shard has that attempt canceled and the
+	// shard rescheduled immediately.
 	HeartbeatTTL time.Duration
-	// Cooldown parks a peer after a transport failure so retries prefer
-	// other workers (default 10s).
+	// Cooldown is the base backoff of an open circuit breaker (default
+	// 10s); consecutive trips double it, jittered, up to
+	// BreakerMaxBackoff.
 	Cooldown time.Duration
+	// BreakerFailures is how many consecutive transport failures open a
+	// worker's circuit breaker (default 3). Typed worker errors — the
+	// worker answered, the mining failed — get twice the grace.
+	BreakerFailures int
+	// BreakerMaxBackoff caps the open-circuit backoff (default 2m).
+	BreakerMaxBackoff time.Duration
+	// HedgeQuantile enables hedged dispatch: once a shard attempt
+	// outlives this quantile of the fleet's observed dispatch latencies,
+	// a second attempt is sent to another worker and the first valid
+	// reply wins. 0 disables hedging.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay (default 1s) — also the delay
+	// used before any latency has been observed.
+	HedgeMinDelay time.Duration
+	// HedgeBudget bounds speculative dispatches per job (0 = one per
+	// shard; negative disables).
+	HedgeBudget int
+	// LedgerDir, when set, persists a per-job shard ledger at every shard
+	// state transition. A restarted coordinator recovers interrupted jobs
+	// from it (see Recover) and schedules only their unfinished shards.
+	LedgerDir string
 	// Client performs the shard dispatches (default http.DefaultClient;
 	// per-attempt contexts carry the timeout, so the client needs none).
 	Client *http.Client
@@ -62,10 +96,9 @@ type Config struct {
 }
 
 type peer struct {
-	url       string
-	static    bool
-	lastSeen  time.Time
-	downUntil time.Time
+	url      string
+	static   bool
+	lastSeen time.Time
 }
 
 // Coordinator splits shardable jobs into first-level-partition shards,
@@ -75,14 +108,21 @@ type peer struct {
 type Coordinator struct {
 	cfg Config
 
-	mu    sync.Mutex
-	peers map[string]*peer
-	next  int // round-robin cursor over the sorted live peer list
+	mu       sync.Mutex
+	peers    map[string]*peer
+	next     int // round-robin cursor over the sorted live peer list
+	breakers map[string]*breaker
 
-	obs       *obs.Observer
-	shards    map[string]*obs.Counter // state -> counter
-	shardDur  *obs.Histogram
-	workerLat map[string]*obs.Histogram // worker url -> latency histogram
+	obs           *obs.Observer
+	shards        map[string]*obs.Counter // state -> counter
+	hedges        map[string]*obs.Counter // outcome -> counter
+	breakerTrans  map[string]*obs.Counter // destination state -> counter
+	expired       *obs.Counter
+	ledgerWrites  *obs.Counter
+	ledgerResumed *obs.Counter
+	ledgerDur     *obs.Histogram
+	shardDur      *obs.Histogram
+	workerLat     map[string]*obs.Histogram // worker url -> latency histogram
 }
 
 // New starts a coordinator over the statically configured peers.
@@ -99,6 +139,15 @@ func New(cfg Config) *Coordinator {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 10 * time.Second
 	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = 3
+	}
+	if cfg.BreakerMaxBackoff <= 0 {
+		cfg.BreakerMaxBackoff = 2 * time.Minute
+	}
+	if cfg.HedgeMinDelay <= 0 {
+		cfg.HedgeMinDelay = time.Second
+	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
@@ -110,17 +159,38 @@ func New(cfg Config) *Coordinator {
 		o = obs.NewObserver()
 	}
 	c := &Coordinator{cfg: cfg, peers: map[string]*peer{}, obs: o,
+		breakers:  map[string]*breaker{},
 		workerLat: map[string]*obs.Histogram{}}
 	for _, u := range cfg.Peers {
 		c.peers[u] = &peer{url: u, static: true}
 	}
 	r := o.Registry
 	c.shards = map[string]*obs.Counter{}
-	for _, state := range []string{"done", "failed", "retried", "local"} {
+	for _, state := range []string{"done", "failed", "retried", "local", "resumed"} {
 		c.shards[state] = r.Counter("disc_cluster_shards_total",
-			"Shard dispatch outcomes: done (a worker finished it), retried (an attempt failed and the shard was rescheduled), local (workers exhausted, mined by the coordinator), failed (gave up).",
+			"Shard dispatch outcomes: done (a worker finished it), retried (an attempt failed and the shard was rescheduled), local (workers exhausted, mined by the coordinator), resumed (restored as done from a persisted ledger), failed (gave up).",
 			obs.Label{Key: "state", Value: state})
 	}
+	c.hedges = map[string]*obs.Counter{}
+	for _, outcome := range []string{"launched", "won", "primary"} {
+		c.hedges[outcome] = r.Counter("disc_cluster_hedges_total",
+			"Hedged shard dispatches: launched (a speculative second attempt was sent), won (the hedge's reply was used), primary (the primary still won the race).",
+			obs.Label{Key: "outcome", Value: outcome})
+	}
+	c.breakerTrans = map[string]*obs.Counter{}
+	for _, state := range []string{"closed", "half-open", "open"} {
+		c.breakerTrans[state] = r.Counter("disc_cluster_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state.",
+			obs.Label{Key: "to", Value: state})
+	}
+	c.expired = r.Counter("disc_cluster_expired_dispatches_total",
+		"Dispatch attempts canceled because the worker's heartbeat TTL expired while it held the shard.")
+	c.ledgerWrites = r.Counter("disc_cluster_ledger_writes_total",
+		"Durable shard-ledger writes (one per shard state transition).")
+	c.ledgerResumed = r.Counter("disc_cluster_ledger_resumed_shards_total",
+		"Shards restored as already done from a persisted shard ledger after a coordinator restart.")
+	c.ledgerDur = r.Histogram("disc_cluster_ledger_write_seconds",
+		"Latency of one atomic shard-ledger write.", obs.DurationBuckets)
 	c.shardDur = r.Histogram("disc_cluster_shard_duration_seconds",
 		"Wall time of one shard from first dispatch to completion.", obs.DurationBuckets)
 	r.GaugeFunc("disc_cluster_workers", "Workers currently eligible for shard dispatch.",
@@ -180,25 +250,34 @@ func (c *Coordinator) Workers() []string {
 }
 
 // pickWorker selects the next eligible worker round-robin, skipping ones
-// already tried for this shard attempt cycle and ones cooling down after
-// a transport failure. Returns "" when none qualifies.
+// already tried for this shard attempt cycle and ones whose circuit
+// breaker denies dispatch. Returns "" when none qualifies.
 func (c *Coordinator) pickWorker(tried map[string]bool) string {
 	live := c.Workers()
 	if len(live) == 0 {
 		return ""
 	}
 	now := time.Now()
+	// Resolve breakers before taking c.mu: creation touches the registry,
+	// which must never nest inside c.mu (see latency). The breaker mutex
+	// itself is a leaf lock, safe to take under c.mu during selection.
+	brs := make(map[string]*breaker, len(live))
+	for _, u := range live {
+		if !tried[u] {
+			brs[u] = c.breakerFor(u)
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	// First pass honors cooldowns; the second ignores them — a parked
-	// worker is still better than none.
-	for _, honorCooldown := range []bool{true, false} {
+	// The first pass honors breakers; the second ignores them — a tripped
+	// worker is still better than none when every circuit is open.
+	for _, honor := range []bool{true, false} {
 		for i := 0; i < len(live); i++ {
 			u := live[(c.next+i)%len(live)]
 			if tried[u] {
 				continue
 			}
-			if honorCooldown && c.peers[u] != nil && now.Before(c.peers[u].downUntil) {
+			if honor && !brs[u].allow(now) {
 				continue
 			}
 			c.next = (c.next + i + 1) % len(live)
@@ -208,13 +287,39 @@ func (c *Coordinator) pickWorker(tried map[string]bool) string {
 	return ""
 }
 
-// parkPeer starts a cooldown after a transport failure.
-func (c *Coordinator) parkPeer(url string) {
+// breakerFor returns the worker's circuit breaker, creating it (and its
+// state gauge) on the worker's first contact. Creation follows the
+// latency() pattern: the registry call happens outside c.mu because the
+// registry's render paths invoke gauge fns that take c.mu. The breaker's
+// onChange hook touches only pre-created counters and the log, never a
+// lock above it.
+func (c *Coordinator) breakerFor(url string) *breaker {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.peers[url]; ok {
-		p.downUntil = time.Now().Add(c.cfg.Cooldown)
+	b, ok := c.breakers[url]
+	c.mu.Unlock()
+	if ok {
+		return b
 	}
+	nb := newBreaker(c.cfg.BreakerFailures, c.cfg.Cooldown, c.cfg.BreakerMaxBackoff)
+	nb.onChange = func(from, to breakerState) {
+		c.breakerTrans[to.String()].Inc()
+		c.cfg.Logf("cluster: breaker for %s: %s -> %s", url, from, to)
+	}
+	c.mu.Lock()
+	if cur, ok := c.breakers[url]; ok {
+		b = cur
+	} else {
+		c.breakers[url] = nb
+		b = nb
+	}
+	c.mu.Unlock()
+	if b == nb {
+		c.obs.Registry.GaugeFunc("disc_cluster_breaker_state",
+			"Per-worker circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return float64(nb.current()) },
+			obs.Label{Key: "worker", Value: url})
+	}
+	return b
 }
 
 // latency returns the per-worker dispatch latency histogram, creating it
@@ -245,7 +350,9 @@ func (c *Coordinator) latency(url string) *obs.Histogram {
 
 // shardAcc accumulates one shard's completed partitions across dispatch
 // attempts, deduplicating by partition key (a retried shard re-ships
-// what its predecessor completed).
+// what its predecessor completed, and a hedge race could deliver the
+// same partition twice). Owned by the shard's runShard goroutine; never
+// shared.
 type shardAcc struct {
 	seen  map[string]bool
 	parts []checkpoint.Partition
@@ -271,6 +378,40 @@ func (a *shardAcc) fold(parts []checkpoint.Partition, cp *core.Checkpointer) int
 	return fresh
 }
 
+// snapshotParts copies the accumulated partitions for handoff to the
+// ledger (whose writer goroutine must not alias the accumulator).
+func snapshotParts(a *shardAcc) []checkpoint.Partition {
+	return append([]checkpoint.Partition(nil), a.parts...)
+}
+
+// jobRun carries the per-job scheduling state shared by the shard
+// goroutines: the durable ledger handle, the hedge budget, and the
+// injected-crash switch.
+type jobRun struct {
+	led        *jobLedger
+	hedgesLeft atomic.Int64
+	abort      context.CancelFunc
+	crashed    atomic.Bool
+}
+
+func (r *jobRun) takeHedge() bool { return r.hedgesLeft.Add(-1) >= 0 }
+func (r *jobRun) giveHedge()      { r.hedgesLeft.Add(1) }
+
+// crashPoint fires the CoordinatorCrash drill at a ledger transition
+// site: freeze the ledger at its persisted state, cancel the job's
+// other shard goroutines, and surface ErrCoordinatorCrash — the closest
+// an in-process test can get to kill -9 between two scheduler actions.
+func (c *Coordinator) crashPoint(run *jobRun, site string) error {
+	if run.led == nil || !c.cfg.Faults.Fire(faultinject.CoordinatorCrash, site) {
+		return nil
+	}
+	c.cfg.Logf("cluster: injected coordinator crash at %s", site)
+	run.crashed.Store(true)
+	run.led.kill()
+	run.abort()
+	return ErrCoordinatorCrash
+}
+
 // Mine distributes one job across the fleet and returns a result
 // byte-identical to a local run. It has the jobs.Config.Mine shape: the
 // manager keeps admission, dedup, deadlines, containment and
@@ -288,6 +429,13 @@ func (a *shardAcc) fold(parts []checkpoint.Partition, cp *core.Checkpointer) int
 // exhausts its retries is mined locally. The final local assembly run
 // restores every collected partition and merges them in ascending key
 // order — the same merge an uninterrupted local run performs.
+//
+// With LedgerDir configured every shard state transition is persisted
+// first, so a coordinator killed at any instant restarts, finds the
+// ledger, and (via Recover or an identical resubmission) re-runs only
+// the unfinished shards — still byte-identical, because done shards'
+// partitions are restored from the ledger and the assembly merge is
+// order-independent of who mined what.
 func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Checkpointer) (*mining.Result, error) {
 	workers := c.Workers()
 	budgeted := req.Opts.MaxPatterns > 0 || req.Opts.MaxMemBytes > 0
@@ -300,7 +448,17 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 		default:
 			c.cfg.Logf("cluster: no live workers, mining %s locally", req.Algo)
 		}
-		return c.mineLocal(ctx, req, cp, nil)
+		res, err := c.mineLocal(ctx, req, cp, nil)
+		if err == nil && c.cfg.LedgerDir != "" && shardable(req.Algo) {
+			// A ledger left behind by a clustered incarnation of this job
+			// is satisfied by the local result; retire it so restarts stop
+			// resubmitting a finished job.
+			fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+			if os.Remove(LedgerPath(c.cfg.LedgerDir, fp)) == nil {
+				c.cfg.Logf("cluster: job %016x finished locally; its shard ledger is retired", fp)
+			}
+		}
+		return res, err
 	}
 	shards := c.cfg.Shards
 	if shards <= 0 {
@@ -313,9 +471,24 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 	}
 	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
 
+	// mctx lets an injected coordinator crash stop the job's other shard
+	// goroutines the way a real process death would.
+	mctx, mcancel := context.WithCancel(ctx)
+	defer mcancel()
+	run := &jobRun{abort: mcancel}
+	var doneShards map[int]bool
+	run.led, shards, doneShards = c.openLedger(req, fp, shards, dbText.String())
+	budget := int64(c.cfg.HedgeBudget)
+	if budget == 0 {
+		budget = int64(shards)
+	}
+	run.hedgesLeft.Store(budget)
+
 	// Pre-seed each shard's accumulator with the partitions a previous
-	// incarnation of this job already collected (crash-resume): those
-	// shards' workers restore them instead of re-mining.
+	// incarnation of this job already collected — from the job checkpoint
+	// (manager-level crash-resume) and from the ledger's per-shard
+	// partition snapshots (coordinator-level crash-resume). Those shards'
+	// workers restore them instead of re-mining.
 	accs := make([]*shardAcc, shards)
 	for i := range accs {
 		accs[i] = &shardAcc{seen: map[string]bool{}}
@@ -332,6 +505,9 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 			a.parts = append(a.parts, p)
 		}
 	}
+	for i, parts := range run.led.shardParts() {
+		accs[i].fold(parts, cp)
+	}
 
 	// No budgets travel with the shards: budgeted jobs took the local
 	// path above, so request budgets here are always zero and workers
@@ -340,19 +516,26 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 		Algo: req.Algo, MinSup: req.MinSup,
 		BiLevel: req.Opts.BiLevel, Levels: req.Opts.Levels, Gamma: req.Opts.Gamma,
 		Workers: req.Opts.Workers,
-		Shards: shards, Fingerprint: fmt.Sprintf("%016x", fp), DB: dbText.String(),
+		Shards:  shards, Fingerprint: fmt.Sprintf("%016x", fp), DB: dbText.String(),
 	}
 
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for idx := 0; idx < shards; idx++ {
+		if doneShards[idx] {
+			c.shards["resumed"].Inc()
+			continue
+		}
 		wg.Add(1)
 		go func(idx int) {
 			defer wg.Done()
-			errs[idx] = c.runShard(ctx, base, idx, fp, accs[idx], req, cp)
+			errs[idx] = c.runShard(mctx, base, idx, fp, accs[idx], req, cp, run)
 		}(idx)
 	}
 	wg.Wait()
+	if run.crashed.Load() {
+		return nil, ErrCoordinatorCrash
+	}
 	for idx, err := range errs {
 		if err != nil {
 			c.shards["failed"].Inc()
@@ -374,15 +557,17 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 	if err != nil {
 		return nil, err
 	}
+	run.led.retire()
 	c.cfg.Logf("cluster: job %016x assembled from %d shards, %d partitions", fp, shards, len(all))
 	return res, nil
 }
 
-// runShard drives one shard to completion: dispatch, fold the returned
-// checkpoint, reschedule on failure, and fall back to a local shard run
-// when workers are exhausted.
+// runShard drives one shard to completion: dispatch (hedged when the
+// attempt drags), fold the returned checkpoint, reschedule on failure,
+// and fall back to a local shard run when workers are exhausted. Every
+// state transition lands in the job ledger before the next action.
 func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, fp uint64,
-	acc *shardAcc, req jobs.Request, cp *core.Checkpointer) error {
+	acc *shardAcc, req jobs.Request, cp *core.Checkpointer, run *jobRun) error {
 	start := time.Now()
 	tried := map[string]bool{}
 	var lastErr error
@@ -400,60 +585,33 @@ func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, 
 			}
 		}
 		tried[url] = true
+		run.led.assign(idx, url)
+		if err := c.crashPoint(run, fmt.Sprintf("assign-%d", idx)); err != nil {
+			return err
+		}
 
-		resp, err := c.dispatch(ctx, url, base, idx, fp, acc)
+		winner, err := c.attemptShard(ctx, base, idx, fp, acc, cp, url, tried, run)
 		if err != nil {
-			c.parkPeer(url)
 			c.shards["retried"].Inc()
+			run.led.resolve(idx, winner, outcomeFor(err), snapshotParts(acc))
 			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s failed: %v (rescheduling from %d partitions)",
-				idx, base.Shards, attempt+1, url, err, len(acc.parts))
+				idx, base.Shards, attempt+1, winner, err, len(acc.parts))
 			lastErr = err
 			continue
 		}
-		// Validate the returned checkpoint before trusting the response
-		// outcome: on a success response an undecodable, mismatched or
-		// absent checkpoint means the shard's work never actually arrived,
-		// and silently counting it done would quietly degrade the whole
-		// shard to local re-mining during assembly.
-		var cpErr error
-		if resp.Checkpoint != "" {
-			switch f, derr := decodeCheckpoint(resp.Checkpoint); {
-			case derr != nil:
-				cpErr = fmt.Errorf("undecodable checkpoint from %s: %w", url, derr)
-			case f.Fingerprint != fp:
-				cpErr = fmt.Errorf("checkpoint from %s has fingerprint %016x, job is %016x", url, f.Fingerprint, fp)
-			default:
-				acc.fold(f.Partitions, cp)
-			}
-		} else if resp.Error == nil {
-			cpErr = fmt.Errorf("success response from %s carried no checkpoint", url)
-		}
-		if resp.Error != nil {
-			// The worker mined and failed (panic, budget, …). Its partial
-			// checkpoint is folded in, so the reschedule resumes.
-			c.shards["retried"].Inc()
-			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s: worker error: %v (rescheduling from %d partitions)",
-				idx, base.Shards, attempt+1, url, resp.Error, len(acc.parts))
-			lastErr = resp.Error
-			continue
-		}
-		if cpErr != nil {
-			// Success in name only — treat it like a worker failure and
-			// reschedule rather than silently re-mining the shard locally.
-			c.shards["retried"].Inc()
-			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s: %v (rescheduling from %d partitions)",
-				idx, base.Shards, attempt+1, url, cpErr, len(acc.parts))
-			lastErr = cpErr
-			continue
-		}
+		run.led.done(idx, winner, snapshotParts(acc))
 		c.shards["done"].Inc()
 		c.shardDur.Observe(time.Since(start).Seconds())
+		if err := c.crashPoint(run, fmt.Sprintf("done-%d", idx)); err != nil {
+			return err
+		}
 		return nil
 	}
 
 	// Workers exhausted: mine the shard here, resuming from whatever the
 	// fleet completed. Correctness never depends on the fleet.
 	c.cfg.Logf("cluster: shard %d/%d exhausted retries (last: %v), mining locally", idx, base.Shards, lastErr)
+	run.led.assign(idx, "(local)")
 	local := core.ResumeFrom(&checkpoint.File{
 		Algo: req.Algo, Fingerprint: fp, MinSup: req.MinSup, Partitions: acc.parts,
 	})
@@ -462,26 +620,196 @@ func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, 
 		return err
 	}
 	acc.fold(local.File(req.Algo, req.MinSup, fp).Partitions, cp)
+	run.led.done(idx, "(local)", snapshotParts(acc))
 	c.shards["local"].Inc()
 	c.shardDur.Observe(time.Since(start).Seconds())
 	return nil
 }
 
+// outcomeFor condenses an attempt error into a whitespace-free ledger
+// token for the shard's attempt history.
+func outcomeFor(err error) string {
+	var we *jobs.WireError
+	if errors.As(err, &we) {
+		return "worker-" + we.Kind
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "timeout-or-canceled"
+	}
+	return "transport-error"
+}
+
+// attemptShard drives one scheduling attempt of one shard: the primary
+// dispatch, plus — once the attempt outlives the fleet's latency
+// quantile and budget allows — one hedged dispatch to another worker.
+// The first valid reply wins, the loser's context is canceled, and only
+// the winner's partitions count (the accumulator's key dedup makes even
+// a racing double delivery idempotent). Partial checkpoints from failed
+// replies fold into acc so a reschedule resumes, and each reply settles
+// the worker's circuit breaker. Returns the worker whose reply won — or,
+// with the error, the worker whose failure is being reported.
+func (c *Coordinator) attemptShard(ctx context.Context, base ShardRequest, idx int, fp uint64,
+	acc *shardAcc, cp *core.Checkpointer, primary string, tried map[string]bool, run *jobRun) (string, error) {
+	actx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll() // the loser of a hedge race is canceled here
+
+	type reply struct {
+		url   string
+		parts []checkpoint.Partition
+		err   error
+		kind  failKind
+	}
+	// Capacity 2: both attempts can always deliver without a reader — the
+	// loser's reply is simply never received, and no goroutine leaks.
+	replies := make(chan reply, 2)
+	launch := func(url string) {
+		// The resume snapshot is rendered here, in the select-loop
+		// goroutine, because acc may gain partitions between launches.
+		resume, err := encodeResume(base, idx, fp, acc)
+		if err != nil {
+			replies <- reply{url: url, err: err, kind: failWorker}
+			return
+		}
+		go func() {
+			resp, err := c.dispatch(actx, url, base, idx, resume)
+			if err != nil {
+				replies <- reply{url: url, err: err, kind: failTransport}
+				return
+			}
+			parts, err := vetResponse(resp, url, fp)
+			replies <- reply{url: url, parts: parts, err: err, kind: failWorker}
+		}()
+	}
+	launch(primary)
+	inflight := 1
+	hedgedTo := ""
+
+	var hedgeC <-chan time.Time
+	if delay, ok := c.hedgeDelay(run); ok {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var firstErr error
+	firstURL := primary
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if !run.takeHedge() {
+				run.giveHedge()
+				continue
+			}
+			url := c.pickWorker(tried)
+			if url == "" {
+				run.giveHedge()
+				continue
+			}
+			tried[url] = true
+			hedgedTo = url
+			inflight++
+			c.hedges["launched"].Inc()
+			c.cfg.Logf("cluster: shard %d/%d hedged to %s (%s is past the fleet's latency quantile)",
+				idx, base.Shards, url, primary)
+			launch(url)
+		case r := <-replies:
+			inflight--
+			// Even a failed reply may carry a partial checkpoint.
+			if len(r.parts) > 0 {
+				acc.fold(r.parts, cp)
+			}
+			if r.err == nil {
+				c.breakerFor(r.url).onSuccess()
+				switch {
+				case hedgedTo == "":
+				case r.url == hedgedTo:
+					c.hedges["won"].Inc()
+				default:
+					c.hedges["primary"].Inc()
+				}
+				return r.url, nil
+			}
+			c.breakerFor(r.url).onFailure(r.kind, time.Now())
+			if firstErr == nil {
+				firstErr, firstURL = r.err, r.url
+			}
+			if inflight == 0 {
+				return firstURL, firstErr
+			}
+			c.cfg.Logf("cluster: shard %d/%d attempt on %s failed (%v); awaiting the hedge",
+				idx, base.Shards, r.url, r.err)
+		case <-ctx.Done():
+			return primary, ctx.Err()
+		}
+	}
+}
+
+// hedgeDelay decides whether this attempt may hedge and after how long:
+// the configured quantile over the union of every worker's observed
+// dispatch latencies, floored by HedgeMinDelay.
+func (c *Coordinator) hedgeDelay(run *jobRun) (time.Duration, bool) {
+	if c.cfg.HedgeQuantile <= 0 || run.hedgesLeft.Load() <= 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	hs := make([]*obs.Histogram, 0, len(c.workerLat))
+	for _, h := range c.workerLat {
+		hs = append(hs, h)
+	}
+	c.mu.Unlock()
+	d := time.Duration(obs.QuantileAcross(c.cfg.HedgeQuantile, hs...) * float64(time.Second))
+	if d < c.cfg.HedgeMinDelay {
+		d = c.cfg.HedgeMinDelay
+	}
+	return d, true
+}
+
+// vetResponse validates one worker reply. It returns the partitions of
+// the reply's checkpoint (even alongside a typed worker error — partial
+// progress is progress) and the error the attempt should report: the
+// worker's typed error, or a checkpoint-validation failure on a success
+// response whose work never actually arrived (silently counting that
+// done would quietly degrade the shard to local re-mining at assembly).
+func vetResponse(resp *ShardResponse, url string, fp uint64) ([]checkpoint.Partition, error) {
+	var parts []checkpoint.Partition
+	var cpErr error
+	if resp.Checkpoint != "" {
+		switch f, derr := decodeCheckpoint(resp.Checkpoint); {
+		case derr != nil:
+			cpErr = fmt.Errorf("undecodable checkpoint from %s: %w", url, derr)
+		case f.Fingerprint != fp:
+			cpErr = fmt.Errorf("checkpoint from %s has fingerprint %016x, job is %016x", url, f.Fingerprint, fp)
+		default:
+			parts = f.Partitions
+		}
+	} else if resp.Error == nil {
+		cpErr = fmt.Errorf("success response from %s carried no checkpoint", url)
+	}
+	if resp.Error != nil {
+		return parts, resp.Error
+	}
+	return parts, cpErr
+}
+
+// encodeResume renders the shard's accumulated partitions as the
+// dispatch's resume checkpoint ("" when there is nothing to resume).
+func encodeResume(base ShardRequest, idx int, fp uint64, acc *shardAcc) (string, error) {
+	if len(acc.parts) == 0 {
+		return "", nil
+	}
+	return encodeCheckpoint(&checkpoint.File{
+		Algo: base.Algo, Fingerprint: fp, MinSup: base.MinSup,
+		Shard: idx, ShardCount: base.Shards, Partitions: acc.parts,
+	})
+}
+
 // dispatch performs one shard attempt against one worker.
 func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardRequest,
-	idx int, fp uint64, acc *shardAcc) (*ShardResponse, error) {
+	idx int, resume string) (*ShardResponse, error) {
 	sreq := base
 	sreq.Shard = idx
-	if len(acc.parts) > 0 {
-		text, err := encodeCheckpoint(&checkpoint.File{
-			Algo: base.Algo, Fingerprint: fp, MinSup: base.MinSup,
-			Shard: idx, ShardCount: base.Shards, Partitions: acc.parts,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sreq.Resume = text
-	}
+	sreq.Resume = resume
 	body, err := json.Marshal(&sreq)
 	if err != nil {
 		return nil, err
@@ -489,6 +817,8 @@ func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardReques
 
 	actx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
 	defer cancel()
+	stop := c.watchExpiry(actx, cancel, url)
+	defer stop()
 	hreq, err := http.NewRequestWithContext(actx, http.MethodPost, url+"/cluster/shard", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -510,6 +840,58 @@ func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardReques
 		return nil, fmt.Errorf("worker answered HTTP %d", hres.StatusCode)
 	}
 	return &resp, nil
+}
+
+// watchExpiry cancels an in-flight dispatch the moment the worker's
+// heartbeat TTL expires: a dead worker's shard must be rescheduled
+// immediately on expiry, not after the full shard timeout also passes.
+// Static peers have no heartbeat and are never expired. The returned
+// stop function ends the watch on the dispatch's normal completion.
+func (c *Coordinator) watchExpiry(ctx context.Context, cancel context.CancelFunc, url string) func() {
+	c.mu.Lock()
+	p, ok := c.peers[url]
+	static := !ok || p.static
+	c.mu.Unlock()
+	if static {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(done) }) }
+	go func() {
+		for {
+			c.mu.Lock()
+			p, ok := c.peers[url]
+			var expiry time.Time
+			if ok {
+				expiry = p.lastSeen.Add(c.cfg.HeartbeatTTL)
+			}
+			c.mu.Unlock()
+			if !ok {
+				return
+			}
+			d := time.Until(expiry)
+			if d <= 0 {
+				c.expired.Inc()
+				c.cfg.Logf("cluster: worker %s heartbeat TTL expired while holding a shard; canceling the attempt", url)
+				cancel()
+				return
+			}
+			// Re-check at the projected expiry: a heartbeat landing in the
+			// meantime pushes it out and the timer re-arms.
+			t := time.NewTimer(d + 5*time.Millisecond)
+			select {
+			case <-t.C:
+			case <-done:
+				t.Stop()
+				return
+			case <-ctx.Done():
+				t.Stop()
+				return
+			}
+		}
+	}()
+	return stop
 }
 
 // mineLocal is the no-fleet path: exactly what the manager's default
@@ -602,3 +984,16 @@ func Shardable(algo string) bool { return shardable(algo) }
 // far — the observable the fault grids assert on when a worker is
 // killed or dropped mid-shard.
 func (c *Coordinator) ShardRetries() int { return int(c.shards["retried"].Value()) }
+
+// HedgesLaunched reports how many speculative shard dispatches this
+// coordinator has sent — the observable of the straggler-hedge drills.
+func (c *Coordinator) HedgesLaunched() int { return int(c.hedges["launched"].Value()) }
+
+// ExpiredDispatches reports how many in-flight dispatches were canceled
+// by heartbeat-TTL expiry — the observable of the dead-worker drills.
+func (c *Coordinator) ExpiredDispatches() int { return int(c.expired.Value()) }
+
+// ResumedShards reports how many shards were restored as already done
+// from a persisted shard ledger — the observable of the
+// coordinator-restart drills.
+func (c *Coordinator) ResumedShards() int { return int(c.ledgerResumed.Value()) }

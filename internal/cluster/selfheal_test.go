@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(2, 100*time.Millisecond, 400*time.Millisecond)
+	var trans []string
+	b.onChange = func(from, to breakerState) { trans = append(trans, from.String()+">"+to.String()) }
+	now := time.Now()
+
+	if !b.allow(now) {
+		t.Fatal("a closed breaker must allow dispatch")
+	}
+	b.onFailure(failTransport, now)
+	if !b.allow(now) {
+		t.Fatal("one failure below the threshold must not open the circuit")
+	}
+	b.onSuccess()
+	b.onFailure(failTransport, now)
+	if !b.allow(now) {
+		t.Fatal("a success must have reset the failure streak")
+	}
+	b.onFailure(failTransport, now)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after %d consecutive transport failures = %v, want open", 2, got)
+	}
+	if b.allow(now) {
+		t.Fatal("an open breaker inside its backoff must deny dispatch")
+	}
+
+	// Past the backoff (first trip: 100ms ±25%): half-open, exactly one probe.
+	later := now.Add(200 * time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("an open breaker past its backoff must grant a half-open probe")
+	}
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("state after the probe grant = %v, want half-open", got)
+	}
+	if b.allow(later) {
+		t.Fatal("half-open must grant exactly one probe")
+	}
+	b.onSuccess()
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("state after a successful probe = %v, want closed", got)
+	}
+
+	// Typed worker errors get double the transport grace.
+	for i := 0; i < 3; i++ {
+		b.onFailure(failWorker, now)
+		if got := b.current(); got != breakerClosed {
+			t.Fatalf("worker failure %d opened the circuit before 2x threshold (state %v)", i+1, got)
+		}
+	}
+	b.onFailure(failWorker, now)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after 2x-threshold worker failures = %v, want open", got)
+	}
+
+	// A failed probe re-opens with a longer backoff (second consecutive
+	// trip: 200ms ±25%, so at least 150ms).
+	probeAt := now.Add(time.Hour)
+	if !b.allow(probeAt) {
+		t.Fatal("probe after a long wait must be granted")
+	}
+	b.onFailure(failTransport, probeAt)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state after a failed probe = %v, want open", got)
+	}
+	if b.allow(probeAt.Add(50 * time.Millisecond)) {
+		t.Fatal("the re-opened backoff must be longer than the first trip's")
+	}
+	if !b.allow(probeAt.Add(time.Second)) {
+		t.Fatal("the re-opened breaker must eventually grant a probe again")
+	}
+	if len(trans) == 0 {
+		t.Fatal("state transitions should have reached the onChange hook")
+	}
+}
+
+// TestExpiredWorkerShardRescheduledImmediately is the regression test for
+// the dead-worker hole: a self-registered worker whose heartbeat TTL
+// expires while it holds a dispatched shard used to keep that shard
+// in-flight until the full shard timeout. The expiry must cancel the
+// attempt and reschedule the shard immediately.
+func TestExpiredWorkerShardRescheduledImmediately(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	// The hung worker never answers on its own; only cancellation frees
+	// its shard. It heartbeats once (Register below) and then goes silent.
+	hung := startWorker(t, WorkerConfig{
+		Faults: faultinject.New(5).Arm(faultinject.ShardHang, faultinject.Spec{Prob: 1}),
+	})
+	healthy := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+	c := New(Config{Peers: []string{healthy}, Shards: 2, ShardTimeout: time.Minute,
+		HeartbeatTTL: 200 * time.Millisecond, Cooldown: time.Millisecond})
+	c.Register(hung)
+
+	start := time.Now()
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("result after a TTL-expired worker differs from local run")
+	}
+	if c.ExpiredDispatches() == 0 {
+		t.Fatal("the hung dispatch should have been canceled by heartbeat-TTL expiry, not by the shard timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("reschedule took %v — the shard waited out the timeout instead of the TTL", elapsed)
+	}
+	if n := int(c.shards["done"].Value()); n != 2 {
+		t.Fatalf("want 2 shards done, got %d", n)
+	}
+}
+
+// TestHedgedDispatchTakesFirstValidResult: a straggler worker that hangs
+// forever forces a hedge; the hedge's reply wins, the hung primary is
+// canceled, the merged result stays byte-identical and each shard counts
+// exactly once.
+func TestHedgedDispatchTakesFirstValidResult(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	straggler := startWorker(t, WorkerConfig{
+		Faults: faultinject.New(9).Arm(faultinject.ShardHang, faultinject.Spec{Prob: 1}),
+	})
+	healthy := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+	c := New(Config{Peers: []string{straggler, healthy}, Shards: 2, ShardTimeout: time.Minute,
+		HedgeQuantile: 0.95, HedgeMinDelay: 50 * time.Millisecond})
+
+	start := time.Now()
+	res, err := c.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("hedged result differs from local run")
+	}
+	if c.HedgesLaunched() == 0 {
+		t.Fatal("the straggler should have forced at least one hedged dispatch")
+	}
+	if c.hedges["won"].Value() == 0 {
+		t.Fatal("the hedge should have won against a primary that never answers")
+	}
+	if n := int(c.shards["done"].Value()); n != 2 {
+		t.Fatalf("want exactly 2 shards done (the losing attempt must not double-count), got %d", n)
+	}
+	if n := int(c.shards["retried"].Value()); n != 0 {
+		t.Fatalf("a hedge win is not a retry, got %d retries", n)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hedging took %v — the straggler stalled the job to its timeout", elapsed)
+	}
+}
+
+// TestCoordinatorCrashResumesFromLedger: a coordinator killed at a
+// ledger transition leaves a ledger behind; a fresh coordinator over the
+// same LedgerDir re-runs only the unfinished shards and still produces
+// the byte-identical result, then retires the ledger.
+func TestCoordinatorCrashResumesFromLedger(t *testing.T) {
+	req := testReq(t, "disc-all")
+	want := localRun(t, req)
+	dir := t.TempDir()
+	var peers []string
+	for i := 0; i < 2; i++ {
+		peers = append(peers, startWorker(t, WorkerConfig{MaxConcurrent: 8}))
+	}
+
+	fi := faultinject.New(3).Arm(faultinject.CoordinatorCrash, faultinject.Spec{AfterN: 5})
+	c1 := New(Config{Peers: peers, Shards: 3, ShardTimeout: time.Minute, LedgerDir: dir, Faults: fi})
+	if _, err := c1.Mine(context.Background(), req, nil); !errors.Is(err, ErrCoordinatorCrash) {
+		t.Fatalf("want ErrCoordinatorCrash from the drilled run, got %v", err)
+	}
+	if got := fi.Fired(faultinject.CoordinatorCrash); got != 1 {
+		t.Fatalf("CoordinatorCrash fired %d times, want 1", got)
+	}
+
+	fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+	led, err := checkpoint.ReadLedgerFile(LedgerPath(dir, fp))
+	if err != nil {
+		t.Fatalf("crashed coordinator left no readable ledger: %v", err)
+	}
+	doneBefore := 0
+	for _, s := range led.Shards {
+		if s.State == checkpoint.ShardDone {
+			doneBefore++
+		}
+	}
+
+	// The restarted coordinator is configured with a different shard
+	// count — the ledger's must win, its partitions were hashed with it.
+	c2 := New(Config{Peers: peers, Shards: 7, ShardTimeout: time.Minute, LedgerDir: dir})
+	res, err := c2.Mine(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(res); got != want {
+		t.Fatal("post-crash resumed result differs from an uninterrupted local run")
+	}
+	if got := c2.ResumedShards(); got != doneBefore {
+		t.Errorf("resumed %d shards from the ledger, want %d (its done count)", got, doneBefore)
+	}
+	if got := int(c2.shards["done"].Value()); got != len(led.Shards)-doneBefore {
+		t.Errorf("re-dispatched %d shards, want only the %d unfinished ones",
+			got, len(led.Shards)-doneBefore)
+	}
+	if _, err := os.Stat(LedgerPath(dir, fp)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ledger must be retired after the job completes (stat: %v)", err)
+	}
+}
+
+// TestRecoverResubmitsInterruptedJobs: a restarted coordinator turns the
+// surviving ledgers back into job submissions — self-contained, verified
+// against their own fingerprint — and skips junk.
+func TestRecoverResubmitsInterruptedJobs(t *testing.T) {
+	req := testReq(t, "disc-all")
+	dir := t.TempDir()
+	worker := startWorker(t, WorkerConfig{MaxConcurrent: 8})
+
+	fi := faultinject.New(1).Arm(faultinject.CoordinatorCrash, faultinject.Spec{AfterN: 1})
+	c1 := New(Config{Peers: []string{worker}, Shards: 2, ShardTimeout: time.Minute, LedgerDir: dir, Faults: fi})
+	if _, err := c1.Mine(context.Background(), req, nil); !errors.Is(err, ErrCoordinatorCrash) {
+		t.Fatalf("want ErrCoordinatorCrash, got %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.ledger"), []byte("not a ledger"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := New(Config{Peers: []string{worker}, LedgerDir: dir})
+	var got []jobs.Request
+	n := c2.Recover(func(r jobs.Request) (*jobs.Job, error) {
+		got = append(got, r)
+		return nil, nil
+	})
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("recovered %d jobs (%d submissions), want exactly 1 — junk must be skipped", n, len(got))
+	}
+	r := got[0]
+	if r.Algo != req.Algo || r.MinSup != req.MinSup {
+		t.Fatalf("recovered request %q minsup %d, want %q minsup %d", r.Algo, r.MinSup, req.Algo, req.MinSup)
+	}
+	wantFP := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
+	if fp := core.CheckpointFingerprint(r.Algo, r.Opts, r.MinSup, r.DB); fp != wantFP {
+		t.Fatalf("recovered request fingerprints to %016x, original job is %016x", fp, wantFP)
+	}
+
+	// A coordinator without a LedgerDir has nothing to recover.
+	if n := New(Config{}).Recover(func(jobs.Request) (*jobs.Job, error) {
+		t.Fatal("submit must not be called without a LedgerDir")
+		return nil, nil
+	}); n != 0 {
+		t.Fatalf("ledgerless Recover returned %d", n)
+	}
+}

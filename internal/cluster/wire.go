@@ -59,12 +59,12 @@ func authorized(secret string, r *http.Request) bool {
 // document; both reuse the repository's canonical formats rather than
 // inventing wire-only ones.
 type ShardRequest struct {
-	Algo        string  `json:"algo"`
-	MinSup      int     `json:"minsup"`
-	BiLevel     bool    `json:"bilevel"`
-	Levels      int     `json:"levels"`
-	Gamma       float64 `json:"gamma"`
-	Workers int `json:"workers,omitempty"` // suggested mining concurrency; the worker may cap it
+	Algo    string  `json:"algo"`
+	MinSup  int     `json:"minsup"`
+	BiLevel bool    `json:"bilevel"`
+	Levels  int     `json:"levels"`
+	Gamma   float64 `json:"gamma"`
+	Workers int     `json:"workers,omitempty"` // suggested mining concurrency; the worker may cap it
 	// MaxPatterns/MaxMemBytes are *per-shard* budgets: the worker
 	// enforces the tighter of these and its own configured limits against
 	// the one shard it mines. The coordinator never ships them — a job
@@ -72,13 +72,13 @@ type ShardRequest struct {
 	// job-global (see Coordinator.Mine) — but the fields remain in the
 	// contract for dispatchers that want per-shard caps and for worker
 	// self-protection.
-	MaxPatterns int   `json:"max_patterns,omitempty"`
-	MaxMemBytes int64 `json:"max_mem_bytes,omitempty"`
-	Shard       int     `json:"shard"`
-	Shards      int     `json:"shards"`
-	Fingerprint string  `json:"fingerprint"` // 16 hex digits; workers refuse mismatched jobs
-	DB          string  `json:"db"`          // data.Native text
-	Resume      string  `json:"resume,omitempty"`
+	MaxPatterns int    `json:"max_patterns,omitempty"`
+	MaxMemBytes int64  `json:"max_mem_bytes,omitempty"`
+	Shard       int    `json:"shard"`
+	Shards      int    `json:"shards"`
+	Fingerprint string `json:"fingerprint"` // 16 hex digits; workers refuse mismatched jobs
+	DB          string `json:"db"`          // data.Native text
+	Resume      string `json:"resume,omitempty"`
 }
 
 // Options reconstructs the result-relevant engine options the request

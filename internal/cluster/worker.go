@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -35,8 +37,9 @@ type WorkerConfig struct {
 	// Empty serves the shard endpoint open (trusted networks only).
 	Secret string
 	// Faults arms the worker-side fault points: ShardDrop (abort the
-	// connection mid-request), ShardSlow (stall before mining), and the
-	// engine points of the shard run itself.
+	// connection mid-request), ShardSlow (stall before mining), ShardHang
+	// (stall until the request is canceled — a straggler that never
+	// finishes on its own), and the engine points of the shard run itself.
 	Faults *faultinject.Injector
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...any)
@@ -72,7 +75,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	w := &Worker{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), obs: o}
 	r := o.Registry
 	w.served = map[string]*obs.Counter{}
-	for _, outcome := range []string{"done", "failed", "shed", "input", "auth"} {
+	for _, outcome := range []string{"done", "failed", "canceled", "shed", "input", "auth"} {
 		w.served[outcome] = r.Counter("disc_cluster_worker_shards_total",
 			"Shard requests served by this worker, by outcome.",
 			obs.Label{Key: "outcome", Value: outcome})
@@ -112,6 +115,13 @@ func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+	if w.cfg.Faults.Fire(faultinject.ShardHang, site) {
+		// A straggler that never finishes: hold the request until the
+		// coordinator gives up on it (hedge win, TTL expiry, or timeout).
+		w.cfg.Logf("cluster: worker hanging at %s until canceled (injected)", site)
+		<-r.Context().Done()
+		return
 	}
 
 	if !shardable(req.Algo) {
@@ -191,6 +201,13 @@ func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
 	text, encErr := encodeCheckpoint(file)
 	resp := ShardResponse{Checkpoint: text}
 	switch {
+	case errors.Is(mineErr, context.Canceled) || errors.Is(mineErr, context.DeadlineExceeded):
+		// The coordinator canceled us (hedge lost, TTL expiry, shard
+		// timeout) — it is no longer listening, but account for the wasted
+		// work and answer anyway for any proxy still holding the socket.
+		resp.Error = jobs.TypedWireError(mineErr)
+		w.served["canceled"].Inc()
+		w.cfg.Logf("cluster: %s canceled after %d partitions", site, cp.Completed())
 	case mineErr != nil:
 		resp.Error = jobs.TypedWireError(mineErr)
 		w.served["failed"].Inc()

@@ -1,0 +1,25 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestClusterChaosGrid: across the sampled grid, a fleet survives its
+// own coordinator — an injected coordinator crash resumed from the
+// durable shard ledger, a registered worker whose heartbeat TTL expires
+// while it holds a shard, and a straggler that forces a hedged dispatch
+// — and every regime stays byte-identical to a local run while proving
+// its fault actually fired. This is the `make chaos` harness; CI runs
+// it under -race.
+func TestClusterChaosGrid(t *testing.T) {
+	for _, c := range clusterGrid(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			db, minSup := gridDB(t, c)
+			if err := CheckClusterChaos(db, minSup, c.Config.Seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -40,6 +40,16 @@ const (
 	// ShardSlow stalls a cluster worker before it starts mining a shard —
 	// exercising shard timeouts and slow-worker rescheduling.
 	ShardSlow Point = "shard-slow"
+	// ShardHang stalls a cluster worker's shard request until the request
+	// context is canceled — a straggler that never finishes on its own,
+	// exercising hedged dispatch and heartbeat-TTL expiry cancellation
+	// (unlike ShardSlow, which unsticks itself after a bounded stall).
+	ShardHang Point = "shard-hang"
+	// CoordinatorCrash aborts the coordinator right after it persists a
+	// shard-ledger transition — simulating the coordinator process dying
+	// (kill -9) at that instant; recovery drills restart a coordinator
+	// over the surviving ledger.
+	CoordinatorCrash Point = "coordinator-crash"
 )
 
 // Spec arms one point. Exactly one trigger mode is used:

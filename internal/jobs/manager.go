@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -173,7 +175,29 @@ func NewManager(cfg Config) *Manager {
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
+	m.reportOrphans()
 	return m
+}
+
+// reportOrphans logs the checkpoints a previous process left behind.
+// Each resumes automatically when an identical job is resubmitted (the
+// cluster's ledger recovery does so on its own), but until then the
+// operator should know interrupted work is waiting on disk rather than
+// discover it from a mysteriously fast "fresh" run later.
+func (m *Manager) reportOrphans() {
+	if m.cfg.CheckpointDir == "" {
+		return
+	}
+	matches, err := filepath.Glob(filepath.Join(m.cfg.CheckpointDir, "*.ckpt"))
+	if err != nil || len(matches) == 0 {
+		return
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		id := strings.TrimSuffix(filepath.Base(path), ".ckpt")
+		m.logf("jobs: checkpoint for job %s survives from a previous run; resubmitting the identical job resumes it", id)
+	}
+	m.logf("jobs: %d orphaned checkpoint(s) in %s", len(matches), m.cfg.CheckpointDir)
 }
 
 // initObs wires the manager's instruments. Every family is registered

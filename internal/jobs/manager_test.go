@@ -3,7 +3,11 @@ package jobs
 import (
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -314,5 +318,35 @@ func TestCacheEviction(t *testing.T) {
 		if _, err := m.Get(id); err != nil {
 			t.Errorf("recent job %s evicted early: %v", id, err)
 		}
+	}
+}
+
+// TestOrphanedCheckpointsReportedAtStartup: a manager starting over a
+// CheckpointDir holding checkpoints from a previous process must say so
+// — interrupted work silently waiting on disk is how resumable jobs get
+// forgotten.
+func TestOrphanedCheckpointsReportedAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef01234567.ckpt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	m := NewManager(Config{CheckpointDir: dir, Logf: func(f string, a ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(f, a...))
+		mu.Unlock()
+	}})
+	defer drain(t, m)
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "deadbeef01234567") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("startup log never mentioned the orphaned checkpoint: %q", lines)
 	}
 }

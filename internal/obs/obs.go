@@ -160,6 +160,65 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (0 < q < 1) of the observed
+// distribution by linear interpolation inside the containing bucket —
+// the usual histogram_quantile estimate. With no observations it
+// returns 0; a rank landing in the +Inf overflow bucket clamps to the
+// highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 { return QuantileAcross(q, h) }
+
+// QuantileAcross estimates a quantile over the union of several
+// histograms sharing one bucket schema (e.g. the per-worker latency
+// family) by summing their bucket counts. Histograms with a different
+// bucket count are skipped rather than mis-merged.
+func QuantileAcross(q float64, hs ...*Histogram) float64 {
+	var upper []float64
+	var counts []int64
+	var total int64
+	for _, h := range hs {
+		if h == nil || len(h.upper) == 0 {
+			continue
+		}
+		if upper == nil {
+			upper = h.upper
+			counts = make([]int64, len(upper)+1)
+		}
+		if len(h.upper) != len(upper) {
+			continue
+		}
+		for i := range h.counts {
+			n := h.counts[i].Load()
+			counts[i] += n
+			total += n
+		}
+	}
+	if total == 0 || upper == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n > 0 && float64(cum+n) >= rank {
+			if i >= len(upper) {
+				break // +Inf bucket: clamp below
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = upper[i-1]
+			}
+			return lo + (upper[i]-lo)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	return upper[len(upper)-1]
+}
+
 // child is one instrument of a family: a concrete label set plus exactly
 // one of the value holders.
 type child struct {

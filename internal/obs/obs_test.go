@@ -244,3 +244,53 @@ func TestRegisterBuildInfo(t *testing.T) {
 		t.Errorf("exposition missing disc_build_info:\n%s", b.String())
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 10 observations spread uniformly inside (1,2]: every quantile
+	// interpolates within that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got < 1 || got > 2 {
+		t.Errorf("median %v outside the (1,2] bucket", got)
+	}
+	if lo, hi := h.Quantile(0.1), h.Quantile(0.9); lo >= hi {
+		t.Errorf("quantiles not monotone: q10=%v q90=%v", lo, hi)
+	}
+	// Overflow observations clamp to the highest finite bound.
+	over := newHistogram([]float64{1, 2})
+	over.Observe(100)
+	if got := over.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestQuantileAcrossMergesHistograms(t *testing.T) {
+	fast := newHistogram(DurationBuckets)
+	slow := newHistogram(DurationBuckets)
+	for i := 0; i < 90; i++ {
+		fast.Observe(0.01)
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(20)
+	}
+	// 90% of the union is fast: the p50 must sit near 0.01s, the p99 up
+	// near the slow mass.
+	if got := QuantileAcross(0.5, fast, slow); got > 0.1 {
+		t.Errorf("merged p50 = %v, want near the fast mass", got)
+	}
+	if got := QuantileAcross(0.99, fast, slow); got < 1 {
+		t.Errorf("merged p99 = %v, want in the slow mass", got)
+	}
+	// Nil and empty histograms are ignored, not mis-merged.
+	if got := QuantileAcross(0.5, nil, fast); got > 0.1 {
+		t.Errorf("nil-tolerant merge p50 = %v", got)
+	}
+	if got := QuantileAcross(0.5); got != 0 {
+		t.Errorf("no histograms quantile = %v, want 0", got)
+	}
+}
