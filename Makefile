@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs cluster chaos
+.PHONY: all build vet test race bench bench-record check difftest faultinject fuzz soak obs cluster chaos storagefault
 
 all: check
 
@@ -93,6 +93,24 @@ chaos:
 	$(GO) test -race -run 'TestParseFlagsRejectsWedged|TestOrphanedCheckpoints' -count=1 ./cmd/discserve ./internal/jobs
 	$(GO) test -race -run TestClusterChaosGrid -count=1 ./internal/difftest
 	DISC_CHAOS=1 $(GO) test -race -run TestFleetCoordinatorKill9 -count=1 -v -timeout 600s ./cmd/discserve
+
+# Storage faults under the race detector: the durable-state plane's
+# filesystem seam and fault FS (deterministic ENOSPC budgets, torn
+# writes, sync errors, silent bit flips), quarantine-not-crash recovery
+# and degraded-durability in jobs and cluster, retention GC and the
+# resting-file scrubber, the healthz/metrics surfacing in discserve, and
+# the disk-fault differential grid (byte-identical or typed degraded
+# completion, never a crash, every regime proving its fault fired).
+# Finishes with a fuzz smoke of both durable-document decoders: any
+# input either decodes or fails typed (ErrCorrupt/ErrVersion) — never a
+# panic.
+storagefault:
+	$(GO) test -race -run 'TestStorage|TestKindOf|TestSweep|TestScrub|TestQuarantine|TestFSNil' -count=1 ./internal/checkpoint ./internal/faultinject ./internal/cluster
+	$(GO) test -race -run 'TestCheckpointFailuresCountedAndDegrade|TestDurabilityRearmsAfterProbe|TestCorruptCheckpointQuarantinedNotCrash|TestStartupGCReclaimsOrphans|TestStartupScrubQuarantinesBitRot|TestPeriodicStorageGC' -count=1 ./internal/jobs
+	$(GO) test -race -run 'TestHealthzSurfacesDegradedDurability|TestMetricsExposeStorageFamilies' -count=1 ./cmd/discserve
+	$(GO) test -race -run TestStorageFaultGrid -count=1 ./internal/difftest
+	$(GO) test -run '^$$' -fuzz FuzzRead$$ -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run '^$$' -fuzz FuzzReadLedger -fuzztime $(FUZZTIME) ./internal/checkpoint
 
 # The observability suite under the race detector: the registry/tracer
 # package itself (including the 16-goroutine hammer and the exposition

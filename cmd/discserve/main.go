@@ -96,6 +96,7 @@ type serveConfig struct {
 	advertise     string         // worker side: our externally reachable base URL
 	heartbeat     time.Duration  // worker side: registration interval
 	clusterSecret string         // shared fleet secret (both roles)
+	storageGC     time.Duration  // cadence of the coordinator's ledger-dir GC
 	faults        *faultinject.Injector
 }
 
@@ -136,6 +137,8 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs.StringVar(&cfg.advertise, "advertise", "", "worker: externally reachable base URL to register (default http://<bound addr>)")
 	fs.DurationVar(&cfg.heartbeat, "heartbeat", 10*time.Second, "worker: registration heartbeat interval")
 	fs.StringVar(&cfg.clusterSecret, "cluster-secret", "", "shared fleet secret required on /cluster/register and /cluster/shard (empty = open; trusted networks only)")
+	fs.DurationVar(&cfg.jobs.StorageRetention, "storage-retention", 168*time.Hour, "reclaim orphaned checkpoints, stale ledgers, quarantined *.corrupt files and .tmp leftovers older than this (0 = keep forever)")
+	fs.DurationVar(&cfg.storageGC, "storage-gc-interval", time.Hour, "cadence of the periodic storage GC and resting-file CRC scrub over the checkpoint and ledger directories (0 = startup pass only)")
 	seed := fs.Int64("fault-seed", 0, "fault injection seed (testing/drills)")
 	panicN := fs.Int("fault-panic-after", 0, "inject a worker panic on the N-th partition (testing/drills)")
 	cancelN := fs.Int("fault-cancel-after", 0, "inject a cancellation on the N-th partition (testing/drills)")
@@ -143,6 +146,10 @@ func parseFlags(args []string) (serveConfig, error) {
 	slowProb := fs.Float64("fault-shard-slow", 0, "worker: stall shard requests with this probability (testing/drills)")
 	hangN := fs.Int("fault-shard-hang-after", 0, "worker: hang the N-th shard request until it is canceled (testing/drills)")
 	crashN := fs.Int("fault-coordinator-crash-after", 0, "coordinator: abort the job at its N-th shard-ledger transition (testing/drills)")
+	enospcB := fs.Int("fault-enospc-after-bytes", 0, "fail durable-state writes with ENOSPC once this many bytes have been accepted (testing/drills)")
+	tornProb := fs.Float64("fault-torn-write", 0, "tear durable-state writes (persist half, report short write) with this probability (testing/drills)")
+	syncProb := fs.Float64("fault-sync-error", 0, "fail durable-state fsyncs with EIO with this probability (testing/drills)")
+	flipProb := fs.Float64("fault-bitflip", 0, "silently flip one bit of a durable-state write with this probability (testing/drills)")
 	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -192,7 +199,16 @@ func parseFlags(args []string) (serveConfig, error) {
 	if cfg.cluster.LedgerDir != "" && cfg.role != "coordinator" {
 		return cfg, fmt.Errorf("-ledger-dir only applies to -role coordinator (role is %q)", cfg.role)
 	}
-	if *panicN > 0 || *cancelN > 0 || *dropProb > 0 || *slowProb > 0 || *hangN > 0 || *crashN > 0 {
+	if cfg.jobs.StorageRetention < 0 {
+		return cfg, fmt.Errorf("-storage-retention must not be negative (got %s)", cfg.jobs.StorageRetention)
+	}
+	if cfg.storageGC < 0 {
+		return cfg, fmt.Errorf("-storage-gc-interval must not be negative (got %s)", cfg.storageGC)
+	}
+	cfg.jobs.StorageGCInterval = cfg.storageGC
+	cfg.cluster.StorageRetention = cfg.jobs.StorageRetention
+	if *panicN > 0 || *cancelN > 0 || *dropProb > 0 || *slowProb > 0 || *hangN > 0 || *crashN > 0 ||
+		*enospcB > 0 || *tornProb > 0 || *syncProb > 0 || *flipProb > 0 {
 		inj := faultinject.New(*seed)
 		if *panicN > 0 {
 			inj.Arm(faultinject.WorkerPanic, faultinject.Spec{AfterN: *panicN})
@@ -211,6 +227,31 @@ func parseFlags(args []string) (serveConfig, error) {
 		}
 		if *crashN > 0 {
 			inj.Arm(faultinject.CoordinatorCrash, faultinject.Spec{AfterN: *crashN})
+		}
+		storage := false
+		if *enospcB > 0 {
+			inj.Arm(faultinject.StorageENOSPC, faultinject.Spec{AfterN: *enospcB})
+			storage = true
+		}
+		if *tornProb > 0 {
+			inj.Arm(faultinject.StorageTorn, faultinject.Spec{Prob: *tornProb})
+			storage = true
+		}
+		if *syncProb > 0 {
+			inj.Arm(faultinject.StorageSync, faultinject.Spec{Prob: *syncProb})
+			storage = true
+		}
+		if *flipProb > 0 {
+			inj.Arm(faultinject.StorageBitFlip, faultinject.Spec{Prob: *flipProb})
+			storage = true
+		}
+		if storage {
+			// One shared fault FS: the ENOSPC byte budget is a volume-level
+			// property, so jobs checkpoints and cluster ledgers draw on it
+			// together, like files on one full disk.
+			ffs := inj.FS(nil)
+			cfg.jobs.FS = ffs
+			cfg.cluster.FS = ffs
 		}
 		cfg.jobs.Faults = inj
 		cfg.faults = inj
@@ -255,6 +296,11 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	// endpoint and heartbeats its registration. Everything else — the job
 	// API, admission, checkpointing, drain — is identical in every role.
 	var coord *cluster.Coordinator
+	if cfg.jobs.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.jobs.CheckpointDir, 0o755); err != nil {
+			return fmt.Errorf("creating -checkpoint-dir: %w", err)
+		}
+	}
 	if cfg.role != "standalone" && cfg.clusterSecret == "" {
 		logf("discserve: warning: cluster role %q without -cluster-secret; /cluster/* endpoints are open to any client", cfg.role)
 	}
@@ -274,14 +320,36 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	mgr := jobs.NewManager(cfg.jobs)
+	gcCtx, gcCancel := context.WithCancel(context.Background())
+	defer gcCancel()
 	if coord != nil {
 		// Resubmit jobs interrupted by a previous coordinator's death; each
 		// reloads its ledger inside Mine and re-runs only unfinished shards.
+		// Recover first — it quarantines unusable ledgers — then GC, which
+		// scrubs resting files and reclaims anything past retention.
 		if n := coord.Recover(mgr.Submit); n > 0 {
 			logf("discserve: recovered %d interrupted job(s) from the shard ledger", n)
 		}
+		coord.StorageGC()
+		if cfg.storageGC > 0 && cfg.cluster.LedgerDir != "" {
+			go func() {
+				tick := time.NewTicker(cfg.storageGC)
+				defer tick.Stop()
+				for {
+					select {
+					case <-tick.C:
+						coord.StorageGC()
+					case <-gcCtx.Done():
+						return
+					}
+				}
+			}()
+		}
 	}
 	srv := newServer(mgr, cfg.limits, cfg.maxBodyBytes, cfg.workers, logf)
+	if coord != nil {
+		srv.clusterDegraded = coord.DegradedDurability
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

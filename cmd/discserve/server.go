@@ -27,6 +27,10 @@ type server struct {
 	workers int         // default per-job partition workers
 	ready   atomic.Bool
 	logf    func(format string, args ...any)
+	// clusterDegraded, when set (coordinator role), reports whether the
+	// coordinator's ledger durability is degraded; it feeds the
+	// degraded_durability field of /healthz alongside the manager's own.
+	clusterDegraded func() bool
 }
 
 func newServer(mgr *jobs.Manager, limits data.Limits, maxBody int64, workers int, logf func(string, ...any)) *server {
@@ -288,18 +292,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		states[string(st)] = n
 	}
 	version, goVersion := obs.BuildVersion()
+	storage := s.mgr.Durability()
+	degraded := storage.Degraded
+	if s.clusterDegraded != nil && s.clusterDegraded() {
+		degraded = true
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Ready       bool           `json:"ready"`
-		Draining    bool           `json:"draining"`
-		Metrics     jobs.Metrics   `json:"metrics"`
-		QueueDepth  int            `json:"queue_depth"`
-		JobsByState map[string]int `json:"jobs_by_state"`
-		Build       struct {
+		Ready              bool                  `json:"ready"`
+		Draining           bool                  `json:"draining"`
+		DegradedDurability bool                  `json:"degraded_durability"`
+		Storage            jobs.DurabilityStatus `json:"storage"`
+		Metrics            jobs.Metrics          `json:"metrics"`
+		QueueDepth         int                   `json:"queue_depth"`
+		JobsByState        map[string]int        `json:"jobs_by_state"`
+		Build              struct {
 			Version string `json:"version"`
 			Go      string `json:"go"`
 		} `json:"build"`
 	}{
-		Ready: s.ready.Load(), Draining: s.mgr.Draining(), Metrics: s.mgr.Metrics(),
+		Ready: s.ready.Load(), Draining: s.mgr.Draining(),
+		DegradedDurability: degraded, Storage: storage,
+		Metrics:    s.mgr.Metrics(),
 		QueueDepth: s.mgr.QueueDepth(), JobsByState: states,
 		Build: struct {
 			Version string `json:"version"`

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/data"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/testutil"
+)
+
+// healthzStorage is the slice of the /healthz payload the storage tests
+// care about.
+type healthzStorage struct {
+	DegradedDurability bool                  `json:"degraded_durability"`
+	Storage            jobs.DurabilityStatus `json:"storage"`
+}
+
+// TestHealthzSurfacesDegradedDurability: a disk that swallows checkpoint
+// writes flips degraded_durability in /healthz and surfaces the failure
+// in the storage block, while the job itself still terminates normally —
+// the regression test for checkpoint failures being log-only.
+func TestHealthzSurfacesDegradedDurability(t *testing.T) {
+	db := testutil.SkewedRandomDB(rand.New(rand.NewSource(92)), 90, 12, 6, 4)
+	body := dbBody(t, db)
+	dir := t.TempDir()
+
+	// CtxCancel interrupts the job mid-run, forcing the exit-path
+	// checkpoint write; the ENOSPC arm makes that write fail.
+	inj := faultinject.New(60).
+		Arm(faultinject.CtxCancel, faultinject.Spec{AfterN: 60}).
+		Arm(faultinject.StorageENOSPC, faultinject.Spec{Prob: 1})
+	ts, _ := testServer(t, jobs.Config{
+		Workers: 1, CheckpointDir: dir, Faults: inj, FS: inj.FS(nil),
+		DegradeAfter: 1, DurabilityProbe: time.Hour,
+	}, data.Limits{}, 0)
+
+	var h healthzStorage
+	if _, out := get(t, ts, "/healthz"); json.Unmarshal(out, &h) != nil || h.DegradedDurability {
+		t.Fatalf("fresh server already degraded: %s", out)
+	}
+
+	resp, out := post(t, ts, "/jobs?minsup=2&wait=1", body)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("interrupted job = %d: %s", resp.StatusCode, out)
+	}
+
+	_, out = get(t, ts, "/healthz")
+	if err := json.Unmarshal(out, &h); err != nil {
+		t.Fatalf("healthz payload %s: %v", out, err)
+	}
+	if !h.DegradedDurability || !h.Storage.Degraded {
+		t.Fatalf("degraded durability not surfaced: %s", out)
+	}
+	if h.Storage.CheckpointFailures < 1 || h.Storage.LastError == "" {
+		t.Fatalf("storage block missing the failure evidence: %s", out)
+	}
+
+	// The same facts on /metrics, for the alerting path.
+	_, metrics := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`disc_storage_degraded{component="jobs"} 1`,
+		`disc_jobs_checkpoint_failures_total 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsExposeStorageFamilies: the quarantine and GC counters are
+// registered eagerly, so a fresh server's scrape already shows them at
+// zero — dashboards and alerts can rely on the families existing.
+func TestMetricsExposeStorageFamilies(t *testing.T) {
+	ts, _ := testServer(t, jobs.Config{CheckpointDir: t.TempDir()}, data.Limits{}, 0)
+	_, metrics := get(t, ts, "/metrics")
+	for _, want := range []string{
+		`disc_storage_quarantined_total{kind="checkpoint"} 0`,
+		`disc_storage_degraded{component="jobs"} 0`,
+		`disc_jobs_checkpoint_failures_total 0`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

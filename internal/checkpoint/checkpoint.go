@@ -44,11 +44,8 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"github.com/disc-mining/disc/internal/mining"
 	"github.com/disc-mining/disc/internal/seq"
@@ -257,58 +254,13 @@ func (f *File) Write(w io.Writer) (int, error) {
 // and overwritten by the next attempt. Returns the snapshot size in
 // bytes.
 func (f *File) WriteFile(path string) (int, error) {
-	return writeFileAtomic(path, f.Write)
+	return f.WriteFileFS(OS, path)
 }
 
-// writeFileAtomic implements the fsync-before-rename discipline for any
-// document renderer — checkpoints and shard ledgers share it.
-func writeFileAtomic(path string, write func(io.Writer) (int, error)) (int, error) {
-	tmp := path + ".tmp"
-	out, err := os.Create(tmp)
-	if err != nil {
-		return 0, err
-	}
-	n, err := write(out)
-	if err != nil {
-		out.Close()
-		os.Remove(tmp)
-		return n, err
-	}
-	// Flush the content to stable storage before the rename: a rename
-	// can be durable while the data it points at is not, which would
-	// surface after a power loss as a truncated file under the final
-	// name (caught by the CRC, but the previous checkpoint is lost).
-	if err := out.Sync(); err != nil {
-		out.Close()
-		os.Remove(tmp)
-		return n, err
-	}
-	if err := out.Close(); err != nil {
-		os.Remove(tmp)
-		return n, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return n, err
-	}
-	// Persist the rename itself: the directory entry is metadata of the
-	// parent directory, not of the file.
-	return n, syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory. Filesystems that cannot sync a directory
-// handle (reporting EINVAL or ENOTSUP) keep the rename's atomicity, just
-// not its durability ordering, so those errors are not fatal.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return err
-	}
-	return nil
+// WriteFileFS is WriteFile over an explicit filesystem (nil means OS) —
+// the entry point fault-injecting callers use.
+func (f *File) WriteFileFS(fsys FS, path string) (int, error) {
+	return writeFileAtomic(fsys, path, f.Write)
 }
 
 // lineReader walks the payload line by line with context for errors.
@@ -496,10 +448,10 @@ func readPartition(lr *lineReader) (Partition, error) {
 
 // ReadFile loads a checkpoint from path.
 func ReadFile(path string) (*File, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Read(f)
+	return ReadFileFS(OS, path)
+}
+
+// ReadFileFS is ReadFile over an explicit filesystem (nil means OS).
+func ReadFileFS(fsys FS, path string) (*File, error) {
+	return readFileFS(fsys, path, Read)
 }

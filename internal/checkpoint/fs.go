@@ -1,0 +1,153 @@
+// The filesystem seam of the durable-state plane. Every byte this
+// package persists — checkpoints, shard ledgers, their .tmp staging
+// files — and every rename, removal and directory sync flows through an
+// FS, so storage faults (a full disk, a torn write, a failing fsync, a
+// flipped bit on the way to the platter) can be injected deterministically
+// by tests and drills (internal/faultinject arms the seam) while
+// production code runs on the real os package via OS.
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// FileWriter is the write handle an FS hands out: sequential writes,
+// an explicit flush to stable storage, and a close.
+type FileWriter interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the durable-state plane runs on. The
+// methods mirror the exact os calls the fsync-before-rename discipline
+// uses, so a fault-injecting implementation can fail any individual
+// step the way a real disk would.
+type FS interface {
+	// Create opens path for writing, truncating an existing file.
+	Create(path string) (FileWriter, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir flushes a directory's entries to stable storage.
+	SyncDir(dir string) error
+}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (FileWriter, error)  { return os.Create(path) }
+func (osFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+func (osFS) Rename(oldpath, newpath string) error    { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                { return os.Remove(path) }
+
+// SyncDir fsyncs a directory. Filesystems that cannot sync a directory
+// handle (reporting EINVAL or ENOTSUP) keep the rename's atomicity, just
+// not its durability ordering, so those errors are not fatal.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}
+
+// OS is the production filesystem: the os package, unmodified.
+var OS FS = osFS{}
+
+// orOS resolves a nil FS (the zero-config case everywhere) to OS.
+func orOS(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+// Undecodable reports whether a read failure marks a file this build can
+// never decode — corrupt content or an unknown format version — as
+// opposed to a transient or environmental error (missing file,
+// permission). Undecodable files are the quarantine criterion: retrying
+// the read cannot help, and leaving the file in place would fail every
+// future startup the same way.
+func Undecodable(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrVersion)
+}
+
+// QuarantineSuffix marks a durable-state file set aside after failing
+// CRC or decode verification. Quarantined files keep their full original
+// name (id or fingerprint included) so an operator can inspect what was
+// lost; retention GC bounds how long and how many of them accumulate.
+const QuarantineSuffix = ".corrupt"
+
+// Quarantine renames an undecodable durable-state file to
+// path+".corrupt" so the run can proceed fresh while the evidence
+// survives for inspection. Returns the quarantine path. Renaming over an
+// existing quarantine file of the same name replaces it — the newest
+// corruption is the interesting one.
+func Quarantine(fsys FS, path string) (string, error) {
+	q := path + QuarantineSuffix
+	if err := orOS(fsys).Rename(path, q); err != nil {
+		return "", err
+	}
+	return q, nil
+}
+
+// readFileFS opens and decodes one document through the seam.
+func readFileFS[T any](fsys FS, path string, read func(io.Reader) (T, error)) (T, error) {
+	f, err := orOS(fsys).Open(path)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	defer f.Close()
+	return read(f)
+}
+
+// writeFileAtomic implements the fsync-before-rename discipline for any
+// document renderer — checkpoints and shard ledgers share it. All
+// filesystem access goes through fsys so storage faults are injectable
+// at every step.
+func writeFileAtomic(fsys FS, path string, write func(io.Writer) (int, error)) (int, error) {
+	fsys = orOS(fsys)
+	tmp := path + ".tmp"
+	out, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	n, err := write(out)
+	if err != nil {
+		out.Close()
+		fsys.Remove(tmp)
+		return n, err
+	}
+	// Flush the content to stable storage before the rename: a rename
+	// can be durable while the data it points at is not, which would
+	// surface after a power loss as a truncated file under the final
+	// name (caught by the CRC, but the previous checkpoint is lost).
+	if err := out.Sync(); err != nil {
+		out.Close()
+		fsys.Remove(tmp)
+		return n, err
+	}
+	if err := out.Close(); err != nil {
+		fsys.Remove(tmp)
+		return n, err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return n, err
+	}
+	// Persist the rename itself: the directory entry is metadata of the
+	// parent directory, not of the file.
+	return n, fsys.SyncDir(filepath.Dir(path))
+}

@@ -1,0 +1,82 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzz seeds: the clean encodings plus the classic storage failure shapes
+// (truncation, a flipped bit, garbage) so the generators start from inputs
+// that exercise every stage of the decoder.
+func seedCorpus(f *testing.F, clean []byte) {
+	f.Add(clean)
+	for _, cut := range []int{0, 1, len(clean) / 4, len(clean) / 2, len(clean) - 1} {
+		if cut >= 0 && cut < len(clean) {
+			f.Add(clean[:cut])
+		}
+	}
+	for _, bit := range []int{7, len(clean) * 4, len(clean)*8 - 3} {
+		flipped := append([]byte(nil), clean...)
+		flipped[bit/8] ^= 1 << (bit % 8)
+		f.Add(flipped)
+	}
+	f.Add([]byte("DISCCKPT v99 crc32=00000000 bytes=0\n"))
+	f.Add([]byte("DISCLEDG v99 crc32=00000000 bytes=0\n"))
+	f.Add([]byte("not a checkpoint at all"))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x01})
+}
+
+// FuzzRead asserts the checkpoint decoder's contract over arbitrary bytes:
+// it never panics, and every failure is typed — ErrCorrupt or ErrVersion —
+// so callers can quarantine rather than crash. When a mutation happens to
+// decode, the result must re-encode to something that decodes again.
+func FuzzRead(f *testing.F) {
+	var b strings.Builder
+	if _, err := sample().Write(&b); err != nil {
+		f.Fatal(err)
+	}
+	seedCorpus(f, []byte(b.String()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !Undecodable(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		var rb strings.Builder
+		if _, werr := got.Write(&rb); werr != nil {
+			t.Fatalf("re-encoding a decoded checkpoint: %v", werr)
+		}
+		if _, rerr := Read(strings.NewReader(rb.String())); rerr != nil {
+			t.Fatalf("re-decoding a re-encoded checkpoint: %v", rerr)
+		}
+	})
+}
+
+// FuzzReadLedger is the same contract for the shard-ledger decoder.
+func FuzzReadLedger(f *testing.F) {
+	var b strings.Builder
+	if _, err := sampleLedger().Write(&b); err != nil {
+		f.Fatal(err)
+	}
+	seedCorpus(f, []byte(b.String()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadLedger(bytes.NewReader(data))
+		if err != nil {
+			if !Undecodable(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		var rb strings.Builder
+		if _, werr := got.Write(&rb); werr != nil {
+			t.Fatalf("re-encoding a decoded ledger: %v", werr)
+		}
+		if _, rerr := ReadLedger(strings.NewReader(rb.String())); rerr != nil {
+			t.Fatalf("re-decoding a re-encoded ledger: %v", rerr)
+		}
+	})
+}

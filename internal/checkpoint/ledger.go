@@ -34,7 +34,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"strconv"
 	"strings"
 )
@@ -131,7 +130,12 @@ func (l *Ledger) Write(w io.Writer) (int, error) {
 // any instant leaves either the previous ledger state or the new one,
 // never a torn file.
 func (l *Ledger) WriteFile(path string) (int, error) {
-	return writeFileAtomic(path, l.Write)
+	return l.WriteFileFS(OS, path)
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem (nil means OS).
+func (l *Ledger) WriteFileFS(fsys FS, path string) (int, error) {
+	return writeFileAtomic(fsys, path, l.Write)
 }
 
 // ReadLedger decodes a ledger, verifying version, payload length and
@@ -264,10 +268,11 @@ func ReadLedger(r io.Reader) (*Ledger, error) {
 
 // ReadLedgerFile loads a ledger from path.
 func ReadLedgerFile(path string) (*Ledger, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ReadLedger(f)
+	return ReadLedgerFileFS(OS, path)
+}
+
+// ReadLedgerFileFS is ReadLedgerFile over an explicit filesystem (nil
+// means OS).
+func ReadLedgerFileFS(fsys FS, path string) (*Ledger, error) {
+	return readFileFS(fsys, path, ReadLedger)
 }

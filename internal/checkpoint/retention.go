@@ -1,0 +1,203 @@
+// Retention GC and resting-file scrubbing for durable-state
+// directories. Checkpoints of abandoned jobs, ledgers of jobs whose
+// retire() never ran, interrupted .tmp staging files and quarantined
+// *.corrupt evidence all accumulate without bound unless something
+// sweeps them; and a file that verified when written can still rot on
+// the platter. The Sweeper bounds the first problem by age and count,
+// the Scrub pass catches the second by re-verifying CRCs at rest and
+// quarantining what no longer decodes.
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kinds labelling swept and quarantined files in metrics and logs.
+const (
+	KindCheckpoint  = "checkpoint"
+	KindLedger      = "ledger"
+	KindQuarantined = "quarantined"
+	KindTmp         = "tmp"
+)
+
+// kindOf classifies a durable-state file by its suffix ("" = not ours).
+func kindOf(path string) string {
+	switch {
+	case strings.HasSuffix(path, QuarantineSuffix):
+		return KindQuarantined
+	case strings.HasSuffix(path, ".tmp"):
+		return KindTmp
+	case strings.HasSuffix(path, ".ckpt"):
+		return KindCheckpoint
+	case strings.HasSuffix(path, ".ledger"):
+		return KindLedger
+	}
+	return ""
+}
+
+// Sweeper reclaims aged durable-state files and re-verifies resting
+// ones. The zero value never deletes anything; callers opt in per
+// policy field.
+type Sweeper struct {
+	// FS is the filesystem removals and quarantine renames go through
+	// (nil = OS). Directory listing and mtime stat use the os package
+	// directly: metadata reads are not a fault-injection surface.
+	FS FS
+	// Retention is the age beyond which an orphaned checkpoint, retired
+	// ledger, quarantined file or stale .tmp is reclaimed. Zero disables
+	// age-based sweeping.
+	Retention time.Duration
+	// MaxQuarantined caps how many *.corrupt files a directory may hold;
+	// beyond it the oldest are reclaimed regardless of age. Zero means
+	// uncapped.
+	MaxQuarantined int
+	// Keep vetoes reclamation of a live file — the jobs manager supplies
+	// one that protects checkpoints of queued and running jobs. Nil
+	// keeps nothing extra.
+	Keep func(path string) bool
+	// Now is the clock (nil = time.Now), a seam for tests.
+	Now func() time.Time
+	// Logf receives one line per reclaimed or quarantined file (nil =
+	// silent).
+	Logf func(format string, args ...any)
+	// OnReclaim observes every successful removal, by kind.
+	OnReclaim func(kind string, files int, bytes int64)
+	// OnQuarantine observes every file the scrubber quarantines, by kind.
+	OnQuarantine func(kind string)
+}
+
+func (s *Sweeper) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Sweeper) now() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+type agedFile struct {
+	path  string
+	kind  string
+	size  int64
+	mtime time.Time
+}
+
+// list stats every durable-state file in dir, oldest first.
+func (s *Sweeper) list(dir string) []agedFile {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.logf("storage: gc cannot list %s: %v", dir, err)
+		}
+		return nil
+	}
+	var files []agedFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		kind := kindOf(path)
+		if kind == "" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, agedFile{path: path, kind: kind, size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	return files
+}
+
+func (s *Sweeper) reclaim(f agedFile, why string) bool {
+	if s.Keep != nil && s.Keep(f.path) {
+		return false
+	}
+	if err := orOS(s.FS).Remove(f.path); err != nil {
+		s.logf("storage: gc cannot remove %s: %v", f.path, err)
+		return false
+	}
+	s.logf("storage: gc reclaimed %s %s (%d bytes, %s)", f.kind, filepath.Base(f.path), f.size, why)
+	if s.OnReclaim != nil {
+		s.OnReclaim(f.kind, 1, f.size)
+	}
+	return true
+}
+
+// Sweep applies the retention policy to dir: files older than Retention
+// are removed (subject to Keep), and *.corrupt files beyond
+// MaxQuarantined are removed oldest-first regardless of age. Returns
+// the number of files reclaimed. A missing directory sweeps to zero.
+func (s *Sweeper) Sweep(dir string) int {
+	files := s.list(dir)
+	reclaimed := 0
+	var quarantined []agedFile
+	cutoff := time.Time{}
+	if s.Retention > 0 {
+		cutoff = s.now().Add(-s.Retention)
+	}
+	for _, f := range files {
+		if !cutoff.IsZero() && f.mtime.Before(cutoff) {
+			if s.reclaim(f, "older than retention") {
+				reclaimed++
+				continue
+			}
+		}
+		if f.kind == KindQuarantined {
+			quarantined = append(quarantined, f)
+		}
+	}
+	if s.MaxQuarantined > 0 && len(quarantined) > s.MaxQuarantined {
+		// quarantined inherits list's oldest-first order.
+		for _, f := range quarantined[:len(quarantined)-s.MaxQuarantined] {
+			if s.reclaim(f, "over quarantine cap") {
+				reclaimed++
+			}
+		}
+	}
+	return reclaimed
+}
+
+// Scrub re-verifies every resting checkpoint and ledger in dir and
+// quarantines the ones that no longer decode — bit-rot caught before a
+// resume would trip over it. Unreadable files (permissions, vanished
+// mid-scrub) are skipped, not quarantined: the file may be fine next
+// pass. Returns the number of files quarantined.
+func (s *Sweeper) Scrub(dir string) int {
+	quarantined := 0
+	for _, f := range s.list(dir) {
+		var err error
+		switch f.kind {
+		case KindCheckpoint:
+			_, err = ReadFileFS(s.FS, f.path)
+		case KindLedger:
+			_, err = ReadLedgerFileFS(s.FS, f.path)
+		default:
+			continue
+		}
+		if err == nil || !Undecodable(err) {
+			continue
+		}
+		q, qerr := Quarantine(s.FS, f.path)
+		if qerr != nil {
+			s.logf("storage: scrub cannot quarantine %s: %v", f.path, qerr)
+			continue
+		}
+		s.logf("storage: scrub quarantined %s %s -> %s: %v", f.kind, filepath.Base(f.path), filepath.Base(q), err)
+		if s.OnQuarantine != nil {
+			s.OnQuarantine(f.kind)
+		}
+		quarantined++
+	}
+	return quarantined
+}

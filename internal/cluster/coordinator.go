@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -77,6 +76,22 @@ type Config struct {
 	// state transition. A restarted coordinator recovers interrupted jobs
 	// from it (see Recover) and schedules only their unfinished shards.
 	LedgerDir string
+	// FS is the filesystem ledger writes, removals and quarantine renames
+	// go through (nil = the real filesystem). Fault drills plug in
+	// faultinject.Injector.FS here.
+	FS checkpoint.FS
+	// DegradeAfter is how many consecutive ledger write failures switch
+	// the coordinator into degraded-durability mode: scheduling and
+	// mining continue byte-identically, but ledger persistence stops
+	// until a probe write succeeds (default 3; negative disables).
+	DegradeAfter int
+	// DurabilityProbe is how often a degraded coordinator retries one
+	// ledger write to see whether the disk recovered (default 15s).
+	DurabilityProbe time.Duration
+	// StorageRetention is the age beyond which stale ledgers, quarantined
+	// files and .tmp staging files in LedgerDir are reclaimed by
+	// StorageGC (0 = keep forever).
+	StorageRetention time.Duration
 	// Client performs the shard dispatches (default http.DefaultClient;
 	// per-attempt contexts carry the timeout, so the client needs none).
 	Client *http.Client
@@ -113,16 +128,27 @@ type Coordinator struct {
 	next     int // round-robin cursor over the sorted live peer list
 	breakers map[string]*breaker
 
-	obs           *obs.Observer
-	shards        map[string]*obs.Counter // state -> counter
-	hedges        map[string]*obs.Counter // outcome -> counter
-	breakerTrans  map[string]*obs.Counter // destination state -> counter
-	expired       *obs.Counter
-	ledgerWrites  *obs.Counter
-	ledgerResumed *obs.Counter
-	ledgerDur     *obs.Histogram
-	shardDur      *obs.Histogram
-	workerLat     map[string]*obs.Histogram // worker url -> latency histogram
+	obs            *obs.Observer
+	shards         map[string]*obs.Counter // state -> counter
+	hedges         map[string]*obs.Counter // outcome -> counter
+	breakerTrans   map[string]*obs.Counter // destination state -> counter
+	expired        *obs.Counter
+	ledgerWrites   *obs.Counter
+	ledgerFailures *obs.Counter
+	ledgerResumed  *obs.Counter
+	quarantined    *obs.Counter // disc_storage_quarantined_total{kind="ledger"}
+	ledgerDur      *obs.Histogram
+	shardDur       *obs.Histogram
+	workerLat      map[string]*obs.Histogram // worker url -> latency histogram
+
+	// Durability state: consecutive ledger write failures and the
+	// degraded-durability latch. dmu is a leaf lock — never held while
+	// taking c.mu or calling into the registry — because the
+	// disc_storage_degraded gauge reads it at render time.
+	dmu         sync.Mutex
+	consecFails int
+	degraded    bool
+	lastProbe   time.Time
 }
 
 // New starts a coordinator over the statically configured peers.
@@ -153,6 +179,15 @@ func New(cfg Config) *Coordinator {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.FS == nil {
+		cfg.FS = checkpoint.OS
+	}
+	if cfg.DegradeAfter == 0 {
+		cfg.DegradeAfter = 3
+	}
+	if cfg.DurabilityProbe <= 0 {
+		cfg.DurabilityProbe = 15 * time.Second
 	}
 	o := cfg.Obs
 	if o == nil {
@@ -187,8 +222,21 @@ func New(cfg Config) *Coordinator {
 		"Dispatch attempts canceled because the worker's heartbeat TTL expired while it held the shard.")
 	c.ledgerWrites = r.Counter("disc_cluster_ledger_writes_total",
 		"Durable shard-ledger writes (one per shard state transition).")
+	c.ledgerFailures = r.Counter("disc_cluster_ledger_write_failures_total",
+		"Durable shard-ledger writes that failed (disk full, torn write, sync error).")
 	c.ledgerResumed = r.Counter("disc_cluster_ledger_resumed_shards_total",
 		"Shards restored as already done from a persisted shard ledger after a coordinator restart.")
+	c.quarantined = r.Counter("disc_storage_quarantined_total",
+		"Durable-state files quarantined after failing CRC or decode verification, by kind.",
+		obs.Label{Key: "kind", Value: checkpoint.KindLedger})
+	r.GaugeFunc("disc_storage_degraded",
+		"1 while durability is degraded (checkpoint writes suspended after repeated failures), by component.",
+		func() float64 {
+			if c.DegradedDurability() {
+				return 1
+			}
+			return 0
+		}, obs.Label{Key: "component", Value: "cluster"})
 	c.ledgerDur = r.Histogram("disc_cluster_ledger_write_seconds",
 		"Latency of one atomic shard-ledger write.", obs.DurationBuckets)
 	c.shardDur = r.Histogram("disc_cluster_shard_duration_seconds",
@@ -454,7 +502,7 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 			// is satisfied by the local result; retire it so restarts stop
 			// resubmitting a finished job.
 			fp := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, req.DB)
-			if os.Remove(LedgerPath(c.cfg.LedgerDir, fp)) == nil {
+			if c.cfg.FS.Remove(LedgerPath(c.cfg.LedgerDir, fp)) == nil {
 				c.cfg.Logf("cluster: job %016x finished locally; its shard ledger is retired", fp)
 			}
 		}
@@ -997,3 +1045,106 @@ func (c *Coordinator) ExpiredDispatches() int { return int(c.expired.Value()) }
 // from a persisted shard ledger — the observable of the
 // coordinator-restart drills.
 func (c *Coordinator) ResumedShards() int { return int(c.ledgerResumed.Value()) }
+
+// LedgerWriteFailures reports how many ledger writes have failed — the
+// observable of the disk-fault drills.
+func (c *Coordinator) LedgerWriteFailures() int { return int(c.ledgerFailures.Value()) }
+
+// QuarantinedLedgers reports how many ledgers this coordinator has
+// quarantined as undecodable.
+func (c *Coordinator) QuarantinedLedgers() int { return int(c.quarantined.Value()) }
+
+// DegradedDurability reports whether ledger persistence is currently
+// degraded: repeated write failures suspended it and no probe write has
+// succeeded yet. Mining is unaffected — results stay byte-identical —
+// but a coordinator crash while degraded recovers from checkpoints
+// instead of the ledger.
+func (c *Coordinator) DegradedDurability() bool {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	return c.degraded
+}
+
+// durabilityAttempt reports whether a ledger write should be tried now:
+// always while healthy, only at DurabilityProbe cadence while degraded.
+func (c *Coordinator) durabilityAttempt() bool {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	if !c.degraded {
+		return true
+	}
+	if time.Since(c.lastProbe) < c.cfg.DurabilityProbe {
+		return false
+	}
+	c.lastProbe = time.Now()
+	return true
+}
+
+// durabilityFailed records one failed ledger write and latches
+// degraded-durability mode after DegradeAfter consecutive failures.
+func (c *Coordinator) durabilityFailed() {
+	c.dmu.Lock()
+	c.consecFails++
+	trip := !c.degraded && c.cfg.DegradeAfter > 0 && c.consecFails >= c.cfg.DegradeAfter
+	if trip {
+		c.degraded = true
+		c.lastProbe = time.Now()
+	}
+	n := c.consecFails
+	c.dmu.Unlock()
+	if trip {
+		c.cfg.Logf("cluster: ledger durability degraded after %d consecutive write failures; mining continues, probing every %s", n, c.cfg.DurabilityProbe)
+	}
+}
+
+// durabilityOK records one successful ledger write, re-arming
+// durability if it was degraded.
+func (c *Coordinator) durabilityOK() {
+	c.dmu.Lock()
+	rearmed := c.degraded
+	c.degraded = false
+	c.consecFails = 0
+	c.dmu.Unlock()
+	if rearmed {
+		c.cfg.Logf("cluster: ledger durability re-armed, writes succeeding again")
+	}
+}
+
+// StorageGC runs one scrub+sweep pass over LedgerDir: resting ledgers
+// are re-verified (bit-rot is quarantined before a recovery would trip
+// over it) and files past StorageRetention — stale ledgers, quarantined
+// evidence, .tmp leftovers — are reclaimed. An active job's ledger is
+// rewritten at every shard transition, so its mtime keeps it clear of
+// any sane retention window. The serving binary calls this at startup
+// (after Recover) and on its storage GC ticker.
+func (c *Coordinator) StorageGC() {
+	if c.cfg.LedgerDir == "" {
+		return
+	}
+	r := c.obs.Registry
+	s := &checkpoint.Sweeper{
+		FS:             c.cfg.FS,
+		Retention:      c.cfg.StorageRetention,
+		MaxQuarantined: 32,
+		Logf:           c.cfg.Logf,
+		OnReclaim: func(kind string, files int, bytes int64) {
+			r.Counter("disc_storage_reclaimed_files_total",
+				"Durable-state files reclaimed by retention GC, by kind.",
+				obs.Label{Key: "kind", Value: kind}).Add(int64(files))
+			r.Counter("disc_storage_reclaimed_bytes_total",
+				"Bytes reclaimed by retention GC, by kind.",
+				obs.Label{Key: "kind", Value: kind}).Add(bytes)
+		},
+		OnQuarantine: func(kind string) {
+			if kind == checkpoint.KindLedger {
+				c.quarantined.Inc()
+				return
+			}
+			r.Counter("disc_storage_quarantined_total",
+				"Durable-state files quarantined after failing CRC or decode verification, by kind.",
+				obs.Label{Key: "kind", Value: kind}).Inc()
+		},
+	}
+	s.Scrub(c.cfg.LedgerDir)
+	s.Sweep(c.cfg.LedgerDir)
+}

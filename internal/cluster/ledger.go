@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -52,8 +51,19 @@ func (c *Coordinator) openLedger(req jobs.Request, fp uint64, shards int, dbText
 		return nil, shards, nil
 	}
 	jl := &jobLedger{c: c, path: LedgerPath(c.cfg.LedgerDir, fp)}
-	prev, err := checkpoint.ReadLedgerFile(jl.path)
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+	prev, err := checkpoint.ReadLedgerFileFS(c.cfg.FS, jl.path)
+	switch {
+	case err == nil || errors.Is(err, fs.ErrNotExist):
+	case checkpoint.Undecodable(err):
+		// Corrupt prior ledger: quarantine it so the fresh one written
+		// below takes the name, and the evidence survives for inspection.
+		if q, qerr := checkpoint.Quarantine(c.cfg.FS, jl.path); qerr == nil {
+			c.quarantined.Inc()
+			c.cfg.Logf("cluster: quarantined corrupt ledger to %s: %v", q, err)
+		} else {
+			c.cfg.Logf("cluster: cannot quarantine corrupt ledger %s: %v (read error: %v)", jl.path, qerr, err)
+		}
+	default:
 		c.cfg.Logf("cluster: ignoring unusable ledger %s: %v", jl.path, err)
 	}
 	if err == nil && prev.Fingerprint == fp && len(prev.Shards) > 0 {
@@ -112,13 +122,20 @@ func (jl *jobLedger) mutate(fn func(l *checkpoint.Ledger)) {
 }
 
 func (jl *jobLedger) persistLocked() {
+	c := jl.c
+	if !c.durabilityAttempt() {
+		return // degraded and no probe due: scheduling continues, ledger off
+	}
 	start := time.Now()
-	if _, err := jl.l.WriteFile(jl.path); err != nil {
-		jl.c.cfg.Logf("cluster: ledger write failed: %v (continuing; recovery degrades to checkpoint resume)", err)
+	if _, err := jl.l.WriteFileFS(c.cfg.FS, jl.path); err != nil {
+		c.ledgerFailures.Inc()
+		c.durabilityFailed()
+		c.cfg.Logf("cluster: ledger write failed: %v (continuing; recovery degrades to checkpoint resume)", err)
 		return
 	}
-	jl.c.ledgerWrites.Inc()
-	jl.c.ledgerDur.Observe(time.Since(start).Seconds())
+	c.durabilityOK()
+	c.ledgerWrites.Inc()
+	c.ledgerDur.Observe(time.Since(start).Seconds())
 }
 
 // assign marks a shard as held by worker.
@@ -174,7 +191,7 @@ func (jl *jobLedger) retire() {
 	if jl.dead {
 		return
 	}
-	if err := os.Remove(jl.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := jl.c.cfg.FS.Remove(jl.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		jl.c.cfg.Logf("cluster: removing ledger: %v", err)
 	}
 }
@@ -212,15 +229,30 @@ func (c *Coordinator) Recover(submit func(jobs.Request) (*jobs.Job, error)) int 
 	}
 	sort.Strings(matches)
 	n := 0
+	// quarantine sets aside a ledger no restart could ever use — one
+	// that does not decode, or that disagrees with its own job. Leaving
+	// it would re-log the same skip on every startup forever.
+	quarantine := func(path string, why error) {
+		if q, qerr := checkpoint.Quarantine(c.cfg.FS, path); qerr == nil {
+			c.quarantined.Inc()
+			c.cfg.Logf("cluster: quarantined unusable ledger to %s: %v", q, why)
+		} else {
+			c.cfg.Logf("cluster: cannot quarantine unusable ledger %s: %v (reason: %v)", path, qerr, why)
+		}
+	}
 	for _, path := range matches {
-		l, err := checkpoint.ReadLedgerFile(path)
+		l, err := checkpoint.ReadLedgerFileFS(c.cfg.FS, path)
 		if err != nil {
-			c.cfg.Logf("cluster: skipping unreadable ledger %s: %v", path, err)
+			if checkpoint.Undecodable(err) {
+				quarantine(path, err)
+			} else {
+				c.cfg.Logf("cluster: skipping unreadable ledger %s: %v", path, err)
+			}
 			continue
 		}
 		db, err := data.Read(strings.NewReader(l.DB), data.Native)
 		if err != nil {
-			c.cfg.Logf("cluster: skipping ledger %s: database does not decode: %v", path, err)
+			quarantine(path, fmt.Errorf("database does not decode: %w", err))
 			continue
 		}
 		req := jobs.Request{
@@ -228,8 +260,7 @@ func (c *Coordinator) Recover(submit func(jobs.Request) (*jobs.Job, error)) int 
 			Opts: core.Options{BiLevel: l.BiLevel, Levels: l.Levels, Gamma: l.Gamma, Workers: l.Workers},
 		}
 		if got := core.CheckpointFingerprint(req.Algo, req.Opts, req.MinSup, db); got != l.Fingerprint {
-			c.cfg.Logf("cluster: skipping ledger %s: fingerprint %016x does not match its own job (%016x)",
-				path, l.Fingerprint, got)
+			quarantine(path, fmt.Errorf("fingerprint %016x does not match its own job (%016x)", l.Fingerprint, got))
 			continue
 		}
 		if _, err := submit(req); err != nil {

@@ -26,9 +26,10 @@ import (
 	"github.com/disc-mining/disc/internal/mining"
 )
 
-// CheckClusterChaos runs db through the three coordinator-side failure
-// regimes on both shardable engines and verifies byte-identical results
-// plus fired-fault evidence for each.
+// CheckClusterChaos runs db through the coordinator-side failure
+// regimes — and the disk-fault regimes of CheckStorageFaults — on both
+// shardable engines and verifies byte-identical results plus fired-fault
+// evidence for each.
 func CheckClusterChaos(db mining.Database, minSup int, seed int64) error {
 	const shards = 3
 	for _, cfg := range clusterConfigs() {
@@ -46,6 +47,12 @@ func CheckClusterChaos(db mining.Database, minSup int, seed int64) error {
 			return err
 		}
 		if err := chaosStragglerHedge(cfg.name, req, want, shards, seed); err != nil {
+			return err
+		}
+		if err := chaosLedgerENOSPC(cfg.name, req, want, shards, seed); err != nil {
+			return err
+		}
+		if err := chaosCorruptLedgerRecover(cfg.name, req, want, shards, seed); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,24 @@
+package difftest
+
+import (
+	"testing"
+)
+
+// TestStorageFaultGrid: across the sampled grid, the durable-state plane
+// survives its own disk — a ledger volume running out of space mid-run
+// degrades durability without losing result bytes, and a ledger
+// corrupted between a coordinator crash and its recovery is quarantined
+// while the job mines fresh, byte-identical. This is the `make
+// storagefault` harness; CI runs it under -race.
+func TestStorageFaultGrid(t *testing.T) {
+	for _, c := range clusterGrid(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			db, minSup := gridDB(t, c)
+			if err := CheckStorageFaults(db, minSup, c.Config.Seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,159 @@
+// Storage faults: a fault-injecting implementation of the checkpoint
+// package's filesystem seam. FS wraps a real (or further-wrapped)
+// checkpoint.FS so that the durable-state plane's writes experience the
+// disk failures production eventually sees — a volume running out of
+// space mid-write, a torn write persisting only a prefix, an fsync that
+// reports EIO, a bit flipped between the buffer and the platter — all
+// deterministically from the injector's seed, so every resilience
+// failure the grids find is reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+)
+
+// The storage injection points.
+const (
+	// StorageENOSPC makes durable-state writes fail with ENOSPC.
+	// AfterN is reinterpreted as a byte budget: the FS accepts AfterN
+	// bytes in total (across all files it creates), then every further
+	// write persists only the prefix that fits and fails — a disk
+	// filling up mid-ledger. Prob mode instead fails whole writes at
+	// seed-chosen sites, leaving nothing of the failing write.
+	StorageENOSPC Point = "storage-enospc"
+	// StorageTorn makes a chosen write persist only its first half and
+	// return io.ErrShortWrite — a torn write.
+	StorageTorn Point = "storage-torn"
+	// StorageSync makes a chosen Sync report EIO without flushing — the
+	// write-back failure mode journalling filesystems surface at fsync.
+	StorageSync Point = "storage-sync"
+	// StorageBitFlip flips one seed-chosen bit of a chosen write while
+	// reporting success — silent corruption on the way to the platter,
+	// detectable only by the CRC when the file is next read.
+	StorageBitFlip Point = "storage-bitflip"
+)
+
+// faultFS threads every write of a wrapped FS through the storage
+// points. The ENOSPC byte budget is cumulative across all files created
+// by one faultFS, like a shared volume.
+type faultFS struct {
+	in    *Injector
+	next  checkpoint.FS
+	bytes atomic.Int64 // total bytes accepted, for the ENOSPC budget
+}
+
+// FS wraps next (nil = the real filesystem) with the storage fault
+// points. A nil injector returns next unwrapped, so production paths
+// pay nothing.
+func (in *Injector) FS(next checkpoint.FS) checkpoint.FS {
+	if next == nil {
+		next = checkpoint.OS
+	}
+	if in == nil {
+		return next
+	}
+	return &faultFS{in: in, next: next}
+}
+
+func (fs *faultFS) Create(path string) (checkpoint.FileWriter, error) {
+	w, err := fs.next.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, path: path, w: w}, nil
+}
+
+func (fs *faultFS) Open(path string) (io.ReadCloser, error) { return fs.next.Open(path) }
+func (fs *faultFS) Rename(oldpath, newpath string) error    { return fs.next.Rename(oldpath, newpath) }
+func (fs *faultFS) Remove(path string) error                { return fs.next.Remove(path) }
+func (fs *faultFS) SyncDir(dir string) error                { return fs.next.SyncDir(dir) }
+
+// faultFile is one write handle under fault injection. Sites are
+// "<basename>:w<n>" per write and "<basename>:sync", so Prob-armed
+// points pick deterministic victims independent of scheduling.
+type faultFile struct {
+	fs     *faultFS
+	path   string
+	w      checkpoint.FileWriter
+	writes int
+}
+
+func (f *faultFile) site(op string) string {
+	return fmt.Sprintf("%s:%s", filepath.Base(f.path), op)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.writes++
+	site := f.site(fmt.Sprintf("w%d", f.writes))
+
+	// Byte-budget ENOSPC: accept what fits, fail the rest. When a
+	// budget is armed the Add below accounts for this write; otherwise
+	// accounting happens after the underlying write succeeds.
+	a := f.fs.in.lookup(StorageENOSPC)
+	budgeted := a != nil && a.spec.AfterN > 0
+	if budgeted {
+		budget := int64(a.spec.AfterN)
+		total := f.fs.bytes.Add(int64(len(p)))
+		if total > budget {
+			room := budget - (total - int64(len(p)))
+			if room < 0 {
+				room = 0
+			}
+			n, err := f.w.Write(p[:room])
+			if err == nil {
+				a.fired.Add(1)
+				err = &os.PathError{Op: "write", Path: f.path, Err: syscall.ENOSPC}
+			}
+			return n, err
+		}
+	}
+	if f.fs.in.Fire(StorageENOSPC, site) {
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: syscall.ENOSPC}
+	}
+	if f.fs.in.Fire(StorageTorn, site) {
+		n, err := f.w.Write(p[:len(p)/2])
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return n, err
+	}
+	if f.fs.in.Fire(StorageBitFlip, site) {
+		// Flip one seed-chosen bit in a copy and report success: the
+		// caller believes the write was clean.
+		flipped := make([]byte, len(p))
+		copy(flipped, p)
+		if len(flipped) > 0 {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%d\x00%s", f.fs.in.seed, site)
+			bit := h.Sum64() % uint64(len(flipped)*8)
+			flipped[bit/8] ^= 1 << (bit % 8)
+		}
+		n, err := f.w.Write(flipped)
+		if !budgeted && n > 0 {
+			f.fs.bytes.Add(int64(n))
+		}
+		return n, err
+	}
+	n, err := f.w.Write(p)
+	if !budgeted && n > 0 {
+		f.fs.bytes.Add(int64(n))
+	}
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.in.Fire(StorageSync, f.site("sync")) {
+		return &os.PathError{Op: "sync", Path: f.path, Err: syscall.EIO}
+	}
+	return f.w.Sync()
+}
+
+func (f *faultFile) Close() error { return f.w.Close() }

@@ -1,0 +1,147 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/seq"
+)
+
+func testFile() *checkpoint.File {
+	return &checkpoint.File{
+		Algo:        "disc-all",
+		Fingerprint: 0x0123456789abcdef,
+		MinSup:      2,
+		Partitions: []checkpoint.Partition{
+			{
+				Key: seq.MustParsePattern("(3)"),
+				Patterns: []mining.PatternCount{
+					{Pattern: seq.MustParsePattern("(3)(4)"), Support: 2},
+				},
+			},
+		},
+	}
+}
+
+func TestFSNilInjectorIsPassthrough(t *testing.T) {
+	var in *Injector
+	if got := in.FS(checkpoint.OS); got != checkpoint.OS {
+		t.Fatal("nil injector must return the wrapped FS unchanged")
+	}
+	if got := in.FS(nil); got != checkpoint.OS {
+		t.Fatal("nil injector over nil FS must resolve to checkpoint.OS")
+	}
+}
+
+func TestStorageENOSPCByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "0123456789abcdef.ckpt")
+	in := New(42).Arm(StorageENOSPC, Spec{AfterN: 64})
+	fs := in.FS(nil)
+
+	_, err := testFile().WriteFileFS(fs, path)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC once the byte budget is spent, got %v", err)
+	}
+	if in.Fired(StorageENOSPC) == 0 {
+		t.Fatal("the ENOSPC arm must record that it fired")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("no file may appear under the final name after a failed write (stat err: %v)", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("the torn .tmp staging file must be cleaned up (stat err: %v)", err)
+	}
+
+	// The budget is cumulative across files on one FS, like a shared
+	// volume: a later, unrelated write on the same FS also has no room.
+	_, err = testFile().WriteFileFS(fs, filepath.Join(dir, "fedcba9876543210.ckpt"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("a full volume stays full for the next file too, got %v", err)
+	}
+}
+
+func TestStorageENOSPCBudgetLargeEnough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "0123456789abcdef.ckpt")
+	fs := New(42).Arm(StorageENOSPC, Spec{AfterN: 1 << 20}).FS(nil)
+	if _, err := testFile().WriteFileFS(fs, path); err != nil {
+		t.Fatalf("a write within the byte budget must succeed: %v", err)
+	}
+	if _, err := checkpoint.ReadFileFS(fs, path); err != nil {
+		t.Fatalf("and decode cleanly: %v", err)
+	}
+}
+
+func TestStorageTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "0123456789abcdef.ckpt")
+	in := New(7).Arm(StorageTorn, Spec{Prob: 1})
+	_, err := testFile().WriteFileFS(in.FS(nil), path)
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("want ErrShortWrite from a torn write, got %v", err)
+	}
+	if in.Fired(StorageTorn) == 0 {
+		t.Fatal("the torn-write arm must record that it fired")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("a torn write must never reach the final name (stat err: %v)", err)
+	}
+}
+
+func TestStorageSyncError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "0123456789abcdef.ckpt")
+	in := New(7).Arm(StorageSync, Spec{Prob: 1})
+	_, err := testFile().WriteFileFS(in.FS(nil), path)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO from a failing fsync, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("an unsynced write must never be renamed into place (stat err: %v)", err)
+	}
+}
+
+func TestStorageBitFlipCaughtByCRC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "0123456789abcdef.ckpt")
+	in := New(11).Arm(StorageBitFlip, Spec{Prob: 1})
+	// The flip is silent: the write path reports success end to end.
+	if _, err := testFile().WriteFileFS(in.FS(nil), path); err != nil {
+		t.Fatalf("a bit flip must be invisible to the writer: %v", err)
+	}
+	if in.Fired(StorageBitFlip) == 0 {
+		t.Fatal("the bit-flip arm must record that it fired")
+	}
+	_, err := checkpoint.ReadFile(path)
+	if !checkpoint.Undecodable(err) {
+		t.Fatalf("the CRC must catch the flipped bit on read, got %v", err)
+	}
+
+	// Determinism: the same seed flips the same bit, byte for byte.
+	path2 := filepath.Join(dir, "two", "0123456789abcdef.ckpt")
+	if err := os.Mkdir(filepath.Dir(path2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	in2 := New(11).Arm(StorageBitFlip, Spec{Prob: 1})
+	if _, err := testFile().WriteFileFS(in2.FS(nil), path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("the same seed must produce the same corruption")
+	}
+}

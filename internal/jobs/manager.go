@@ -46,6 +46,25 @@ type Config struct {
 	// CheckpointInterval is the periodic snapshot cadence (0 = only at
 	// job exit). Periodic snapshots are what make kill -9 survivable.
 	CheckpointInterval time.Duration
+	// FS is the filesystem checkpoint writes, removals and quarantine
+	// renames go through (nil = the real filesystem). Tests and fault
+	// drills plug in faultinject.Injector.FS here.
+	FS checkpoint.FS
+	// DegradeAfter is how many consecutive checkpoint write failures
+	// switch the manager into degraded-durability mode: mining continues,
+	// results are byte-identical, but snapshots stop until a probe write
+	// succeeds (default 3; negative disables degradation).
+	DegradeAfter int
+	// DurabilityProbe is how often a degraded manager retries one
+	// checkpoint write to see whether the disk recovered (default 15s).
+	DurabilityProbe time.Duration
+	// StorageRetention is the age beyond which orphaned checkpoints,
+	// quarantined files and stale .tmp staging files in CheckpointDir are
+	// reclaimed by GC (0 = keep forever).
+	StorageRetention time.Duration
+	// StorageGCInterval is the cadence of the periodic retention GC and
+	// resting-file scrub over CheckpointDir (0 = startup pass only).
+	StorageGCInterval time.Duration
 	// CacheJobs bounds how many terminal jobs are retained for result
 	// caching and idempotent resubmission (default 64, FIFO eviction).
 	CacheJobs int
@@ -87,6 +106,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.FS == nil {
+		c.FS = checkpoint.OS
+	}
+	if c.DegradeAfter == 0 {
+		c.DegradeAfter = 3
+	}
+	if c.DurabilityProbe <= 0 {
+		c.DurabilityProbe = 15 * time.Second
 	}
 	return c
 }
@@ -142,11 +170,27 @@ type Manager struct {
 	shed      *obs.Counter
 	drained   *obs.Counter
 	executed  *obs.Counter
-	resumed   *obs.Counter
-	finished  map[State]*obs.Counter
-	jobDur    map[State]*obs.Histogram
-	ckptDur   *obs.Histogram
-	ckptBytes *obs.Histogram
+	resumed      *obs.Counter
+	finished     map[State]*obs.Counter
+	jobDur       map[State]*obs.Histogram
+	ckptDur      *obs.Histogram
+	ckptBytes    *obs.Histogram
+	ckptFailures *obs.Counter
+	quarantined  *obs.Counter // disc_storage_quarantined_total{kind="checkpoint"}
+
+	// Durability state: consecutive checkpoint write failures and the
+	// degraded-durability latch. dmu is a leaf lock — never held while
+	// calling into the registry or taking m.mu — because the
+	// disc_storage_degraded gauge reads it at render time.
+	dmu         sync.Mutex
+	consecFails int
+	degraded    bool
+	lastProbe   time.Time
+	lastErr     error
+	lastErrAt   time.Time
+
+	gcStop chan struct{} // closed by Drain; ends the periodic storage GC
+	gcDone chan struct{}
 
 	// mine runs one job; replaced by lifecycle tests to control timing.
 	mine func(ctx context.Context, j *Job, cp *core.Checkpointer) (*mining.Result, error)
@@ -175,8 +219,84 @@ func NewManager(cfg Config) *Manager {
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
+	m.startupStorage()
 	m.reportOrphans()
 	return m
+}
+
+// sweeper builds the retention sweeper over CheckpointDir, wired to the
+// manager's log, metrics and live-job protection.
+func (m *Manager) sweeper() *checkpoint.Sweeper {
+	r := m.obs.Registry
+	return &checkpoint.Sweeper{
+		FS:             m.cfg.FS,
+		Retention:      m.cfg.StorageRetention,
+		MaxQuarantined: maxQuarantined,
+		Keep: func(path string) bool {
+			// Never reclaim the checkpoint of a job still queued or
+			// running — it is the job's crash-survival state.
+			if !strings.HasSuffix(path, ".ckpt") {
+				return false
+			}
+			id := strings.TrimSuffix(filepath.Base(path), ".ckpt")
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			j, ok := m.jobs[id]
+			return ok && !j.State().Terminal()
+		},
+		Logf: m.logf,
+		OnReclaim: func(kind string, files int, bytes int64) {
+			r.Counter("disc_storage_reclaimed_files_total",
+				"Durable-state files reclaimed by retention GC, by kind.",
+				obs.Label{Key: "kind", Value: kind}).Add(int64(files))
+			r.Counter("disc_storage_reclaimed_bytes_total",
+				"Bytes reclaimed by retention GC, by kind.",
+				obs.Label{Key: "kind", Value: kind}).Add(bytes)
+		},
+		OnQuarantine: func(kind string) {
+			r.Counter("disc_storage_quarantined_total",
+				"Durable-state files quarantined after failing CRC or decode verification, by kind.",
+				obs.Label{Key: "kind", Value: kind}).Inc()
+		},
+	}
+}
+
+// maxQuarantined caps *.corrupt files kept per directory: enough to
+// diagnose a corruption episode, bounded so a flapping disk cannot fill
+// the volume with evidence.
+const maxQuarantined = 32
+
+// startupStorage runs the scrub+sweep pass over CheckpointDir and, when
+// configured, starts the periodic GC loop. The scrub quarantines any
+// checkpoint that no longer decodes — startup is when bit-rot from the
+// previous process's lifetime surfaces — and the sweep reclaims files
+// past retention, so a restart never trips over last month's garbage.
+func (m *Manager) startupStorage() {
+	if m.cfg.CheckpointDir == "" {
+		return
+	}
+	s := m.sweeper()
+	s.Scrub(m.cfg.CheckpointDir)
+	s.Sweep(m.cfg.CheckpointDir)
+	if m.cfg.StorageGCInterval <= 0 {
+		return
+	}
+	m.gcStop = make(chan struct{})
+	m.gcDone = make(chan struct{})
+	go func() {
+		defer close(m.gcDone)
+		tick := time.NewTicker(m.cfg.StorageGCInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Scrub(m.cfg.CheckpointDir)
+				s.Sweep(m.cfg.CheckpointDir)
+			case <-m.gcStop:
+				return
+			}
+		}
+	}()
 }
 
 // reportOrphans logs the checkpoints a previous process left behind.
@@ -228,6 +348,19 @@ func (m *Manager) initObs(o *obs.Observer) {
 		"Latency of one atomic checkpoint snapshot write.", obs.DurationBuckets)
 	m.ckptBytes = r.Histogram("disc_checkpoint_bytes",
 		"Size of one checkpoint snapshot.", obs.SizeBuckets)
+	m.ckptFailures = r.Counter("disc_jobs_checkpoint_failures_total",
+		"Checkpoint snapshot writes that failed (disk full, torn write, sync error).")
+	m.quarantined = r.Counter("disc_storage_quarantined_total",
+		"Durable-state files quarantined after failing CRC or decode verification, by kind.",
+		obs.Label{Key: "kind", Value: checkpoint.KindCheckpoint})
+	r.GaugeFunc("disc_storage_degraded",
+		"1 while durability is degraded (checkpoint writes suspended after repeated failures), by component.",
+		func() float64 {
+			if m.Durability().Degraded {
+				return 1
+			}
+			return 0
+		}, obs.Label{Key: "component", Value: "jobs"})
 	// Live state reads through at render time: the gauges evaluate the
 	// queue and job table when scraped, so they can never go stale.
 	r.GaugeFunc("disc_jobs_queue_depth", "Jobs waiting in the admission queue.",
@@ -427,6 +560,10 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.draining = true
 	m.notEmpty.Broadcast() // wake idle workers so they can exit
 	m.mu.Unlock()
+	if m.gcStop != nil {
+		close(m.gcStop)
+		<-m.gcDone
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -574,7 +711,7 @@ func (m *Manager) runJob(j *Job) {
 	switch {
 	case err == nil:
 		if ckptPath != "" {
-			os.Remove(ckptPath) // the run finished; the checkpoint is obsolete
+			m.cfg.FS.Remove(ckptPath) // the run finished; the checkpoint is obsolete
 		}
 		m.finishJob(j, StateDone, res, nil)
 	case errors.Is(err, context.Canceled):
@@ -603,7 +740,7 @@ func (m *Manager) checkpointFor(j *Job) (*core.Checkpointer, string) {
 		return nil, ""
 	}
 	path := filepath.Join(m.cfg.CheckpointDir, j.id+".ckpt")
-	switch f, err := checkpoint.ReadFile(path); {
+	switch f, err := checkpoint.ReadFileFS(m.cfg.FS, path); {
 	case err == nil && f.Fingerprint == j.fp && f.Algo == j.req.Algo && f.MinSup == j.req.MinSup:
 		j.mu.Lock()
 		j.resumed = len(f.Partitions)
@@ -613,8 +750,17 @@ func (m *Manager) checkpointFor(j *Job) (*core.Checkpointer, string) {
 		return core.ResumeFrom(f), path
 	case err == nil:
 		m.logf("jobs: %s ignoring checkpoint at %s: belongs to a different job", j.id, path)
+	case checkpoint.Undecodable(err):
+		// Corrupt or torn: the CRC caught it. Quarantine the file so the
+		// evidence survives and the job mines from scratch — crashing, or
+		// tripping over the same file every restart, helps nobody.
+		if q, qerr := checkpoint.Quarantine(m.cfg.FS, path); qerr == nil {
+			m.quarantined.Inc()
+			m.logf("jobs: %s quarantined corrupt checkpoint to %s: %v", j.id, q, err)
+		} else {
+			m.logf("jobs: %s cannot quarantine corrupt checkpoint at %s: %v (read error: %v)", j.id, path, qerr, err)
+		}
 	case !errors.Is(err, os.ErrNotExist):
-		// Corrupt or torn: the CRC caught it; mine from scratch.
 		m.logf("jobs: %s ignoring unreadable checkpoint at %s: %v", j.id, path, err)
 	}
 	return core.NewCheckpointer(), path
@@ -656,14 +802,94 @@ func (m *Manager) writeCheckpoint(j *Job, cp *core.Checkpointer, path string) {
 	if cp == nil || path == "" {
 		return
 	}
+	if !m.durabilityAttempt() {
+		return // degraded and no probe due: mining continues, durability off
+	}
 	start := time.Now()
-	n, err := cp.File(j.req.Algo, j.req.MinSup, j.fp).WriteFile(path)
+	n, err := cp.File(j.req.Algo, j.req.MinSup, j.fp).WriteFileFS(m.cfg.FS, path)
 	if err != nil {
+		m.ckptFailures.Inc()
+		m.durabilityFailed(err)
 		m.logf("jobs: %s checkpoint write failed: %v", j.id, err)
 		return
 	}
+	m.durabilityOK()
 	m.ckptDur.Observe(time.Since(start).Seconds())
 	m.ckptBytes.Observe(float64(n))
+}
+
+// durabilityAttempt reports whether a checkpoint write should be tried
+// now. Healthy managers always write; a degraded one writes only the
+// periodic probe that tests whether the disk recovered.
+func (m *Manager) durabilityAttempt() bool {
+	m.dmu.Lock()
+	defer m.dmu.Unlock()
+	if !m.degraded {
+		return true
+	}
+	if time.Since(m.lastProbe) < m.cfg.DurabilityProbe {
+		return false
+	}
+	m.lastProbe = time.Now()
+	return true
+}
+
+// durabilityFailed records one failed checkpoint write and latches
+// degraded-durability mode after DegradeAfter consecutive failures.
+func (m *Manager) durabilityFailed(err error) {
+	m.dmu.Lock()
+	m.consecFails++
+	m.lastErr = err
+	m.lastErrAt = time.Now()
+	trip := !m.degraded && m.cfg.DegradeAfter > 0 && m.consecFails >= m.cfg.DegradeAfter
+	if trip {
+		m.degraded = true
+		m.lastProbe = time.Now()
+	}
+	n := m.consecFails
+	m.dmu.Unlock()
+	if trip {
+		m.logf("jobs: durability degraded after %d consecutive checkpoint write failures; mining continues, probing every %s", n, m.cfg.DurabilityProbe)
+	}
+}
+
+// durabilityOK records one successful checkpoint write, re-arming
+// durability if it was degraded.
+func (m *Manager) durabilityOK() {
+	m.dmu.Lock()
+	rearmed := m.degraded
+	m.degraded = false
+	m.consecFails = 0
+	m.dmu.Unlock()
+	if rearmed {
+		m.logf("jobs: durability re-armed, checkpoint writes succeeding again")
+	}
+}
+
+// DurabilityStatus is the durability view /healthz serves: whether
+// checkpointing is currently degraded and what the last failure was.
+type DurabilityStatus struct {
+	Degraded            bool      `json:"degraded"`
+	ConsecutiveFailures int       `json:"consecutive_failures,omitempty"`
+	CheckpointFailures  int64     `json:"checkpoint_failures_total"`
+	LastError           string    `json:"last_error,omitempty"`
+	LastErrorAt         time.Time `json:"last_error_at"`
+}
+
+// Durability snapshots the manager's durability state.
+func (m *Manager) Durability() DurabilityStatus {
+	m.dmu.Lock()
+	defer m.dmu.Unlock()
+	s := DurabilityStatus{
+		Degraded:            m.degraded,
+		ConsecutiveFailures: m.consecFails,
+		CheckpointFailures:  m.ckptFailures.Value(),
+		LastErrorAt:         m.lastErrAt,
+	}
+	if m.lastErr != nil {
+		s.LastError = m.lastErr.Error()
+	}
+	return s
 }
 
 // tighterBudget resolves a per-request resource budget against the

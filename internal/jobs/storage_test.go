@@ -1,0 +1,247 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/disc-mining/disc/internal/checkpoint"
+	"github.com/disc-mining/disc/internal/core"
+	"github.com/disc-mining/disc/internal/faultinject"
+	"github.com/disc-mining/disc/internal/obs"
+)
+
+// flakyFS fails every Create while tripped, passing everything else to
+// the real filesystem — the simplest "disk came back" lever for tests.
+type flakyFS struct {
+	checkpoint.FS
+	fail atomic.Bool
+}
+
+func newFlakyFS() *flakyFS { return &flakyFS{FS: checkpoint.OS} }
+
+func (f *flakyFS) Create(path string) (checkpoint.FileWriter, error) {
+	if f.fail.Load() {
+		return nil, errors.New("injected: device not ready")
+	}
+	return f.FS.Create(path)
+}
+
+// TestCheckpointFailuresCountedAndDegrade is the regression test for the
+// log-only failure path: before, a failing checkpoint write left no
+// metric and no state — operators learned their jobs had no durable
+// state only when a resume silently started from scratch. Now every
+// failure increments disc_jobs_checkpoint_failures_total, is surfaced in
+// Durability(), and repeated failures latch degraded mode, which stops
+// hammering the broken disk.
+func TestCheckpointFailuresCountedAndDegrade(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1).Arm(faultinject.StorageENOSPC, faultinject.Spec{Prob: 1})
+	m := NewManager(Config{
+		CheckpointDir: dir, FS: inj.FS(nil),
+		DegradeAfter: 2, DurabilityProbe: time.Hour,
+		Logf: t.Logf,
+	})
+	defer drain(t, m)
+
+	j := newJob("000000000000000a", 0xa, reqFor(smallDB(1), 2))
+	cp := core.NewCheckpointer()
+	path := filepath.Join(dir, j.id+".ckpt")
+
+	m.writeCheckpoint(j, cp, path)
+	d := m.Durability()
+	if d.CheckpointFailures != 1 || d.Degraded || d.LastError == "" {
+		t.Fatalf("after one failure: %+v", d)
+	}
+	m.writeCheckpoint(j, cp, path)
+	d = m.Durability()
+	if d.CheckpointFailures != 2 || !d.Degraded || d.ConsecutiveFailures != 2 {
+		t.Fatalf("after two failures (DegradeAfter=2): %+v", d)
+	}
+	if inj.Fired(faultinject.StorageENOSPC) != 2 {
+		t.Fatalf("ENOSPC fired %d times, want 2", inj.Fired(faultinject.StorageENOSPC))
+	}
+
+	// Degraded with the next probe an hour away: writes are suppressed
+	// entirely — the failure counter must not move.
+	m.writeCheckpoint(j, cp, path)
+	if d := m.Durability(); d.CheckpointFailures != 2 {
+		t.Fatalf("degraded mode still hammering the disk: %+v", d)
+	}
+}
+
+// TestDurabilityRearmsAfterProbe: a degraded manager retries one write
+// per DurabilityProbe, and a success re-arms full durability.
+func TestDurabilityRearmsAfterProbe(t *testing.T) {
+	dir := t.TempDir()
+	fs := newFlakyFS()
+	m := NewManager(Config{
+		CheckpointDir: dir, FS: fs,
+		DegradeAfter: 1, DurabilityProbe: time.Millisecond,
+		Logf: t.Logf,
+	})
+	defer drain(t, m)
+
+	j := newJob("000000000000000b", 0xb, reqFor(smallDB(1), 2))
+	cp := core.NewCheckpointer()
+	path := filepath.Join(dir, j.id+".ckpt")
+
+	fs.fail.Store(true)
+	m.writeCheckpoint(j, cp, path)
+	if d := m.Durability(); !d.Degraded {
+		t.Fatalf("DegradeAfter=1 must degrade on the first failure: %+v", d)
+	}
+
+	// The disk recovers; the next probe write must re-arm durability.
+	fs.fail.Store(false)
+	time.Sleep(5 * time.Millisecond)
+	m.writeCheckpoint(j, cp, path)
+	if d := m.Durability(); d.Degraded || d.ConsecutiveFailures != 0 {
+		t.Fatalf("probe success must re-arm durability: %+v", d)
+	}
+	if _, err := checkpoint.ReadFile(path); err != nil {
+		t.Fatalf("the probe write must have produced a valid checkpoint: %v", err)
+	}
+}
+
+// TestCorruptCheckpointQuarantinedNotCrash: a job whose prior checkpoint
+// no longer decodes must quarantine the file, mine fresh to Done, and
+// leave the evidence at <id>.ckpt.corrupt.
+func TestCorruptCheckpointQuarantinedNotCrash(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{CheckpointDir: dir, Logf: t.Logf})
+	defer drain(t, m)
+
+	// Plant the corrupt checkpoint after the manager's startup scrub, so
+	// it is the resume path — not the scrubber — that must cope.
+	req := reqFor(smallDB(3), 2).normalize()
+	id := fmt.Sprintf("%016x", req.fingerprint())
+	path := filepath.Join(dir, id+".ckpt")
+	if err := os.WriteFile(path, []byte("DISCCKPT v1 crc32=00000000 bytes=9999\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j); st.State != StateDone {
+		t.Fatalf("job over a corrupt checkpoint = %+v, want done", st)
+	}
+	if _, err := os.Stat(path + checkpoint.QuarantineSuffix); err != nil {
+		t.Fatalf("quarantine evidence missing: %v", err)
+	}
+	if d := m.Durability(); d.Degraded {
+		t.Fatalf("a corrupt checkpoint is not a write failure: %+v", d)
+	}
+}
+
+// TestStartupGCReclaimsOrphans is the regression test for reportOrphans
+// being log-only: checkpoints past StorageRetention, stale .tmp staging
+// files and aged quarantine evidence are now reclaimed at startup, with
+// the reclaimed files and bytes counted.
+func TestStartupGCReclaimsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	old := time.Now().Add(-48 * time.Hour)
+	orphan := filepath.Join(dir, "00000000000000aa.ckpt")
+	if _, err := (&checkpoint.File{Algo: "disc-all", Fingerprint: 0xaa, MinSup: 2}).WriteFile(orphan); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "00000000000000bb.ckpt.tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evidence := filepath.Join(dir, "00000000000000cc.ckpt.corrupt")
+	if err := os.WriteFile(evidence, []byte("old evidence"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{orphan, stale, evidence} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := NewManager(Config{CheckpointDir: dir, StorageRetention: 24 * time.Hour, Logf: t.Logf})
+	defer drain(t, m)
+
+	for _, p := range []string{orphan, stale, evidence} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("%s survived startup GC (stat err: %v)", filepath.Base(p), err)
+		}
+	}
+	files := m.Registry().Counter("disc_storage_reclaimed_files_total",
+		"Durable-state files reclaimed by retention GC, by kind.",
+		obs.Label{Key: "kind", Value: checkpoint.KindCheckpoint}).Value()
+	if files != 1 {
+		t.Fatalf("reclaimed checkpoint files counter = %d, want 1", files)
+	}
+	bytes := m.Registry().Counter("disc_storage_reclaimed_bytes_total",
+		"Bytes reclaimed by retention GC, by kind.",
+		obs.Label{Key: "kind", Value: checkpoint.KindCheckpoint}).Value()
+	if bytes == 0 {
+		t.Fatal("reclaimed bytes counter never moved")
+	}
+}
+
+// TestStartupScrubQuarantinesBitRot: a checkpoint that rotted while the
+// process was down is quarantined by the startup scrub, before any
+// resume could trip over it.
+func TestStartupScrubQuarantinesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	rotted := filepath.Join(dir, "00000000000000dd.ckpt")
+	if _, err := (&checkpoint.File{Algo: "disc-all", Fingerprint: 0xdd, MinSup: 2}).WriteFile(rotted); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(rotted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x04
+	if err := os.WriteFile(rotted, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewManager(Config{CheckpointDir: dir, Logf: t.Logf})
+	defer drain(t, m)
+
+	if _, err := os.Stat(rotted + checkpoint.QuarantineSuffix); err != nil {
+		t.Fatalf("startup scrub did not quarantine the rotted checkpoint: %v", err)
+	}
+	n := m.Registry().Counter("disc_storage_quarantined_total",
+		"Durable-state files quarantined after failing CRC or decode verification, by kind.",
+		obs.Label{Key: "kind", Value: checkpoint.KindCheckpoint}).Value()
+	if n != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", n)
+	}
+}
+
+// TestPeriodicStorageGC: the GC ticker keeps sweeping while the manager
+// runs, and Drain stops the loop cleanly.
+func TestPeriodicStorageGC(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManager(Config{
+		CheckpointDir: dir, StorageRetention: time.Millisecond,
+		StorageGCInterval: 5 * time.Millisecond, Logf: t.Logf,
+	})
+	defer drain(t, m)
+
+	// Planted after startup: only the periodic loop can reclaim it.
+	late := filepath.Join(dir, "00000000000000ee.ckpt.tmp")
+	if err := os.WriteFile(late, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(late); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic GC never reclaimed the stale .tmp file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
