@@ -88,7 +88,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	ckptPath := fs.String("checkpoint", "", "write a resumable checkpoint here when the run is interrupted (disc-all variants)")
 	resume := fs.Bool("resume", false, "restore completed partitions from the -checkpoint file, if it exists")
 	metricsOut := fs.String("metrics-out", "", "dump the run's metrics in Prometheus text format to this file on exit (\"-\" = stdout)")
-	trace := fs.Bool("trace", false, "stream mining-stage span records as JSON lines to stderr")
+	trace := fs.Bool("trace", false, "stream hierarchical span records (trace/span/parent IDs) as JSON lines to stderr")
 	shared := cliutil.RegisterShared(fs) // -max-patterns, -max-mem-bytes, -checkpoint-interval
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,7 +105,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		observer = obs.NewObserver()
 		obs.RegisterBuildInfo(observer.Registry)
 		if *trace {
+			// The CLI mints its own trace: every streamed span record
+			// carries the same trace_id plus span/parent IDs, so one run's
+			// hierarchy reads exactly like a discserve job timeline.
 			observer.Tracer.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+			src := obs.NewIDSource(0)
+			tc := obs.NewTraceContext(src.TraceID(), "discmine", src, obs.NewRecorder(0))
+			observer = observer.WithTrace(tc, 0)
 		}
 		if *metricsOut != "" {
 			defer func() {

@@ -60,7 +60,9 @@ func TestMetricsOutStdout(t *testing.T) {
 }
 
 // TestTraceEmitsSpanRecords: -trace streams one JSON span record per
-// traced stage to stderr, each with the stage name and a duration.
+// traced stage to stderr in the hierarchical format — every record
+// carries the run's trace ID and its own span ID, and the partition
+// spans parent under the root "mine" span.
 func TestTraceEmitsSpanRecords(t *testing.T) {
 	path := writeDB(t)
 	r, w, err := os.Pipe()
@@ -80,23 +82,43 @@ func TestTraceEmitsSpanRecords(t *testing.T) {
 	if runErr != nil {
 		t.Fatal(runErr)
 	}
+	type record struct {
+		Msg    string  `json:"msg"`
+		Stage  string  `json:"stage"`
+		Dur    float64 `json:"dur"`
+		Trace  string  `json:"trace_id"`
+		Span   string  `json:"span_id"`
+		Parent string  `json:"parent_span_id"`
+	}
 	stages := map[string]bool{}
+	traces := map[string]bool{}
+	spanOf := map[string]string{}   // stage -> span_id (last seen)
+	parentOf := map[string]string{} // stage -> parent_span_id (last seen)
 	sc := bufio.NewScanner(bytes.NewReader(lines))
 	for sc.Scan() {
-		var rec struct {
-			Msg   string  `json:"msg"`
-			Stage string  `json:"stage"`
-			Dur   float64 `json:"dur"`
-		}
+		var rec record
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			t.Fatalf("non-JSON trace line %q: %v", sc.Text(), err)
 		}
 		if rec.Msg != "span" || rec.Stage == "" {
 			t.Fatalf("unexpected trace record %q", sc.Text())
 		}
+		if len(rec.Trace) != 16 || len(rec.Span) != 16 {
+			t.Fatalf("record %q lacks 16-hex trace/span IDs", sc.Text())
+		}
 		stages[rec.Stage] = true
+		traces[rec.Trace] = true
+		spanOf[rec.Stage] = rec.Span
+		parentOf[rec.Stage] = rec.Parent
 	}
 	if !stages["mine"] || !stages["partition_l0"] {
 		t.Fatalf("traced stages %v, want at least mine and partition_l0", stages)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("want one trace ID across all records, got %v", traces)
+	}
+	if parentOf["partition_l0"] != spanOf["mine"] {
+		t.Fatalf("partition_l0 parent %q, want the mine span %q",
+			parentOf["partition_l0"], spanOf["mine"])
 	}
 }

@@ -18,11 +18,13 @@
 //	GET    /healthz            liveness + metrics
 //	GET    /readyz             admission readiness (503 while draining)
 //	GET    /metrics            Prometheus text exposition
+//	GET    /debug/jobs/{id}/timeline  assembled fleet-wide trace timeline of the job
 //
-// With -admin-addr, a second listener serves /metrics (and, with
-// -pprof, the /debug/pprof/* profiling surface) away from the job API,
-// so scraping and profiling are never exposed on the tenant-facing
-// port.
+// With -admin-addr, a second listener serves /metrics, the job
+// timelines (and, with -pprof, the /debug/pprof/* profiling surface)
+// away from the job API, so scraping and profiling are never exposed
+// on the tenant-facing port. -trace additionally streams every span
+// record as a structured JSON log line to stderr as it closes.
 //
 // Cluster roles (-role): a coordinator shards each disc-all-family job
 // across its -peers and self-registered workers (POST /cluster/register
@@ -56,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -83,6 +86,7 @@ type serveConfig struct {
 	addr         string
 	adminAddr    string
 	pprof        bool
+	trace        bool
 	jobs         jobs.Config
 	limits       data.Limits
 	maxBodyBytes int64
@@ -109,6 +113,7 @@ func parseFlags(args []string) (serveConfig, error) {
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8375", "listen address (host:port; port 0 picks a free port)")
 	fs.StringVar(&cfg.adminAddr, "admin-addr", "", "serve /metrics (and -pprof) on this separate address (empty = disabled)")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose /debug/pprof/* on the admin listener (requires -admin-addr)")
+	fs.BoolVar(&cfg.trace, "trace", false, "stream span records as structured JSON log lines to stderr (trace/span/parent IDs included)")
 	fs.IntVar(&cfg.jobs.Workers, "jobs", 2, "jobs mined concurrently")
 	fs.IntVar(&cfg.jobs.QueueDepth, "queue", 16, "admitted-but-not-running backlog bound; beyond it submissions are shed with 429")
 	fs.IntVar(&cfg.workers, "workers", 0, "default per-job partition worker pool size (0 = one per CPU)")
@@ -289,7 +294,14 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	observer := obs.NewObserver()
 	obs.RegisterBuildInfo(observer.Registry)
 	observer.Registry.MirrorExpvar("disc")
+	if cfg.trace {
+		observer.Tracer.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	cfg.jobs.Obs = observer
+	// Node names spans in the fleet timeline: the role says which kind of
+	// process recorded a span, the worker's advertised URL (below) says
+	// where a shard actually ran.
+	cfg.jobs.Node = cfg.role
 
 	// Cluster roles: a coordinator replaces the manager's local mining
 	// with fleet dispatch; a worker additionally serves the shard
@@ -367,6 +379,10 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		mux.HandleFunc("POST /cluster/register", coord.HandleRegister)
 		logf("discserve: coordinator role: %d static peers, shards=%d", len(cfg.cluster.Peers), cfg.cluster.Shards)
 	case "worker":
+		advertise := cfg.advertise
+		if advertise == "" {
+			advertise = "http://" + ln.Addr().String()
+		}
 		worker := cluster.NewWorker(cluster.WorkerConfig{
 			Workers:       cfg.workers,
 			MaxPatterns:   cfg.jobs.MaxPatterns,
@@ -377,13 +393,10 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 			Faults:        cfg.faults,
 			Logf:          logf,
 			Obs:           observer,
+			Node:          advertise, // span records name this worker by its fleet-visible URL
 		})
 		mux.HandleFunc("POST /cluster/shard", worker.HandleShard)
 		if cfg.coordinator != "" {
-			advertise := cfg.advertise
-			if advertise == "" {
-				advertise = "http://" + ln.Addr().String()
-			}
 			logf("discserve: worker role: registering %s with %s", advertise, cfg.coordinator)
 			go cluster.Heartbeat(hbCtx, nil, cfg.coordinator, advertise, cfg.clusterSecret, cfg.heartbeat, logf)
 		} else {
@@ -403,6 +416,7 @@ func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		amux := http.NewServeMux()
 		amux.Handle("GET /metrics", obs.Handler(observer.Registry))
+		amux.HandleFunc("GET /debug/jobs/{id}/timeline", srv.handleTimeline)
 		if cfg.pprof {
 			amux.HandleFunc("/debug/pprof/", pprof.Index)
 			amux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

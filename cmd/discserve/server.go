@@ -51,6 +51,7 @@ func newServer(mgr *jobs.Manager, limits data.Limits, maxBody int64, workers int
 //	GET    /healthz          liveness + metrics (always 200 while serving)
 //	GET    /readyz           admission readiness (503 while draining)
 //	GET    /metrics          Prometheus text exposition of the shared registry
+//	GET    /debug/jobs/{id}/timeline  the job's assembled fleet-wide trace timeline
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -59,6 +60,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/jobs/{id}/timeline", s.handleTimeline)
 	mux.Handle("GET /metrics", obs.Handler(s.mgr.Registry()))
 	return mux
 }
@@ -280,6 +282,21 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, statusJSON(j.Status()))
 }
 
+// handleTimeline serves the job's assembled flight-recorder timeline:
+// every span and event the fleet recorded under the job's trace ID —
+// coordinator shard spans, worker-side children folded back over the
+// wire, engine partition spans — in one JSON document. The id is the
+// job ID (the checkpoint fingerprint); /healthz lists the trace IDs of
+// the jobs currently holding a recorder.
+func (s *server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tl, err := s.mgr.Timeline(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, &errJSON{Kind: "not_found", Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
 // handleHealthz is liveness plus the metrics snapshot: it answers 200
 // for as long as the process can serve at all — including during drain.
 // Every number is sourced from the manager's registry instruments (the
@@ -305,6 +322,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Metrics            jobs.Metrics          `json:"metrics"`
 		QueueDepth         int                   `json:"queue_depth"`
 		JobsByState        map[string]int        `json:"jobs_by_state"`
+		ActiveTraces       []string              `json:"active_traces"`
 		Build              struct {
 			Version string `json:"version"`
 			Go      string `json:"go"`
@@ -312,8 +330,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{
 		Ready: s.ready.Load(), Draining: s.mgr.Draining(),
 		DegradedDurability: degraded, Storage: storage,
-		Metrics:    s.mgr.Metrics(),
-		QueueDepth: s.mgr.QueueDepth(), JobsByState: states,
+		Metrics:      s.mgr.Metrics(),
+		QueueDepth:   s.mgr.QueueDepth(), JobsByState: states,
+		ActiveTraces: s.mgr.ActiveTraces(),
 		Build: struct {
 			Version string `json:"version"`
 			Go      string `json:"go"`

@@ -189,7 +189,7 @@ func TestWorkerRejectsFingerprintMismatch(t *testing.T) {
 		Algo: req.Algo, MinSup: req.MinSup, BiLevel: true, Levels: 2,
 		Shards: 1, Fingerprint: "00000000deadbeef", DB: "1:(1 2)(3)\n",
 	}
-	resp, err := c.dispatch(context.Background(), url, base, 0, "")
+	resp, err := c.dispatch(context.Background(), url, base, 0, "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestWorkerShedsBeyondCapacity(t *testing.T) {
 		Algo: req.Algo, MinSup: req.MinSup, BiLevel: true, Levels: 2,
 		Shards: 1, Fingerprint: Fingerprint(fp), DB: db.String(),
 	}
-	resp, err := c.dispatch(context.Background(), url, base, 0, "")
+	resp, err := c.dispatch(context.Background(), url, base, 0, "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +405,7 @@ func TestClusterSecretEnforced(t *testing.T) {
 
 	// A coordinator without the secret is turned away with a typed error.
 	open := New(Config{Peers: []string{url}})
-	resp, err := open.dispatch(context.Background(), url, base, 0, "")
+	resp, err := open.dispatch(context.Background(), url, base, 0, "", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -516,7 +516,7 @@ func TestWorkerResumeRejectionMessages(t *testing.T) {
 	}
 	c := New(Config{Peers: []string{url}})
 
-	resp, err := c.dispatch(context.Background(), url, base, 0, "this is not a checkpoint")
+	resp, err := c.dispatch(context.Background(), url, base, 0, "this is not a checkpoint", nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -531,7 +531,7 @@ func TestWorkerResumeRejectionMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err = c.dispatch(context.Background(), url, base, 0, wrong)
+	resp, err = c.dispatch(context.Background(), url, base, 0, wrong, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

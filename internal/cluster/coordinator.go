@@ -250,7 +250,6 @@ func New(cfg Config) *Coordinator {
 // heartbeat — each call refreshes the TTL).
 func (c *Coordinator) Register(url string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	p, ok := c.peers[url]
 	if !ok {
 		p = &peer{url: url}
@@ -258,6 +257,53 @@ func (c *Coordinator) Register(url string) {
 		c.cfg.Logf("cluster: worker %s registered", url)
 	}
 	p.lastSeen = time.Now()
+	c.mu.Unlock()
+	c.pruneExpired()
+}
+
+// pruneGraceFactor is how many heartbeat TTLs a self-registered worker
+// stays known (though ineligible) after its last heartbeat before its
+// peer entry, breaker and per-worker metric series are removed. The
+// grace beyond the eligibility TTL keeps watchExpiry's in-flight
+// cancellation the first responder to a death; pruning is the janitor
+// behind it.
+const pruneGraceFactor = 2
+
+// pruneExpired removes self-registered workers whose heartbeat lapsed
+// more than pruneGraceFactor×HeartbeatTTL ago: the peer entry, its
+// circuit breaker, its latency-histogram cache, and — the part that
+// keeps a churning fleet's registry cardinality bounded — its
+// disc_cluster_breaker_state and disc_cluster_worker_latency_seconds
+// series. A pruned worker that comes back simply re-registers and gets
+// fresh ones.
+//
+// Called from the mutation paths (Register, pickWorker), never from
+// Workers(): the disc_cluster_workers gauge invokes Workers() while
+// the registry lock is held, and Unregister takes that same lock.
+// Registry calls happen strictly after c.mu is released (the
+// registry→c.mu lock order is fixed by the render path; see latency).
+func (c *Coordinator) pruneExpired() {
+	now := time.Now()
+	grace := pruneGraceFactor * c.cfg.HeartbeatTTL
+	var victims []string
+	c.mu.Lock()
+	for url, p := range c.peers {
+		if p.static || now.Sub(p.lastSeen) < grace {
+			continue
+		}
+		delete(c.peers, url)
+		delete(c.breakers, url)
+		delete(c.workerLat, url)
+		victims = append(victims, url)
+	}
+	c.mu.Unlock()
+	for _, url := range victims {
+		c.obs.Registry.Unregister("disc_cluster_breaker_state",
+			obs.Label{Key: "worker", Value: url})
+		c.obs.Registry.Unregister("disc_cluster_worker_latency_seconds",
+			obs.Label{Key: "worker", Value: url})
+		c.cfg.Logf("cluster: worker %s pruned after %s without a heartbeat; its metric series are unregistered", url, grace)
+	}
 }
 
 // HandleRegister is POST /cluster/register: a worker announcing itself,
@@ -301,6 +347,7 @@ func (c *Coordinator) Workers() []string {
 // already tried for this shard attempt cycle and ones whose circuit
 // breaker denies dispatch. Returns "" when none qualifies.
 func (c *Coordinator) pickWorker(tried map[string]bool) string {
+	c.pruneExpired()
 	live := c.Workers()
 	if len(live) == 0 {
 		return ""
@@ -617,6 +664,15 @@ func (c *Coordinator) Mine(ctx context.Context, req jobs.Request, cp *core.Check
 func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, fp uint64,
 	acc *shardAcc, req jobs.Request, cp *core.Checkpointer, run *jobRun) error {
 	start := time.Now()
+	// The shard span brackets everything this shard costs the job —
+	// every dispatch attempt, hedge race and reschedule — and is the
+	// parent the winning worker's spans hang under in the assembled
+	// timeline. Scheduling decisions land as structured events on the
+	// job's flight recorder.
+	tc := req.Trace
+	sp := c.obs.WithTrace(tc, req.ParentSpan).Span("shard")
+	defer sp.End()
+	shard := fmt.Sprint(idx)
 	tried := map[string]bool{}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
@@ -634,20 +690,26 @@ func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, 
 		}
 		tried[url] = true
 		run.led.assign(idx, url)
+		tc.Event("shard-assign", sp.ID(), map[string]string{
+			"shard": shard, "worker": url, "attempt": fmt.Sprint(attempt + 1)})
 		if err := c.crashPoint(run, fmt.Sprintf("assign-%d", idx)); err != nil {
 			return err
 		}
 
-		winner, err := c.attemptShard(ctx, base, idx, fp, acc, cp, url, tried, run)
+		winner, err := c.attemptShard(ctx, base, idx, fp, acc, cp, url, tried, run, tc, sp.ID())
 		if err != nil {
 			c.shards["retried"].Inc()
 			run.led.resolve(idx, winner, outcomeFor(err), snapshotParts(acc))
+			tc.Event("shard-resolve", sp.ID(), map[string]string{
+				"shard": shard, "worker": winner, "outcome": outcomeFor(err)})
 			c.cfg.Logf("cluster: shard %d/%d attempt %d on %s failed: %v (rescheduling from %d partitions)",
 				idx, base.Shards, attempt+1, winner, err, len(acc.parts))
 			lastErr = err
 			continue
 		}
 		run.led.done(idx, winner, snapshotParts(acc))
+		tc.Event("shard-resolve", sp.ID(), map[string]string{
+			"shard": shard, "worker": winner, "outcome": "done"})
 		c.shards["done"].Inc()
 		c.shardDur.Observe(time.Since(start).Seconds())
 		if err := c.crashPoint(run, fmt.Sprintf("done-%d", idx)); err != nil {
@@ -660,15 +722,24 @@ func (c *Coordinator) runShard(ctx context.Context, base ShardRequest, idx int, 
 	// fleet completed. Correctness never depends on the fleet.
 	c.cfg.Logf("cluster: shard %d/%d exhausted retries (last: %v), mining locally", idx, base.Shards, lastErr)
 	run.led.assign(idx, "(local)")
+	tc.Event("shard-assign", sp.ID(), map[string]string{
+		"shard": shard, "worker": "(local)", "attempt": "fallback"})
 	local := core.ResumeFrom(&checkpoint.File{
 		Algo: req.Algo, Fingerprint: fp, MinSup: req.MinSup, Partitions: acc.parts,
 	})
 	spec := &core.ShardSpec{Index: idx, Count: base.Shards}
-	if _, err := c.mineWith(ctx, req, local, spec); err != nil {
+	// The local fallback's engine spans parent under this shard's span,
+	// not the job root — the timeline should show the shard absorbing
+	// the cost.
+	lreq := req
+	lreq.ParentSpan = sp.ID()
+	if _, err := c.mineWith(ctx, lreq, local, spec); err != nil {
 		return err
 	}
 	acc.fold(local.File(req.Algo, req.MinSup, fp).Partitions, cp)
 	run.led.done(idx, "(local)", snapshotParts(acc))
+	tc.Event("shard-resolve", sp.ID(), map[string]string{
+		"shard": shard, "worker": "(local)", "outcome": "done"})
 	c.shards["local"].Inc()
 	c.shardDur.Observe(time.Since(start).Seconds())
 	return nil
@@ -697,13 +768,15 @@ func outcomeFor(err error) string {
 // the worker's circuit breaker. Returns the worker whose reply won — or,
 // with the error, the worker whose failure is being reported.
 func (c *Coordinator) attemptShard(ctx context.Context, base ShardRequest, idx int, fp uint64,
-	acc *shardAcc, cp *core.Checkpointer, primary string, tried map[string]bool, run *jobRun) (string, error) {
+	acc *shardAcc, cp *core.Checkpointer, primary string, tried map[string]bool, run *jobRun,
+	tc *obs.TraceContext, spid obs.SpanID) (string, error) {
 	actx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll() // the loser of a hedge race is canceled here
 
 	type reply struct {
 		url   string
 		parts []checkpoint.Partition
+		spans []obs.SpanRecord
 		err   error
 		kind  failKind
 	}
@@ -719,13 +792,13 @@ func (c *Coordinator) attemptShard(ctx context.Context, base ShardRequest, idx i
 			return
 		}
 		go func() {
-			resp, err := c.dispatch(actx, url, base, idx, resume)
+			resp, err := c.dispatch(actx, url, base, idx, resume, tc, spid)
 			if err != nil {
 				replies <- reply{url: url, err: err, kind: failTransport}
 				return
 			}
 			parts, err := vetResponse(resp, url, fp)
-			replies <- reply{url: url, parts: parts, err: err, kind: failWorker}
+			replies <- reply{url: url, parts: parts, spans: resp.Spans, err: err, kind: failWorker}
 		}()
 	}
 	launch(primary)
@@ -758,17 +831,25 @@ func (c *Coordinator) attemptShard(ctx context.Context, base ShardRequest, idx i
 			hedgedTo = url
 			inflight++
 			c.hedges["launched"].Inc()
+			tc.Event("shard-hedge", spid, map[string]string{
+				"shard": fmt.Sprint(idx), "worker": url, "primary": primary})
 			c.cfg.Logf("cluster: shard %d/%d hedged to %s (%s is past the fleet's latency quantile)",
 				idx, base.Shards, url, primary)
 			launch(url)
 		case r := <-replies:
 			inflight--
-			// Even a failed reply may carry a partial checkpoint.
+			// Even a failed reply may carry a partial checkpoint — and the
+			// worker-side span records of the attempt, which belong in the
+			// timeline whether the attempt won or not.
 			if len(r.parts) > 0 {
 				acc.fold(r.parts, cp)
 			}
+			tc.AddRemoteSpans(r.spans)
 			if r.err == nil {
-				c.breakerFor(r.url).onSuccess()
+				br := c.breakerFor(r.url)
+				pre := br.current()
+				br.onSuccess()
+				c.noteBreaker(tc, spid, r.url, pre, br.current())
 				switch {
 				case hedgedTo == "":
 				case r.url == hedgedTo:
@@ -778,7 +859,10 @@ func (c *Coordinator) attemptShard(ctx context.Context, base ShardRequest, idx i
 				}
 				return r.url, nil
 			}
-			c.breakerFor(r.url).onFailure(r.kind, time.Now())
+			br := c.breakerFor(r.url)
+			pre := br.current()
+			br.onFailure(r.kind, time.Now())
+			c.noteBreaker(tc, spid, r.url, pre, br.current())
 			if firstErr == nil {
 				firstErr, firstURL = r.err, r.url
 			}
@@ -791,6 +875,18 @@ func (c *Coordinator) attemptShard(ctx context.Context, base ShardRequest, idx i
 			return primary, ctx.Err()
 		}
 	}
+}
+
+// noteBreaker records a breaker state change caused by one settled
+// reply as a trace event. The before/after read brackets only this
+// caller's settle call; a concurrent transition simply lands as its own
+// caller's event.
+func (c *Coordinator) noteBreaker(tc *obs.TraceContext, spid obs.SpanID, url string, from, to breakerState) {
+	if tc == nil || from == to {
+		return
+	}
+	tc.Event("breaker-transition", spid, map[string]string{
+		"worker": url, "from": from.String(), "to": to.String()})
 }
 
 // hedgeDelay decides whether this attempt may hedge and after how long:
@@ -852,9 +948,11 @@ func encodeResume(base ShardRequest, idx int, fp uint64, acc *shardAcc) (string,
 	})
 }
 
-// dispatch performs one shard attempt against one worker.
+// dispatch performs one shard attempt against one worker. A bound
+// trace rides along as headers: the trace ID and the coordinator-side
+// shard span the worker should parent its spans under.
 func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardRequest,
-	idx int, resume string) (*ShardResponse, error) {
+	idx int, resume string, tc *obs.TraceContext, spid obs.SpanID) (*ShardResponse, error) {
 	sreq := base
 	sreq.Shard = idx
 	sreq.Resume = resume
@@ -873,6 +971,10 @@ func (c *Coordinator) dispatch(ctx context.Context, url string, base ShardReques
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	setSecret(hreq, c.cfg.Secret)
+	if tc != nil {
+		hreq.Header.Set(traceIDHeader, tc.TraceID().String())
+		hreq.Header.Set(parentSpanHeader, spid.String())
+	}
 	start := time.Now()
 	hres, err := c.cfg.Client.Do(hreq)
 	c.latency(url).Observe(time.Since(start).Seconds())
@@ -916,6 +1018,13 @@ func (c *Coordinator) watchExpiry(ctx context.Context, cancel context.CancelFunc
 			}
 			c.mu.Unlock()
 			if !ok {
+				// The peer was pruned out from under the dispatch: its
+				// heartbeat lapsed past the prune grace, which implies the
+				// TTL expired too — cancel exactly as an observed expiry
+				// would have.
+				c.expired.Inc()
+				c.cfg.Logf("cluster: worker %s pruned while holding a shard; canceling the attempt", url)
+				cancel()
 				return
 			}
 			d := time.Until(expiry)
@@ -949,13 +1058,16 @@ func (c *Coordinator) mineLocal(ctx context.Context, req jobs.Request, cp *core.
 }
 
 // mineWith runs the job's algorithm here with the given checkpointer and
-// optional shard scope.
+// optional shard scope. The run's engine spans carry the request's
+// trace (when the manager minted one), parented under whatever span the
+// request names — the job root for local fallbacks and assembly, the
+// shard span for a shard's local re-mine.
 func (c *Coordinator) mineWith(ctx context.Context, req jobs.Request, cp *core.Checkpointer, spec *core.ShardSpec) (*mining.Result, error) {
 	opts := req.Opts
 	opts.Checkpoint = cp
 	opts.Shard = spec
 	opts.Faults = c.cfg.Faults
-	opts.Obs = c.obs
+	opts.Obs = c.obs.WithTrace(req.Trace, req.ParentSpan)
 	miner, err := localMinerFor(req.Algo, opts)
 	if err != nil {
 		return nil, err

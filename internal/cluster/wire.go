@@ -27,6 +27,7 @@ import (
 	"github.com/disc-mining/disc/internal/checkpoint"
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/jobs"
+	"github.com/disc-mining/disc/internal/obs"
 )
 
 // secretHeader carries the shared fleet secret on every control-plane
@@ -34,6 +35,16 @@ import (
 // configured secret as "open fleet" — the deployment's explicit choice
 // for trusted networks; anything else is checked constant-time.
 const secretHeader = "X-Disc-Cluster-Secret"
+
+// The trace-propagation headers: a shard dispatch carries the job's
+// trace ID and the coordinator-side shard span it should parent under,
+// so the worker's spans land in the same fleet-wide timeline. Absent
+// headers mean an untraced dispatch (an old coordinator); the worker
+// simply mines without recording.
+const (
+	traceIDHeader    = "X-Disc-Trace-Id"
+	parentSpanHeader = "X-Disc-Parent-Span"
+)
 
 // setSecret attaches the fleet secret to an outgoing request (no-op when
 // the fleet runs open).
@@ -95,6 +106,11 @@ func (r *ShardRequest) Options() core.Options {
 type ShardResponse struct {
 	Checkpoint string          `json:"checkpoint,omitempty"`
 	Error      *jobs.WireError `json:"error,omitempty"`
+	// Spans are the worker's completed span records for this shard run,
+	// present when the dispatch carried trace headers. The coordinator
+	// folds them into the job's flight recorder, which is how one
+	// fleet-wide timeline exists at all.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // registration is the worker→coordinator announce/heartbeat payload.

@@ -45,6 +45,15 @@ type WorkerConfig struct {
 	Logf func(format string, args ...any)
 	// Obs is the shared observability handle (nil gets a private one).
 	Obs *obs.Observer
+	// Node names this worker in the span records it returns to the
+	// coordinator (default "worker"). A fleet timeline reads it to say
+	// where each shard actually ran.
+	Node string
+	// TraceEvents bounds the per-shard flight recorder (0 selects
+	// obs.DefaultRecorderEvents); TraceSeed seeds span ID minting
+	// (0 = time-seeded; tests pin it for golden timelines).
+	TraceEvents int
+	TraceSeed   int64
 }
 
 // Worker mines dispatched shards. It is the server side of the shard
@@ -53,6 +62,7 @@ type Worker struct {
 	cfg    WorkerConfig
 	sem    chan struct{}
 	obs    *obs.Observer
+	ids    *obs.IDSource           // span ID minting for propagated traces
 	served map[string]*obs.Counter // outcome -> counter
 	dur    *obs.Histogram
 }
@@ -68,11 +78,15 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Node == "" {
+		cfg.Node = "worker"
+	}
 	o := cfg.Obs
 	if o == nil {
 		o = obs.NewObserver()
 	}
-	w := &Worker{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), obs: o}
+	w := &Worker{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent), obs: o,
+		ids: obs.NewIDSource(cfg.TraceSeed)}
 	r := o.Registry
 	w.served = map[string]*obs.Counter{}
 	for _, outcome := range []string{"done", "failed", "canceled", "shed", "input", "auth"} {
@@ -185,6 +199,21 @@ func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
 	opts.Faults = w.cfg.Faults
 	opts.Obs = w.obs
 
+	// Trace propagation: a dispatch carrying the trace headers gets its
+	// own worker-side flight recorder under the propagated trace ID. The
+	// worker's root span parents under the coordinator's shard span, the
+	// engine's spans parent under the worker's root span, and every
+	// completed record travels back in the response for the coordinator
+	// to fold into the job's timeline.
+	var tc *obs.TraceContext
+	var wsp obs.Span
+	if trace, ok := obs.ParseTraceID(r.Header.Get(traceIDHeader)); ok {
+		parent, _ := obs.ParseSpanID(r.Header.Get(parentSpanHeader))
+		tc = obs.NewTraceContext(trace, w.cfg.Node, w.ids, obs.NewRecorder(w.cfg.TraceEvents))
+		wsp = w.obs.WithTrace(tc, parent).Span("shard_worker")
+		opts.Obs = w.obs.WithTrace(tc, wsp.ID())
+	}
+
 	start := time.Now()
 	mineErr := mining.Contain(site, func() error {
 		miner, err := minerFor(req.Algo, opts)
@@ -195,11 +224,12 @@ func (w *Worker) HandleShard(rw http.ResponseWriter, r *http.Request) {
 		return err
 	})
 	w.dur.Observe(time.Since(start).Seconds())
+	wsp.End()
 
 	file := cp.File(req.Algo, req.MinSup, fp)
 	file.Shard, file.ShardCount = req.Shard, req.Shards
 	text, encErr := encodeCheckpoint(file)
-	resp := ShardResponse{Checkpoint: text}
+	resp := ShardResponse{Checkpoint: text, Spans: tc.Recorder().Spans()}
 	switch {
 	case errors.Is(mineErr, context.Canceled) || errors.Is(mineErr, context.DeadlineExceeded):
 		// The coordinator canceled us (hedge lost, TTL expiry, shard

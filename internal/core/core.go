@@ -330,6 +330,7 @@ type engine struct {
 	shard   *ShardSpec            // nil unless this run mines one shard of the partition space
 	faults  *faultinject.Injector // nil in production runs
 	obs     *obs.Observer         // nil unless Options.Obs is set
+	cur     obs.Span              // innermost open span: the parent for spans opened below
 	avlRec  *avl.Recorder         // run-wide rotation recorder; nil without obs
 	cntRec  *counting.Recorder    // run-wide dedup recorder; nil without obs
 }
@@ -378,6 +379,7 @@ func (e *engine) run(ctx context.Context, db mining.Database, minSup int) (*mini
 	// sites in parallel.go. Either way a panic surfaces as an
 	// *mining.InvariantError from Mine instead of crashing the process.
 	sp := e.obs.Span("mine")
+	e.cur = sp
 	err := mining.Contain("<root>", func() error {
 		return e.processPartition(seq.Pattern{}, members, 0)
 	})
@@ -414,6 +416,7 @@ func (e *engine) child() *engine {
 		shard:   e.shard,
 		faults:  e.faults,
 		obs:     e.obs,
+		cur:     e.cur,
 		avlRec:  e.avlRec,
 		cntRec:  e.cntRec,
 	}
@@ -470,8 +473,18 @@ func (e *engine) processPartition(key seq.Pattern, members []*member, level int)
 	}
 	e.budget.sampleMem(e.scratchBytes())
 	e.stats.partitionProcessed(level)
+	// The partition span becomes the parent of everything opened while
+	// mining this partition — deeper partitions, eager-bucket closures —
+	// so a traced run yields a hierarchy mirroring the recursion. The
+	// previous innermost span is restored on the way out (the serial
+	// split walks partitions depth-first on one goroutine; parallel
+	// children each carry their own copy of cur from child()).
 	sp := e.span("partition", level)
-	defer sp.End()
+	prev := e.cur
+	if sp.Live() {
+		e.cur = sp
+	}
+	defer func() { sp.End(); e.cur = prev }()
 
 	// Step 1: one scan with the counting array finds the frequent
 	// extensions of key.

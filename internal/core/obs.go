@@ -73,10 +73,12 @@ func (e *engine) flushObs(runErr error) {
 }
 
 // span opens a tracing span for a partition level, or a zero no-op span
-// when tracing is off or the level is below the fan-out.
+// when tracing is off or the level is below the fan-out. The span is
+// parented to the engine's innermost open span, so a bound trace sees
+// the partition hierarchy.
 func (e *engine) span(stage string, level int) obs.Span {
 	if e.obs == nil || level > spanLevels {
 		return obs.Span{}
 	}
-	return e.obs.Span(fmt.Sprintf("%s_l%d", stage, level))
+	return e.obs.SpanUnder(e.cur, fmt.Sprintf("%s_l%d", stage, level))
 }

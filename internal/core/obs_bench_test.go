@@ -49,6 +49,28 @@ func BenchmarkMineInstrumented(b *testing.B) {
 	}
 }
 
+// tracedObserver binds a fresh per-run trace context (the per-job shape:
+// its own ID, a bounded flight recorder) to the shared observer — the
+// configuration a traced discserve job mines under.
+func tracedObserver(o *obs.Observer, src *obs.IDSource) *obs.Observer {
+	tc := obs.NewTraceContext(src.TraceID(), "bench", src, obs.NewRecorder(0))
+	return o.WithTrace(tc, 0)
+}
+
+// BenchmarkMineTraced adds the tracing layer on top of the instrumented
+// configuration: every span mints IDs and lands start/end records in
+// the trace's flight recorder, exactly like a job mined with tracing on.
+func BenchmarkMineTraced(b *testing.B) {
+	db := benchDB()
+	o := obs.NewObserver()
+	src := obs.NewIDSource(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mineOnce(b, db, tracedObserver(o, src))
+	}
+}
+
 // guardPct reads a percentage threshold from the environment, falling
 // back to def when the variable is unset or malformed.
 func guardPct(t *testing.T, name string, def float64) float64 {
@@ -80,7 +102,14 @@ func TestInstrumentationOverheadGuard(t *testing.T) {
 	}
 	maxNsPct := guardPct(t, "DISC_BENCH_GUARD_MAX_NS_PCT", 2)
 	maxAllocsPct := guardPct(t, "DISC_BENCH_GUARD_MAX_ALLOCS_PCT", 2)
-	db := benchDB()
+	// The guard mines a smaller database than the named benchmarks: a
+	// sub-second op lets testing.Benchmark average tens of iterations per
+	// measurement, which is what keeps a 2% budget decidable on noisy CI
+	// machines (a 2 s op yields N=1 and single-sample jitter swamps the
+	// signal). Relative instrumentation overhead is slightly *higher* on
+	// the smaller database — more partitions per unit of mining work — so
+	// the bar is conservative, not lenient.
+	db := testutil.SkewedRandomDB(rand.New(rand.NewSource(77)), 150, 12, 6, 4)
 	o := obs.NewObserver()
 	best := func(f func(b *testing.B)) (minNs float64, maxAllocs int64) {
 		for i := 0; i < 3; i++ {
@@ -106,14 +135,25 @@ func TestInstrumentationOverheadGuard(t *testing.T) {
 			mineOnce(b, db, o)
 		}
 	})
-	overhead := instr/base - 1
-	allocOverhead := float64(instrAllocs)/float64(baseAllocs) - 1
-	t.Logf("baseline %.0f ns/op %d allocs/op, instrumented %.0f ns/op %d allocs/op, overhead %+.2f%% ns %+.2f%% allocs",
-		base, baseAllocs, instr, instrAllocs, overhead*100, allocOverhead*100)
-	if overhead > maxNsPct/100 {
-		t.Errorf("instrumentation ns/op overhead %.2f%% exceeds the %.2g%% budget", overhead*100, maxNsPct)
+	src := obs.NewIDSource(1)
+	traced, tracedAllocs := best(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mineOnce(b, db, tracedObserver(o, src))
+		}
+	})
+	check := func(what string, ns float64, allocs int64) {
+		overhead := ns/base - 1
+		allocOverhead := float64(allocs)/float64(baseAllocs) - 1
+		t.Logf("baseline %.0f ns/op %d allocs/op, %s %.0f ns/op %d allocs/op, overhead %+.2f%% ns %+.2f%% allocs",
+			base, baseAllocs, what, ns, allocs, overhead*100, allocOverhead*100)
+		if overhead > maxNsPct/100 {
+			t.Errorf("%s ns/op overhead %.2f%% exceeds the %.2g%% budget", what, overhead*100, maxNsPct)
+		}
+		if allocOverhead > maxAllocsPct/100 {
+			t.Errorf("%s allocs/op overhead %.2f%% exceeds the %.2g%% budget", what, allocOverhead*100, maxAllocsPct)
+		}
 	}
-	if allocOverhead > maxAllocsPct/100 {
-		t.Errorf("instrumentation allocs/op overhead %.2f%% exceeds the %.2g%% budget", allocOverhead*100, maxAllocsPct)
-	}
+	check("instrumented", instr, instrAllocs)
+	check("traced", traced, tracedAllocs)
 }

@@ -258,7 +258,7 @@ func (e *engine) splitParallel(key seq.Pattern, members []*member, list []seq.Pa
 // (wg.Wait) before anything writes those tables again.
 func (e *engine) eagerBuckets(key seq.Pattern, members []*member, list []seq.Pattern, level int) ([][]*member, error) {
 	if e.obs != nil {
-		defer e.obs.Span("eager_buckets").End()
+		defer e.obs.SpanUnder(e.cur, "eager_buckets").End()
 	}
 	freqI, freqS := e.extensionFlags(key, list, level)
 	assign := func(members []*member, buckets [][]*member) {

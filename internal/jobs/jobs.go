@@ -26,6 +26,7 @@ import (
 
 	"github.com/disc-mining/disc/internal/core"
 	"github.com/disc-mining/disc/internal/mining"
+	"github.com/disc-mining/disc/internal/obs"
 )
 
 // State is a job's lifecycle state. Terminal states are StateDone,
@@ -78,6 +79,12 @@ type Request struct {
 	Timeout time.Duration
 	// DB is the database to mine.
 	DB mining.Database
+	// Trace and ParentSpan carry the job's trace identity into a Mine
+	// hook (the cluster coordinator opens its shard spans under them).
+	// They are owned by the manager: set just before the hook runs and
+	// stripped from submissions, so they never enter the fingerprint.
+	Trace      *obs.TraceContext
+	ParentSpan obs.SpanID
 }
 
 // normalize resolves defaults and strips fields the manager owns.
@@ -93,6 +100,8 @@ func (r Request) normalize() Request {
 	r.Opts.Progress = nil
 	r.Opts.Obs = nil
 	r.Opts.Shard = nil // shards are a cluster-internal execution detail, not a job identity
+	r.Trace = nil
+	r.ParentSpan = 0
 	return r
 }
 
@@ -106,17 +115,19 @@ func (r Request) fingerprint() uint64 {
 // Job is one admitted mining job. All fields are private and
 // mutex-guarded; observe a job through Status, Done and Result.
 type Job struct {
-	id  string
-	fp  uint64
-	req Request
+	id    string
+	fp    uint64
+	req   Request
+	trace *obs.TraceContext // minted at admission, immutable afterwards
 
 	mu       sync.Mutex
 	state    State
 	result   *mining.Result
 	err      error
-	cancel   func() // non-nil while running
-	canceled bool   // a cancellation was requested (possibly pre-run)
-	resumed  int    // partitions restored from a checkpoint
+	cancel   func()     // non-nil while running
+	canceled bool       // a cancellation was requested (possibly pre-run)
+	resumed  int        // partitions restored from a checkpoint
+	rootSpan obs.SpanID // the run's root "job" span, set by runJob
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -131,6 +142,18 @@ func newJob(id string, fp uint64, req Request) *Job {
 // ID returns the job's identity: the 16-hex-digit checkpoint
 // fingerprint. Identical requests share an ID.
 func (j *Job) ID() string { return j.id }
+
+// Trace returns the job's trace context — the flight recorder its
+// fleet-wide timeline assembles from.
+func (j *Job) Trace() *obs.TraceContext { return j.trace }
+
+// rootSpanID returns the ID of the run's root span (zero before the
+// job starts running).
+func (j *Job) rootSpanID() obs.SpanID {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rootSpan
+}
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -148,8 +171,9 @@ type Status struct {
 	Algo     string
 	MinSup   int
 	State    State
-	Patterns int // mined pattern count, once done
-	Resumed  int // first-level partitions restored from a checkpoint
+	Patterns int    // mined pattern count, once done
+	Resumed  int    // first-level partitions restored from a checkpoint
+	TraceID  string // the job's trace identity (timeline lookup key)
 	Err      error
 	Created  time.Time
 	Started  time.Time
@@ -167,6 +191,9 @@ func (j *Job) Status() Status {
 	}
 	if j.state == StateDone && j.result != nil {
 		s.Patterns = j.result.Len()
+	}
+	if j.trace != nil {
+		s.TraceID = j.trace.TraceID().String()
 	}
 	return s
 }

@@ -83,6 +83,19 @@ type Config struct {
 	// checkpoint writes observe their latency and size. Nil gets a
 	// private registry so the accounting is identical either way.
 	Obs *obs.Observer
+	// Node names this process in the trace records its spans and events
+	// carry ("" is fine for a single-process service; the cluster role
+	// wiring sets coordinator/worker names so a fleet timeline says
+	// where each span ran).
+	Node string
+	// TraceEvents bounds each job's flight-recorder ring (0 selects
+	// obs.DefaultRecorderEvents). The recorder never grows past it:
+	// oldest events are evicted and counted in the timeline's
+	// dropped_events.
+	TraceEvents int
+	// TraceSeed seeds trace/span ID minting (0 = time-seeded). Tests
+	// set it for reproducible golden timelines.
+	TraceSeed int64
 	// Mine, when set, replaces the local mining of a job — the cluster
 	// coordinator plugs in here to shard the job across workers. It
 	// receives the request with the service budgets already folded in and
@@ -164,6 +177,7 @@ type Manager struct {
 	// The counters are pre-created here so hot paths (Submit under
 	// m.mu) touch only atomics, never the registry lock.
 	obs       *obs.Observer
+	ids       *obs.IDSource // trace/span ID minting for every job trace
 	submitted *obs.Counter
 	deduped   *obs.Counter
 	cacheHits *obs.Counter
@@ -210,6 +224,7 @@ func NewManager(cfg Config) *Manager {
 		execs:      map[string]int{},
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		ids:        obs.NewIDSource(cfg.TraceSeed),
 	}
 	m.notEmpty = sync.NewCond(&m.mu)
 	m.initObs(cfg.Obs)
@@ -476,6 +491,15 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, ErrQueueFull
 	}
 	j := newJob(id, fp, req)
+	// Admission mints the job's trace: one trace ID bound to the job
+	// fingerprint, one bounded flight recorder, for the job's whole
+	// life across every process that works on it.
+	j.trace = obs.NewTraceContext(m.ids.TraceID(), m.cfg.Node, m.ids,
+		obs.NewRecorder(m.cfg.TraceEvents))
+	j.trace.Event("queue-admit", 0, map[string]string{
+		"job":         id,
+		"queue_depth": fmt.Sprint(len(m.pending)),
+	})
 	m.pending = append(m.pending, j)
 	m.jobs[id] = j
 	m.submitted.Inc()
@@ -492,6 +516,40 @@ func (m *Manager) Get(id string) (*Job, error) {
 		return nil, ErrNotFound
 	}
 	return j, nil
+}
+
+// Timeline assembles the job's trace — every span and structured
+// event its flight recorder retained, including span records folded
+// back from cluster workers — sorted and ready to serve as JSON.
+func (m *Manager) Timeline(id string) (*obs.Timeline, error) {
+	j, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	tc := j.Trace()
+	if tc == nil {
+		return nil, ErrNotFound
+	}
+	return tc.Timeline(id), nil
+}
+
+// ActiveTraces lists the trace IDs of every non-terminal job, sorted —
+// the /healthz view that turns "the service is slow" into "go look at
+// these timelines".
+func (m *Manager) ActiveTraces() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []string{}
+	for _, j := range m.jobs {
+		if j.State().Terminal() {
+			continue
+		}
+		if tc := j.trace; tc != nil {
+			out = append(out, tc.TraceID().String())
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Cancel requests cancellation of a job: a queued job terminates
@@ -694,6 +752,15 @@ func (m *Manager) runJob(j *Job) {
 	j.mu.Unlock()
 	defer cancel()
 
+	// The run's root span: everything the job does — local engine
+	// recursion or coordinator shard fan-out — hangs off this span in
+	// the assembled timeline.
+	sp := m.obs.WithTrace(j.trace, 0).Span("job")
+	j.mu.Lock()
+	j.rootSpan = sp.ID()
+	j.mu.Unlock()
+	defer sp.End()
+
 	m.executed.Inc()
 	m.mu.Lock()
 	m.execs[j.id]++
@@ -809,13 +876,20 @@ func (m *Manager) writeCheckpoint(j *Job, cp *core.Checkpointer, path string) {
 	n, err := cp.File(j.req.Algo, j.req.MinSup, j.fp).WriteFileFS(m.cfg.FS, path)
 	if err != nil {
 		m.ckptFailures.Inc()
-		m.durabilityFailed(err)
+		j.trace.Event("checkpoint-failed", j.rootSpanID(),
+			map[string]string{"error": err.Error()})
+		if m.durabilityFailed(err) {
+			j.trace.Event("degrade-latch", j.rootSpanID(),
+				map[string]string{"error": err.Error()})
+		}
 		m.logf("jobs: %s checkpoint write failed: %v", j.id, err)
 		return
 	}
 	m.durabilityOK()
 	m.ckptDur.Observe(time.Since(start).Seconds())
 	m.ckptBytes.Observe(float64(n))
+	j.trace.Event("checkpoint-write", j.rootSpanID(),
+		map[string]string{"bytes": fmt.Sprint(n)})
 }
 
 // durabilityAttempt reports whether a checkpoint write should be tried
@@ -835,8 +909,9 @@ func (m *Manager) durabilityAttempt() bool {
 }
 
 // durabilityFailed records one failed checkpoint write and latches
-// degraded-durability mode after DegradeAfter consecutive failures.
-func (m *Manager) durabilityFailed(err error) {
+// degraded-durability mode after DegradeAfter consecutive failures,
+// reporting whether this call tripped the latch.
+func (m *Manager) durabilityFailed(err error) bool {
 	m.dmu.Lock()
 	m.consecFails++
 	m.lastErr = err
@@ -851,6 +926,7 @@ func (m *Manager) durabilityFailed(err error) {
 	if trip {
 		m.logf("jobs: durability degraded after %d consecutive checkpoint write failures; mining continues, probing every %s", n, m.cfg.DurabilityProbe)
 	}
+	return trip
 }
 
 // durabilityOK records one successful checkpoint write, re-arming
@@ -942,6 +1018,8 @@ func (m *Manager) defaultMine(ctx context.Context, j *Job, cp *core.Checkpointer
 		if m.cfg.Mine != nil {
 			req := j.req
 			req.Opts = opts
+			req.Trace = j.trace
+			req.ParentSpan = j.rootSpanID()
 			r, err := m.cfg.Mine(ctx, req, cp)
 			if err != nil {
 				return err
@@ -951,7 +1029,7 @@ func (m *Manager) defaultMine(ctx context.Context, j *Job, cp *core.Checkpointer
 		}
 		opts.Checkpoint = cp
 		opts.Faults = m.cfg.Faults
-		opts.Obs = m.obs
+		opts.Obs = m.obs.WithTrace(j.trace, j.rootSpanID())
 		miner, err := minerFor(j.req.Algo, opts)
 		if err != nil {
 			return err

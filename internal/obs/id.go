@@ -1,0 +1,97 @@
+// Trace identity. A trace is one job's journey through the fleet: the
+// coordinator mints a TraceID when the job is admitted, every span
+// opened on the job's behalf — locally or on a worker — carries it, and
+// span parenthood is expressed with SpanIDs so the flight recorder can
+// reassemble the hierarchy after the fact.
+//
+// IDs are random 64-bit values minted from an IDSource. Production
+// sources are time-seeded; tests seed them explicitly so golden
+// timelines are reproducible.
+package obs
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end trace (one job). The zero value
+// means "untraced".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. The zero value means
+// "no span" (used as the parent of root spans).
+type SpanID uint64
+
+// String renders the ID as 16 lowercase hex digits, the wire and JSON
+// form.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// IsZero reports whether the ID is the untraced sentinel.
+func (id TraceID) IsZero() bool { return id == 0 }
+
+// IsZero reports whether the ID is the no-span sentinel.
+func (id SpanID) IsZero() bool { return id == 0 }
+
+// ParseTraceID decodes the 16-hex-digit wire form. Returns false for
+// anything else, including the zero ID (which never travels).
+func ParseTraceID(s string) (TraceID, bool) {
+	v, ok := parseHexID(s)
+	return TraceID(v), ok
+}
+
+// ParseSpanID decodes the 16-hex-digit wire form.
+func ParseSpanID(s string) (SpanID, bool) {
+	v, ok := parseHexID(s)
+	return SpanID(v), ok
+}
+
+func parseHexID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// IDSource mints non-zero random trace and span IDs. It is safe for
+// concurrent use. The zero value is not usable; construct with
+// NewIDSource.
+type IDSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewIDSource returns a source seeded with seed; seed 0 means
+// time-seeded (production). Non-zero seeds give a deterministic ID
+// sequence for golden tests.
+func NewIDSource(seed int64) *IDSource {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &IDSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// TraceID mints a fresh non-zero trace ID.
+func (s *IDSource) TraceID() TraceID { return TraceID(s.next()) }
+
+// SpanID mints a fresh non-zero span ID.
+func (s *IDSource) SpanID() SpanID { return SpanID(s.next()) }
+
+func (s *IDSource) next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if v := s.rng.Uint64(); v != 0 {
+			return v
+		}
+	}
+}

@@ -321,6 +321,35 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	return r.lookup(name, help, histogramKind, buckets, labels).hist
 }
 
+// Unregister removes the series for (name, labels) from the registry,
+// reporting whether it existed. When the last series of a family is
+// removed the family (and its HELP/TYPE lines) disappears from the
+// exposition too. This is how per-worker series are pruned when a
+// worker's heartbeat TTL expires, keeping a churning fleet's registry
+// cardinality bounded. Handles previously returned by the accessor
+// functions keep working but are detached: updates through them no
+// longer reach the exposition.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	if r == nil {
+		return false
+	}
+	_, key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return false
+	}
+	if _, ok := f.children[key]; !ok {
+		return false
+	}
+	delete(f.children, key)
+	if len(f.children) == 0 {
+		delete(r.families, name)
+	}
+	return true
+}
+
 // escapeHelp escapes a HELP line per the text exposition format.
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)

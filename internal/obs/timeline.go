@@ -1,0 +1,119 @@
+// Timeline assembly: turning a trace's flight-recorder contents into
+// the JSON document served by GET /debug/jobs/{id}/timeline and
+// asserted by the golden tests. The schema is deliberately flat —
+// a sorted span table plus a sorted event table — so shell tooling
+// (jq, grep in CI) can validate it without a trace viewer.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanRecord is the completed-span wire and JSON form. Workers return
+// these in shard responses; the coordinator folds them into the job's
+// recorder; the timeline endpoint serves them sorted.
+type SpanRecord struct {
+	Trace  string            `json:"trace_id"`
+	Span   string            `json:"span_id"`
+	Parent string            `json:"parent_span_id,omitempty"`
+	Stage  string            `json:"stage"`
+	Node   string            `json:"node,omitempty"`
+	Start  time.Time         `json:"start"`
+	DurNS  int64             `json:"duration_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// TimelineEvent is one structured point-in-time event in the JSON
+// timeline.
+type TimelineEvent struct {
+	Seq   uint64            `json:"seq"`
+	Name  string            `json:"name"`
+	Node  string            `json:"node,omitempty"`
+	Span  string            `json:"span_id,omitempty"`
+	Time  time.Time         `json:"time"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Timeline is the assembled fleet-wide record of one trace.
+type Timeline struct {
+	TraceID string          `json:"trace_id"`
+	JobID   string          `json:"job_id,omitempty"`
+	Spans   []SpanRecord    `json:"spans"`
+	Events  []TimelineEvent `json:"events"`
+	Dropped uint64          `json:"dropped_events"`
+}
+
+// Spans extracts the completed spans retained in the recorder, sorted
+// by start time (ties broken by stage then span ID) so output is
+// stable. Nil-safe.
+func (r *Recorder) Spans() []SpanRecord {
+	evs := r.Events()
+	out := make([]SpanRecord, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind != KindSpanEnd {
+			continue
+		}
+		rec := SpanRecord{
+			Trace: ev.Trace.String(),
+			Span:  ev.Span.String(),
+			Stage: ev.Stage,
+			Node:  ev.Node,
+			Start: ev.Time.Add(-ev.Dur),
+			DurNS: ev.Dur.Nanoseconds(),
+			Attrs: ev.Attrs,
+		}
+		if !ev.Parent.IsZero() {
+			rec.Parent = ev.Parent.String()
+		}
+		out = append(out, rec)
+	}
+	sortSpans(out)
+	return out
+}
+
+func sortSpans(s []SpanRecord) {
+	sort.SliceStable(s, func(i, j int) bool {
+		if !s[i].Start.Equal(s[j].Start) {
+			return s[i].Start.Before(s[j].Start)
+		}
+		if s[i].Stage != s[j].Stage {
+			return s[i].Stage < s[j].Stage
+		}
+		return s[i].Span < s[j].Span
+	})
+}
+
+// Timeline assembles the full record for the trace: every completed
+// span (local and folded-in remote), every structured event, and the
+// eviction count. Nil-safe: a nil context yields a nil timeline.
+func (tc *TraceContext) Timeline(jobID string) *Timeline {
+	if tc == nil {
+		return nil
+	}
+	tl := &Timeline{
+		TraceID: tc.trace.String(),
+		JobID:   jobID,
+		Spans:   tc.rec.Spans(),
+		Events:  []TimelineEvent{},
+		Dropped: tc.rec.Dropped(),
+	}
+	for _, ev := range tc.rec.Events() {
+		if ev.Kind != KindEvent {
+			continue
+		}
+		te := TimelineEvent{
+			Seq:   ev.Seq,
+			Name:  ev.Stage,
+			Node:  ev.Node,
+			Time:  ev.Time,
+			Attrs: ev.Attrs,
+		}
+		if !ev.Span.IsZero() {
+			te.Span = ev.Span.String()
+		}
+		tl.Events = append(tl.Events, te)
+	}
+	sort.SliceStable(tl.Events, func(i, j int) bool { return tl.Events[i].Seq < tl.Events[j].Seq })
+	return tl
+}
